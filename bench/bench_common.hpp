@@ -1,0 +1,76 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/par_common.hpp"
+#include "graph/generators.hpp"
+#include "harness/args.hpp"
+#include "harness/table.hpp"
+#include "machine/cost_params.hpp"
+#include "pgas/runtime.hpp"
+
+namespace pgraph::bench {
+
+using harness::BenchArgs;
+using harness::Table;
+
+/// The paper's cluster: 16 nodes x 16 CPUs.
+inline constexpr int kPaperNodes = 16;
+
+inline machine::CostParams params() {
+  return machine::CostParams::hps_cluster();
+}
+
+/// Scale the modeled cache with the (scaled-down) input so the
+/// working-set-to-cache ratio matches the paper's platform: 100M vertices
+/// (800 MB of labels) against a ~1.9 MB L2 is a ratio of ~420.  Without
+/// this, a laptop-scale n would fit in the modeled L2 and every cache
+/// effect the paper measures would vanish.
+inline machine::CostParams params_for(std::uint64_t n_vertices) {
+  machine::CostParams p = machine::CostParams::hps_cluster();
+  const std::uint64_t scaled = n_vertices * 8 / 420;
+  p.cache_bytes = static_cast<std::size_t>(
+      std::clamp<std::uint64_t>(scaled, 4096, 1u << 21));
+  return p;
+}
+
+inline machine::CostParams smp_params_for(std::uint64_t n_vertices) {
+  machine::CostParams p = params_for(n_vertices);
+  p.preset = "smp-node";
+  return p;
+}
+
+inline void preamble(const BenchArgs& a, const std::string& figure,
+                     const std::string& caption,
+                     const std::string& expectation) {
+  harness::banner(std::cout, figure + " — " + caption);
+  std::cout << "cost preset: " << params().preset
+            << "   (scale=" << a.scale << ", seed=" << a.seed << ")\n"
+            << "paper expectation: " << expectation << "\n";
+}
+
+inline void emit(const BenchArgs& a, const Table& t) {
+  if (a.csv)
+    t.print_csv(std::cout);
+  else
+    t.print(std::cout);
+  std::cout.flush();
+}
+
+/// Per-category breakdown cells (Fig. 5/6 stacked-bar data).
+inline std::vector<std::string> breakdown_cells(
+    const machine::PhaseStats& st) {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < machine::kNumCats; ++i)
+    out.push_back(Table::eng(st.get(static_cast<machine::Cat>(i))));
+  return out;
+}
+
+inline std::string ratio(double num, double den) {
+  return den > 0 ? Table::num(num / den, 2) + "x" : "-";
+}
+
+}  // namespace pgraph::bench

@@ -1,0 +1,101 @@
+// Google-benchmark microbenchmarks of the end-to-end algorithms (host
+// wall time of the simulation, small instances): useful for tracking the
+// simulator's own performance regressions.
+#include <benchmark/benchmark.h>
+
+#include "core/bcc.hpp"
+#include "core/cc_coalesced.hpp"
+#include "core/euler_tour.hpp"
+#include "core/list_ranking.hpp"
+#include "core/mst_pgas.hpp"
+#include "graph/generators.hpp"
+#include "graph/rng.hpp"
+
+using namespace pgraph;
+
+namespace {
+pgas::Runtime small_cluster() {
+  return pgas::Runtime(pgas::Topology::cluster(2, 2),
+                       machine::CostParams::hps_cluster());
+}
+}  // namespace
+
+static void BM_CcCoalesced(benchmark::State& state) {
+  const auto el = graph::random_graph(1 << 14, 1 << 16, 1);
+  auto rt = small_cluster();
+  for (auto _ : state) {
+    auto r = core::cc_coalesced(rt, el);
+    benchmark::DoNotOptimize(r.num_components);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(el.m()) *
+                          state.iterations());
+}
+BENCHMARK(BM_CcCoalesced)->Unit(benchmark::kMillisecond);
+
+static void BM_MstPgas(benchmark::State& state) {
+  const auto el =
+      graph::with_random_weights(graph::random_graph(1 << 13, 1 << 15, 2), 3);
+  auto rt = small_cluster();
+  for (auto _ : state) {
+    auto r = core::mst_pgas(rt, el);
+    benchmark::DoNotOptimize(r.total_weight);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(el.m()) *
+                          state.iterations());
+}
+BENCHMARK(BM_MstPgas)->Unit(benchmark::kMillisecond);
+
+static void BM_ListRankingWyllie(benchmark::State& state) {
+  const auto succ = core::make_random_list(1 << 14, 4);
+  auto rt = small_cluster();
+  for (auto _ : state) {
+    auto r = core::list_ranking_pgas(rt, succ);
+    benchmark::DoNotOptimize(r.ranks.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(succ.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_ListRankingWyllie)->Unit(benchmark::kMillisecond);
+
+static void BM_EulerTourMetrics(benchmark::State& state) {
+  // A random tree.
+  graph::EdgeList tree;
+  tree.n = 1 << 13;
+  graph::Xoshiro256 rng(5);
+  for (std::size_t i = 1; i < tree.n; ++i)
+    tree.edges.push_back({rng.next_below(i), i});
+  const auto tour = core::build_euler_tour(tree, 0);
+  auto rt = small_cluster();
+  for (auto _ : state) {
+    auto m = core::euler_tour_metrics(rt, tour);
+    benchmark::DoNotOptimize(m.depth.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(tree.n) *
+                          state.iterations());
+}
+BENCHMARK(BM_EulerTourMetrics)->Unit(benchmark::kMillisecond);
+
+static void BM_BccPipeline(benchmark::State& state) {
+  const auto el = graph::random_graph(1 << 12, 3 << 12, 6);
+  auto rt = small_cluster();
+  for (auto _ : state) {
+    auto r = core::bcc_pgas(rt, el);
+    benchmark::DoNotOptimize(r.num_blocks);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(el.m()) *
+                          state.iterations());
+}
+BENCHMARK(BM_BccPipeline)->Unit(benchmark::kMillisecond);
+
+static void BM_BccSequential(benchmark::State& state) {
+  const auto el = graph::random_graph(1 << 14, 3 << 14, 7);
+  for (auto _ : state) {
+    auto r = core::bcc_sequential(el);
+    benchmark::DoNotOptimize(r.num_blocks);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(el.m()) *
+                          state.iterations());
+}
+BENCHMARK(BM_BccSequential)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Google-benchmark microbenchmarks of the GetD/SetD/SetDMin collectives
+// (host wall time of the simulation, small topologies).
+#include <benchmark/benchmark.h>
+
+#include "collectives/getd.hpp"
+#include "collectives/setd.hpp"
+#include "graph/rng.hpp"
+#include "machine/cost_params.hpp"
+#include "pgas/global_array.hpp"
+#include "pgas/runtime.hpp"
+
+using namespace pgraph;
+
+namespace {
+
+void run_collective_bench(benchmark::State& state, bool is_get) {
+  const int nodes = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const std::size_t n = 1 << 16;
+  const std::size_t per_thread = 1 << 12;
+  pgas::Runtime rt(pgas::Topology::cluster(nodes, threads),
+                   machine::CostParams::hps_cluster());
+  pgas::GlobalArray<std::uint64_t> d(rt, n);
+  coll::CollectiveContext cc(rt);
+  const auto opt = coll::CollectiveOptions::optimized(4);
+  for (auto _ : state) {
+    rt.run([&](pgas::ThreadCtx& ctx) {
+      graph::Xoshiro256 rng(11 + ctx.id());
+      std::vector<std::uint64_t> idx(per_thread), buf(per_thread);
+      for (auto& x : idx) x = rng.next_below(n);
+      coll::CollWorkspace<std::uint64_t> ws;
+      if (is_get) {
+        coll::getd(ctx, d, idx, std::span<std::uint64_t>(buf), opt, cc, ws);
+      } else {
+        coll::setd_min(ctx, d, idx, std::span<const std::uint64_t>(buf), opt,
+                       cc, ws);
+      }
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(per_thread) * nodes *
+                          threads * state.iterations());
+}
+
+}  // namespace
+
+static void BM_GetD(benchmark::State& state) {
+  run_collective_bench(state, true);
+}
+BENCHMARK(BM_GetD)->Args({1, 4})->Args({4, 2})->Args({8, 2});
+
+static void BM_SetDMin(benchmark::State& state) {
+  run_collective_bench(state, false);
+}
+BENCHMARK(BM_SetDMin)->Args({1, 4})->Args({4, 2})->Args({8, 2});
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Cluster planner: a "what-if" tool the cost model makes possible — given
+// a graph size, sweep cluster shapes (nodes x threads) and report the
+// modeled CC time for each, so a user can pick a configuration before
+// buying time on a real machine.  Reproduces in miniature the paper's
+// observation that more threads per node stops paying off once the
+// SMatrix/PMatrix all-to-all burst dominates (Section VI).
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/cc_coalesced.hpp"
+#include "graph/generators.hpp"
+#include "pgas/runtime.hpp"
+
+using namespace pgraph;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                 : 200'000;
+  const std::size_t m = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+                                 : 4 * n;
+  const graph::EdgeList el = graph::random_graph(n, m, 3);
+  std::printf("planning for: n=%zu m=%zu (random)\n\n", n, m);
+  std::printf("%-14s %12s %12s %10s\n", "cluster", "modeled", "messages",
+              "rounds");
+
+  double best = 1e300;
+  int best_nodes = 0, best_threads = 0;
+  for (const auto& [nodes, threads] :
+       {std::pair{1, 8}, {1, 16}, {2, 8}, {4, 4}, {4, 8}, {8, 4}, {8, 8},
+        {16, 2}, {16, 4}, {16, 8}, {16, 16}}) {
+    pgas::Runtime rt(pgas::Topology::cluster(nodes, threads),
+                     machine::CostParams::hps_cluster());
+    const auto r = core::cc_coalesced(rt, el);
+    std::printf("%3dx%-10d %9.2f ms %12llu %10d\n", nodes, threads,
+                r.costs.modeled_ms(),
+                static_cast<unsigned long long>(r.costs.messages),
+                r.iterations);
+    if (r.costs.modeled_ns < best) {
+      best = r.costs.modeled_ns;
+      best_nodes = nodes;
+      best_threads = threads;
+    }
+  }
+  std::printf("\nrecommended configuration: %d nodes x %d threads\n",
+              best_nodes, best_threads);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Tree analytics: the full PRAM-toolbox pipeline composed end to end —
+//   connected graph -> spanning_tree_pgas (Boruvka + SetDMin)
+//                   -> build_euler_tour
+//                   -> list-ranking-powered depths & subtree sizes
+// then report the tree's shape.  Everything after the generator runs on
+// the simulated cluster through the coalesced collectives.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/cc_seq.hpp"
+#include "core/euler_tour.hpp"
+#include "core/mst_pgas.hpp"
+#include "graph/generators.hpp"
+#include "pgas/runtime.hpp"
+
+using namespace pgraph;
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                 : 100'000;
+  const auto el = graph::random_graph(n, 4 * n, 31);
+  pgas::Runtime rt(pgas::Topology::cluster(4, 4),
+                   machine::CostParams::hps_cluster());
+
+  const auto st = core::spanning_tree_pgas(rt, el);
+  std::printf("spanning forest: %zu edges in %d Boruvka rounds "
+              "(modeled %.2f ms)\n",
+              st.edges.size(), st.iterations, st.costs.modeled_ms());
+
+  graph::EdgeList tree;
+  tree.n = el.n;
+  for (const auto id : st.edges) tree.edges.push_back(el.edges[id]);
+
+  const std::uint64_t root = 0;
+  const auto tour = core::build_euler_tour(tree, root);
+  const auto metrics = core::euler_tour_metrics(rt, tour);
+  std::printf("euler tour: %zu arcs, ranked in %d Wyllie rounds "
+              "(modeled %.2f ms)\n",
+              tour.arcs(), metrics.ranking_rounds,
+              metrics.costs.modeled_ms());
+
+  std::uint64_t deepest = root, max_depth = 0;
+  std::uint64_t big_child = root, big_sub = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (metrics.depth[v] == UINT64_MAX) continue;  // other components
+    if (metrics.depth[v] > max_depth) {
+      max_depth = metrics.depth[v];
+      deepest = v;
+    }
+    if (v != root && metrics.parent[v] == root &&
+        metrics.subtree_size[v] > big_sub) {
+      big_sub = metrics.subtree_size[v];
+      big_child = v;
+    }
+  }
+  std::printf("root %llu's component: %llu vertices\n",
+              static_cast<unsigned long long>(root),
+              static_cast<unsigned long long>(metrics.subtree_size[root]));
+  std::printf("tree height: %llu (deepest vertex %llu)\n",
+              static_cast<unsigned long long>(max_depth),
+              static_cast<unsigned long long>(deepest));
+  std::printf("heaviest root child: %llu with %llu descendants\n",
+              static_cast<unsigned long long>(big_child),
+              static_cast<unsigned long long>(big_sub));
+
+  // Verify against sequential DFS.
+  const auto want = core::tree_metrics_sequential(tree, root);
+  bool ok = true;
+  for (std::size_t v = 0; v < n; ++v)
+    ok = ok && metrics.depth[v] == want.depth[v] &&
+         metrics.subtree_size[v] == want.subtree_size[v];
+  std::printf("verified against sequential DFS: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

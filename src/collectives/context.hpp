@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pgas/global_array.hpp"
+#include "pgas/runtime.hpp"
+
+namespace pgraph::coll {
+
+/// Registry slots used by the collectives (see ThreadCtx::publish).
+inline constexpr int kSlotIdx = 0;   ///< sorted request indices
+inline constexpr int kSlotData = 1;  ///< reply buffer (GetD)
+inline constexpr int kSlotVal = 2;   ///< sorted request values (SetD/SetDMin)
+inline constexpr int kSlotCnt = 3;   ///< per-owner offsets (hierarchical)
+
+/// Shared state of Algorithm 2, allocated once per algorithm run.
+///
+/// Row layout: entry [owner * s + requester].
+///  - smatrix: how many elements `requester` needs from / sends to `owner`
+///    ("SMatrix[i][j] is the number of elements thr_i sends to thr_j").
+///  - pmatrix: offset of that batch inside the requester's sorted request
+///    array and reply buffer ("the position in thr_j's buffer where thr_i
+///    should deposit the elements").
+///
+/// Row i has affinity to thread i, so filling column `me` costs one
+/// fine-grained remote put per peer — the s^2 small-message all-to-all
+/// burst that Section VI identifies as the t=16 scaling bottleneck.
+struct CollectiveContext {
+  pgas::GlobalArray<std::uint64_t> smatrix;
+  pgas::GlobalArray<std::uint64_t> pmatrix;
+
+  explicit CollectiveContext(pgas::Runtime& rt)
+      : smatrix(rt, square(rt.topo().total_threads())),
+        pmatrix(rt, square(rt.topo().total_threads())) {}
+
+ private:
+  static std::size_t square(int s) {
+    return static_cast<std::size_t>(s) * static_cast<std::size_t>(s);
+  }
+};
+
+/// Per-thread scratch that persists across collective calls so buffers are
+/// allocated once and the `id` key cache can survive iterations.
+template <class T>
+struct CollWorkspace {
+  std::vector<std::uint32_t> keys;  ///< cached virtual-block key per request
+  bool keys_valid = false;          ///< caller-managed (id_cache contract)
+
+  std::vector<std::uint64_t> sorted;  ///< request indices in bucket order
+  std::vector<T> sorted_val;          ///< values in bucket order (SetD*)
+  std::vector<std::uint32_t> rank;    ///< original slot of sorted[k]
+  std::vector<std::size_t> bucket_off;
+  std::vector<std::size_t> thr_off;  ///< per-owner-thread offsets (s+1)
+  std::vector<T> reply;              ///< GetD replies, bucket order
+
+  // Scratch for the output-blocked permute phase (Algorithm 1 applied to
+  // the permute as well: eq. 5 pays ~n misses instead of m).
+  std::vector<std::size_t> perm_off;
+  std::vector<std::uint32_t> perm_rank;
+  std::vector<T> perm_val;
+
+  // Line-granular first-touch bitmap over the owner's block, used during
+  // the serve/apply phase to charge compulsory misses exactly once and
+  // reuse accesses at their (often cached) cost — duplicated requests,
+  // e.g. pointer-jumping reads of a few hot labels, hit in cache on the
+  // real machine and must do so in the model too.
+  std::vector<std::uint64_t> touched;
+
+  void invalidate_keys() { keys_valid = false; }
+};
+
+}  // namespace pgraph::coll

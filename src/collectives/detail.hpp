@@ -1,0 +1,157 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+
+#include "collectives/context.hpp"
+#include "collectives/options.hpp"
+#include "machine/phase_stats.hpp"
+#include "pgas/runtime.hpp"
+#include "sched/virtual_threads.hpp"
+
+namespace pgraph::coll::detail {
+
+using machine::Cat;
+
+/// Resolve the virtual-thread factor: explicit value, or (for tprime <= 0)
+/// the smallest t' whose sub-block fits the modeled cache.
+inline int resolve_tprime(const pgas::ThreadCtx& ctx,
+                          const CollectiveOptions& opt,
+                          std::size_t array_elems, std::size_t elem_bytes) {
+  if (opt.tprime > 0) return opt.tprime;
+  const std::size_t s = static_cast<std::size_t>(ctx.nthreads());
+  const std::size_t blk = (array_elems + s - 1) / s;
+  const std::size_t cache = ctx.mem().params().cache_bytes;
+  const std::size_t blk_bytes = std::max<std::size_t>(1, blk * elem_bytes);
+  return static_cast<int>((blk_bytes + cache - 1) / cache);
+}
+
+/// Compute (or reuse) the virtual-block key of every request index.
+/// Charges Cat::Work per the `id` optimization level.
+inline void compute_keys(pgas::ThreadCtx& ctx, const sched::VBlocks& vb,
+                         std::span<const std::uint64_t> indices,
+                         const CollectiveOptions& opt,
+                         std::vector<std::uint32_t>& keys, bool& keys_valid) {
+  const std::size_t m = indices.size();
+  if (opt.id_cache && keys_valid && keys.size() == m) return;
+  keys.resize(m);
+  for (std::size_t i = 0; i < m; ++i)
+    keys[i] = static_cast<std::uint32_t>(vb.vkey(indices[i]));
+  ctx.compute(m * (opt.id_direct ? kDirectKeyOps : kIntrinsicKeyOps),
+              Cat::Work);
+  keys_valid = true;
+}
+
+/// Charge the group-phase counting sort per Section IV: one streamed
+/// histogram pass, one streamed read pass, two passes over the W-bucket
+/// histogram, and the scatter itself.  The scatter keeps W write streams
+/// open (one cursor per bucket), so once W cache lines exceed the cache it
+/// starts missing — this is what turns the t' curve back up for very large
+/// W ("the overhead associated with the extra log n factor may offset
+/// gains", Section IV).
+inline void charge_group_sort(pgas::ThreadCtx& ctx, std::size_t m,
+                              std::size_t w, std::size_t rec_bytes) {
+  ctx.mem_seq(m * rec_bytes, Cat::Sort);
+  ctx.mem_seq(m * rec_bytes, Cat::Sort);
+  ctx.mem_random(2 * w, w * sizeof(std::uint64_t), sizeof(std::uint64_t),
+                 Cat::Sort);
+  const std::size_t line = ctx.mem().params().cache_line_bytes;
+  if (w * line > ctx.mem().params().cache_bytes) {
+    // The W open write streams no longer fit: each output line is filled,
+    // evicted and written back without reuse — line-grained random fills
+    // instead of streamed stores.
+    ctx.mem_random_write(m * rec_bytes / line, w * line, line, Cat::Sort);
+  }
+}
+
+/// Derive the per-owner-thread offsets from the per-virtual-block offsets.
+inline void derive_thread_offsets(const sched::VBlocks& vb,
+                                  const std::vector<std::size_t>& bucket_off,
+                                  std::size_t kept,
+                                  std::vector<std::size_t>& thr_off) {
+  const int s = vb.nthreads;
+  thr_off.resize(static_cast<std::size_t>(s) + 1);
+  for (int t = 0; t < s; ++t)
+    thr_off[static_cast<std::size_t>(t)] = bucket_off[vb.first_bucket(t)];
+  thr_off[static_cast<std::size_t>(s)] = kept;
+}
+
+/// Step 3 of Algorithm 2: publish per-peer counts and offsets.
+///
+/// Flat (the paper's UPC reality): one fine-grained remote put per matrix
+/// entry — the s^2 small-message all-to-all whose burst collapses t=16.
+///
+/// Hierarchical (the paper's Section-VI proposal, opt.hierarchical): each
+/// node's leader thread ships the node's whole t x t count/offset tile to
+/// every other node as ONE coalesced message — p^2 messages total — after
+/// an intra-node staging barrier.  The matrix contents are identical, so
+/// the serve phase is unchanged.
+///
+/// The caller must follow with ctx.exchange_barrier() (which degenerates
+/// to a plain barrier in the flat case).
+inline void write_matrices(pgas::ThreadCtx& ctx, CollectiveContext& cc,
+                           const std::vector<std::size_t>& thr_off,
+                           const CollectiveOptions& opt) {
+  const int s = ctx.nthreads();
+  const int me = ctx.id();
+  if (!opt.hierarchical) {
+    for (int j = 0; j < s; ++j) {
+      const std::size_t cnt = thr_off[static_cast<std::size_t>(j) + 1] -
+                              thr_off[static_cast<std::size_t>(j)];
+      const std::size_t row = static_cast<std::size_t>(j) *
+                                  static_cast<std::size_t>(s) +
+                              static_cast<std::size_t>(me);
+      cc.smatrix.put(ctx, row, cnt, Cat::Setup);
+      cc.pmatrix.put(ctx, row, thr_off[static_cast<std::size_t>(j)],
+                     Cat::Setup);
+    }
+    ctx.compute(static_cast<std::size_t>(2 * s), Cat::Setup);
+    return;
+  }
+
+  const int tpn = ctx.topo().threads_per_node;
+  const int p = ctx.nnodes();
+  const int mynode = ctx.node();
+  const int leader = mynode * tpn;
+  ctx.publish(kSlotCnt, const_cast<std::size_t*>(thr_off.data()));
+  ctx.barrier();  // intra-node staging (a full barrier in this runtime)
+  if (me == leader) {
+    // Write the whole node's columns of SMatrix/PMatrix on behalf of its
+    // t threads; one coalesced message per remote node carries the t*t
+    // tile pair.
+    for (int j = 0; j < s; ++j) {
+      for (int r = leader; r < leader + tpn; ++r) {
+        const auto* ro = ctx.peer_as<const std::size_t>(r, kSlotCnt);
+        const std::size_t row = static_cast<std::size_t>(j) *
+                                    static_cast<std::size_t>(s) +
+                                static_cast<std::size_t>(r);
+        cc.smatrix.store_relaxed(
+            row, ro[static_cast<std::size_t>(j) + 1] -
+                     ro[static_cast<std::size_t>(j)]);
+        cc.pmatrix.store_relaxed(row, ro[static_cast<std::size_t>(j)]);
+      }
+    }
+    const std::size_t tile_bytes = static_cast<std::size_t>(tpn) *
+                                   static_cast<std::size_t>(tpn) * 2 * 8;
+    for (int step = 1; step < p; ++step) {
+      const int nd = (mynode + step) % p;  // circular over nodes
+      ctx.post_exchange_msg(nd * tpn, tile_bytes);
+    }
+    ctx.mem_seq(static_cast<std::size_t>(s) * tpn * 16, Cat::Setup);
+    ctx.compute(static_cast<std::size_t>(s) * tpn * 4, Cat::Setup);
+  }
+}
+
+/// Per-element op cost of touching the local portion of a shared array,
+/// depending on the `localcpy` optimization.
+inline std::size_t local_touch_ops(const CollectiveOptions& opt) {
+  return opt.localcpy ? kPrivatePtrOps : kSharedPtrOps;
+}
+
+/// The exchange-loop visit order ("circular" optimization).
+inline int peer_at(const CollectiveOptions& opt, int me, int s, int step) {
+  return opt.circular ? (me + step) % s : step;
+}
+
+}  // namespace pgraph::coll::detail

@@ -1,0 +1,168 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "collectives/detail.hpp"
+
+namespace pgraph::coll {
+
+namespace detail_combine {
+
+/// Arbitrary CRCW: among concurrent writers one wins; in this
+/// implementation the winner is the last applied in the owner's
+/// deterministic peer order, making runs reproducible for a fixed
+/// configuration.
+template <class T>
+struct Overwrite {
+  void operator()(T& dst, T v) const { dst = v; }
+};
+
+/// Priority CRCW: the minimum value wins — SetDMin, the collective the
+/// paper introduces to remove MST's fine-grained locks ("when multiple
+/// threads compete to write to the same location the request with the
+/// smallest value wins").
+template <class T>
+struct Min {
+  void operator()(T& dst, T v) const {
+    if (v < dst) dst = v;
+  }
+};
+
+}  // namespace detail_combine
+
+/// Common machinery of SetD / SetDMin: bulk concurrent write of
+/// D[indices[i]] = values[i], resolved per element with `combine`.
+template <class T, class Combine>
+void setd_combine(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
+                  std::span<const std::uint64_t> indices,
+                  std::span<const T> values, const CollectiveOptions& opt,
+                  CollectiveContext& cc, CollWorkspace<T>& ws,
+                  Combine combine) {
+  using detail::Cat;
+  static_assert(sizeof(T) == 8 || sizeof(T) == 16,
+                "collectives carry one- or two-word records");
+  assert(values.size() == indices.size());
+
+  const int s = ctx.nthreads();
+  const int me = ctx.id();
+  const std::size_t m = indices.size();
+  const int tprime = detail::resolve_tprime(ctx, opt, D.size(), sizeof(T));
+  const sched::VBlocks vb(D.size(), s, tprime);
+  const std::size_t w = vb.nbuckets();
+
+  // --- group: stable sort (index, value) pairs by virtual block ----------
+  detail::compute_keys(ctx, vb, indices, opt, ws.keys, ws.keys_valid);
+
+  ws.bucket_off.assign(w + 1, 0);
+  for (std::size_t i = 0; i < m; ++i) ++ws.bucket_off[ws.keys[i] + 1];
+  for (std::size_t k = 0; k < w; ++k) ws.bucket_off[k + 1] += ws.bucket_off[k];
+
+  ws.sorted.resize(m);
+  ws.sorted_val.resize(m);
+  {
+    std::vector<std::size_t> cursor(ws.bucket_off.begin(),
+                                    ws.bucket_off.end() - 1);
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t pos = cursor[ws.keys[i]]++;
+      ws.sorted[pos] = indices[i];
+      ws.sorted_val[pos] = values[i];
+    }
+  }
+  detail::charge_group_sort(ctx, m, w, sizeof(std::uint64_t) + sizeof(T));
+
+  detail::derive_thread_offsets(vb, ws.bucket_off, m, ws.thr_off);
+
+  // --- setup --------------------------------------------------------------
+  ctx.publish(kSlotIdx, ws.sorted.data());
+  ctx.publish(kSlotVal, ws.sorted_val.data());
+  detail::write_matrices(ctx, cc, ws.thr_off, opt);
+  ctx.exchange_barrier();
+
+  // --- apply (owner side) ---------------------------------------------------
+  const auto srow = cc.smatrix.local_span(me);
+  const auto prow = cc.pmatrix.local_span(me);
+  ctx.mem_seq(2 * static_cast<std::size_t>(s) * sizeof(std::uint64_t),
+              Cat::Setup);
+  const auto myblock = D.local_span(me);
+  const std::uint64_t base = D.block_begin(me);
+  const std::size_t touch_ops = detail::local_touch_ops(opt);
+  const std::size_t line_bytes = ctx.mem().params().cache_line_bytes;
+  const std::size_t line_elems = std::max<std::size_t>(1, line_bytes / sizeof(T));
+  const std::size_t nlines = myblock.size() / line_elems + 1;
+  ws.touched.assign((nlines + 63) / 64, 0);
+  ctx.mem_seq(ws.touched.size() * 8, Cat::Copy);
+  std::size_t distinct_lines = 0;
+  std::vector<std::size_t> node_bytes;  // hierarchical per-node combining
+  if (opt.hierarchical)
+    node_bytes.assign(static_cast<std::size_t>(ctx.nnodes()), 0);
+
+  for (int step = 0; step < s; ++step) {
+    const int j = detail::peer_at(opt, me, s, step);
+    const std::size_t cnt = srow[static_cast<std::size_t>(j)];
+    if (cnt == 0) continue;
+    const std::size_t off = prow[static_cast<std::size_t>(j)];
+    const std::uint64_t* ridx = ctx.peer_as<std::uint64_t>(j, kSlotIdx) + off;
+    const T* rval = ctx.peer_as<T>(j, kSlotVal) + off;
+    if (j != me) {
+      // One coalesced message carrying (index, value) records (combined
+      // per node pair when hierarchical).
+      const std::size_t bytes = cnt * (sizeof(std::uint64_t) + sizeof(T));
+      if (opt.hierarchical) {
+        node_bytes[static_cast<std::size_t>(ctx.topo().node_of(j))] += bytes;
+      } else {
+        ctx.post_exchange_msg(j, bytes);
+      }
+    }
+    std::size_t first_touches = 0;
+    for (std::size_t k = 0; k < cnt; ++k) {
+      assert(ridx[k] >= base && ridx[k] - base < myblock.size());
+      const std::size_t l = (ridx[k] - base) / line_elems;
+      if (!(ws.touched[l >> 6] & (1ull << (l & 63)))) {
+        ws.touched[l >> 6] |= 1ull << (l & 63);
+        ++first_touches;
+      }
+      combine(myblock[ridx[k] - base], rval[k]);
+    }
+    distinct_lines += first_touches;
+    ctx.mem_seq(cnt * (sizeof(std::uint64_t) + sizeof(T)), Cat::Copy);
+    ctx.mem_compulsory(first_touches, sizeof(T), Cat::Copy);
+    const std::size_t ws_eff =
+        std::min(vb.sub_blk * sizeof(T), distinct_lines * line_bytes);
+    ctx.mem_random(cnt - first_touches, ws_eff, sizeof(T), Cat::Copy);
+    ctx.compute(cnt * touch_ops, Cat::Copy);
+  }
+  if (opt.hierarchical) {
+    const int p = ctx.nnodes();
+    const int tpn = ctx.topo().threads_per_node;
+    for (int step = 0; step < p; ++step) {
+      const int nd = (ctx.node() + step) % p;
+      if (node_bytes[static_cast<std::size_t>(nd)] > 0)
+        ctx.post_exchange_msg(nd * tpn,
+                              node_bytes[static_cast<std::size_t>(nd)]);
+    }
+  }
+  ctx.exchange_barrier();
+}
+
+/// SetD: arbitrary concurrent write.
+template <class T>
+void setd(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
+          std::span<const std::uint64_t> indices, std::span<const T> values,
+          const CollectiveOptions& opt, CollectiveContext& cc,
+          CollWorkspace<T>& ws) {
+  setd_combine(ctx, D, indices, values, opt, cc, ws,
+               detail_combine::Overwrite<T>{});
+}
+
+/// SetDMin: priority concurrent write (minimum wins).
+template <class T>
+void setd_min(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
+              std::span<const std::uint64_t> indices,
+              std::span<const T> values, const CollectiveOptions& opt,
+              CollectiveContext& cc, CollWorkspace<T>& ws) {
+  setd_combine(ctx, D, indices, values, opt, cc, ws,
+               detail_combine::Min<T>{});
+}
+
+}  // namespace pgraph::coll

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "collectives/options.hpp"
+#include "core/par_common.hpp"
+#include "graph/edge_list.hpp"
+#include "pgas/runtime.hpp"
+
+namespace pgraph::core {
+
+/// Biconnected components — the Tarjan-Vishkin algorithm, the third member
+/// of the CGM suite the paper's Section II surveys ("connected components,
+/// ear decomposition, and biconnected components"), composed from this
+/// library's own distributed substrate:
+///
+///   1. spanning_tree_pgas            (Boruvka + SetDMin collectives)
+///   2. build_euler_tour + metrics    (two coalesced Wyllie rankings)
+///   3. low/high via preorder-interval range-min/max (local sparse tables)
+///   4. the Tarjan-Vishkin auxiliary graph over the tree edges
+///   5. cc_coalesced on the auxiliary graph  (GetD/SetD collectives)
+///
+/// Phases 1, 2 and 5 — the irregular bulk of the work — run on the
+/// simulated cluster through the paper's collectives; phases 3 and 4 are
+/// linear local passes.
+///
+/// Input must have no self loops (parallel edges are fine and correctly
+/// form 2-cycles/blocks).
+
+struct BccResult {
+  /// Per input edge: the id of its biconnected component (block).  Two
+  /// edges share a block id iff they lie on a common simple cycle.
+  /// Labels are arbitrary but consistent; bridges get singleton blocks.
+  std::vector<std::uint64_t> edge_block;
+  std::uint64_t num_blocks = 0;
+  /// is_articulation[v] == 1 iff removing v disconnects its component.
+  std::vector<std::uint8_t> is_articulation;
+  RunCosts costs;
+};
+
+BccResult bcc_pgas(
+    pgas::Runtime& rt, const graph::EdgeList& el,
+    const coll::CollectiveOptions& opt = coll::CollectiveOptions::optimized());
+
+/// Sequential Hopcroft-Tarjan (iterative DFS with an edge stack) — ground
+/// truth for the block partition and articulation points.
+BccResult bcc_sequential(const graph::EdgeList& el);
+
+/// True iff the two results describe the same edge partition and the same
+/// articulation set.
+bool same_blocks(const BccResult& a, const BccResult& b);
+
+}  // namespace pgraph::core

@@ -1,0 +1,147 @@
+#include "core/bfs_pgas.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+#include "collectives/getd.hpp"
+#include "collectives/setd.hpp"
+#include "graph/csr.hpp"
+#include "pgas/coll.hpp"
+#include "pgas/global_array.hpp"
+
+namespace pgraph::core {
+
+using machine::Cat;
+
+std::vector<std::uint64_t> bfs_sequential_dist(
+    const graph::EdgeList& el, std::uint64_t source,
+    const machine::MemoryModel* mem, double* modeled_ns) {
+  const graph::Csr csr(el);
+  std::vector<std::uint64_t> dist(el.n, kBfsUnreached);
+  std::vector<std::uint64_t> queue;
+  queue.reserve(el.n);
+  dist[source] = 0;
+  queue.push_back(source);
+  std::size_t head = 0;
+  std::uint64_t touched = 0;
+  while (head < queue.size()) {
+    const std::uint64_t v = queue[head++];
+    for (const std::uint64_t w : csr.neighbors(v)) {
+      ++touched;
+      if (dist[w] == kBfsUnreached) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  if (mem && modeled_ns) {
+    *modeled_ns = mem->seq_ns(csr.directed_edges() * 8) +
+                  mem->random_ns(touched, el.n * 8, 8) +
+                  mem->compute_ns(touched + el.n);
+  }
+  return dist;
+}
+
+BfsResult bfs_pgas(pgas::Runtime& rt, const graph::EdgeList& el,
+                   std::uint64_t source, const coll::CollectiveOptions& opt) {
+  const auto t0 = std::chrono::steady_clock::now();
+  if (source >= el.n) throw std::invalid_argument("bfs_pgas: bad source");
+  rt.reset_costs();
+
+  const std::size_t n = el.n;
+  const int s = rt.topo().total_threads();
+  pgas::GlobalArray<std::uint64_t> dist(rt, n);
+  coll::CollectiveContext cc(rt);
+  std::atomic<int> levels{0};
+
+  rt.run([&](pgas::ThreadCtx& ctx) {
+    const int me = ctx.id();
+    {
+      auto blk = dist.local_span(me);
+      for (auto& x : blk) x = kBfsUnreached;
+      ctx.mem_seq(blk.size() * 8, Cat::Work);
+      if (dist.owner(source) == me)
+        blk[source - dist.block_begin(me)] = 0;
+    }
+    ctx.barrier();
+
+    const auto chunk = graph::edge_chunk(el.edges, s, me);
+    std::vector<std::uint64_t> eu(chunk.size()), ev(chunk.size());
+    for (std::size_t k = 0; k < chunk.size(); ++k) {
+      eu[k] = chunk[k].u;
+      ev[k] = chunk[k].v;
+    }
+    ctx.mem_seq(chunk.size() * sizeof(graph::Edge), Cat::Work);
+
+    coll::CollWorkspace<std::uint64_t> ws_u, ws_v, ws_set;
+    std::vector<std::uint64_t> du, dv, gi, gv;
+
+    std::uint64_t level = 0;
+    for (;; ++level) {
+      du.resize(eu.size());
+      dv.resize(ev.size());
+      coll::getd(ctx, dist, eu, std::span<std::uint64_t>(du), opt, cc, ws_u);
+      coll::getd(ctx, dist, ev, std::span<std::uint64_t>(dv), opt, cc, ws_v);
+
+      // Frontier expansion: settled endpoint at `level` relaxes the other.
+      gi.clear();
+      gv.clear();
+      for (std::size_t k = 0; k < eu.size(); ++k) {
+        if (du[k] == level && dv[k] > level + 1) {
+          gi.push_back(ev[k]);
+          gv.push_back(level + 1);
+        }
+        if (dv[k] == level && du[k] > level + 1) {
+          gi.push_back(eu[k]);
+          gv.push_back(level + 1);
+        }
+      }
+      ctx.compute(eu.size() * 4, Cat::Work);
+      if (!pgas::allreduce_or(ctx, !gi.empty())) break;
+      ws_set.invalidate_keys();
+      coll::setd_min(ctx, dist, gi, std::span<const std::uint64_t>(gv), opt,
+                     cc, ws_set);
+
+      // Compact: an edge whose endpoints are both settled can never relax
+      // anything again.
+      std::size_t kept = 0;
+      const bool keys_ok = ws_u.keys_valid && ws_v.keys_valid &&
+                           ws_u.keys.size() == eu.size() &&
+                           ws_v.keys.size() == ev.size();
+      for (std::size_t k = 0; k < eu.size(); ++k) {
+        if (du[k] != kBfsUnreached && dv[k] != kBfsUnreached) continue;
+        eu[kept] = eu[k];
+        ev[kept] = ev[k];
+        if (keys_ok) {
+          ws_u.keys[kept] = ws_u.keys[k];
+          ws_v.keys[kept] = ws_v.keys[k];
+        }
+        ++kept;
+      }
+      eu.resize(kept);
+      ev.resize(kept);
+      if (keys_ok) {
+        ws_u.keys.resize(kept);
+        ws_v.keys.resize(kept);
+      } else {
+        ws_u.invalidate_keys();
+        ws_v.invalidate_keys();
+      }
+      ctx.mem_seq(eu.size() * 16, Cat::Work);
+    }
+    if (me == 0)
+      levels.store(static_cast<int>(level), std::memory_order_relaxed);
+  });
+
+  BfsResult r;
+  r.dist.assign(dist.raw_all().begin(), dist.raw_all().end());
+  r.levels = levels.load();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.costs = collect_costs(rt, wall);
+  return r;
+}
+
+}  // namespace pgraph::core

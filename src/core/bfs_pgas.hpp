@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "collectives/options.hpp"
+#include "core/par_common.hpp"
+#include "graph/edge_list.hpp"
+#include "pgas/runtime.hpp"
+
+namespace pgraph::core {
+
+/// Level-synchronous distributed BFS, in the style the paper's
+/// introduction cites (Yoo et al. on BlueGene/L) as the only prior
+/// distributed-memory graph result with reasonable performance — and
+/// criticizes: "the parallel BFS implementation has a lower bound of O(d)
+/// ... for the running time regardless of the number of processors", where
+/// d is the diameter.  CC/MST-style poly-log algorithms behave differently
+/// (see bench/abl06_bfs_diameter).
+///
+/// The frontier is expanded edge-centrically with the coalesced
+/// collectives: per level, read dist at both endpoints of the active edges
+/// (GetD), propose level+1 for the unvisited side of frontier edges
+/// (SetDMin), and drop edges whose both endpoints are settled (compact).
+
+inline constexpr std::uint64_t kBfsUnreached = ~0ull;
+
+struct BfsResult {
+  std::vector<std::uint64_t> dist;  ///< kBfsUnreached if not reachable
+  int levels = 0;                   ///< number of frontier expansions
+  RunCosts costs;
+};
+
+BfsResult bfs_pgas(
+    pgas::Runtime& rt, const graph::EdgeList& el, std::uint64_t source,
+    const coll::CollectiveOptions& opt = coll::CollectiveOptions::optimized());
+
+/// Sequential BFS distances (CSR, FIFO queue) — ground truth.
+std::vector<std::uint64_t> bfs_sequential_dist(
+    const graph::EdgeList& el, std::uint64_t source,
+    const machine::MemoryModel* mem = nullptr, double* modeled_ns = nullptr);
+
+}  // namespace pgraph::core

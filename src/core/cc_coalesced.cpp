@@ -1,0 +1,358 @@
+#include "core/cc_coalesced.hpp"
+
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <stdexcept>
+
+#include "collectives/getd.hpp"
+#include "collectives/setd.hpp"
+#include "core/pointer_jump.hpp"
+#include "pgas/coll.hpp"
+#include "pgas/global_array.hpp"
+
+namespace pgraph::core {
+
+using machine::Cat;
+
+namespace {
+
+/// Shared per-run scaffolding of the collective-based CC variants.
+struct CcRun {
+  pgas::GlobalArray<std::uint64_t> d;
+  coll::CollectiveContext cc;
+  std::atomic<int> iterations{0};
+  std::atomic<bool> overran{false};
+
+  CcRun(pgas::Runtime& rt, std::size_t n) : d(rt, n), cc(rt) {}
+};
+
+}  // namespace
+
+ParCCResult cc_coalesced(pgas::Runtime& rt, const graph::EdgeList& el,
+                         const CcOptions& opt) {
+  const auto t0 = std::chrono::steady_clock::now();
+  rt.reset_costs();
+
+  const std::size_t n = el.n;
+  const int max_iters = opt.max_iters > 0
+                            ? opt.max_iters
+                            : 4 * (n < 2 ? 1 : std::bit_width(n)) + 64;
+  CcRun run(rt, n);
+  const coll::CollectiveOptions& copt = opt.coll;
+  const coll::KnownElement known{0, 0};  // D[0] stays 0 (offload target)
+
+  rt.run([&](pgas::ThreadCtx& ctx) {
+    const int s = ctx.nthreads();
+    const int me = ctx.id();
+    init_labels(ctx, run.d);
+
+    // Private copies of this thread's edge chunk (u and v request arrays).
+    const auto chunk = graph::edge_chunk(el.edges, s, me);
+    std::vector<std::uint64_t> eu(chunk.size()), ev(chunk.size());
+    for (std::size_t k = 0; k < chunk.size(); ++k) {
+      eu[k] = chunk[k].u;
+      ev[k] = chunk[k].v;
+    }
+    ctx.mem_seq(chunk.size() * sizeof(graph::Edge), Cat::Work);
+
+    coll::CollWorkspace<std::uint64_t> ws_u, ws_v, ws_set, ws_jump;
+    std::vector<std::uint64_t> du, dv, gi, gv, par, grand;
+
+    int it = 0;
+    for (;; ++it) {
+      if (it >= max_iters) {
+        run.overran.store(true, std::memory_order_relaxed);
+        break;
+      }
+
+      // --- read endpoint labels (coalesced; keys cacheable via `id`).
+      du.resize(eu.size());
+      dv.resize(ev.size());
+      coll::getd(ctx, run.d, eu, std::span<std::uint64_t>(du), copt, run.cc,
+                 ws_u, known);
+      coll::getd(ctx, run.d, ev, std::span<std::uint64_t>(dv), copt, run.cc,
+                 ws_v, known);
+
+      // --- graft requests: hook the larger root under the smaller.
+      gi.clear();
+      gv.clear();
+      for (std::size_t k = 0; k < eu.size(); ++k) {
+        if (du[k] == dv[k]) continue;
+        if (du[k] < dv[k]) {
+          gi.push_back(dv[k]);
+          gv.push_back(du[k]);
+        } else {
+          gi.push_back(du[k]);
+          gv.push_back(dv[k]);
+        }
+      }
+      ctx.mem_seq(eu.size() * 2 * sizeof(std::uint64_t), Cat::Work);
+      ctx.compute(eu.size() * 3, Cat::Work);
+
+      if (!pgas::allreduce_or(ctx, !gi.empty())) break;
+
+      ws_set.invalidate_keys();
+      // Arbitrary concurrent write, as in the paper's CC ("SetD implements
+      // arbitrary concurrent writes").  All targets are star roots and all
+      // proposals are smaller labels, so any winner preserves monotone
+      // convergence.
+      coll::setd(ctx, run.d, gi, std::span<const std::uint64_t>(gv), copt,
+                 run.cc, ws_set);
+
+      // --- lock-step pointer jumping until rooted stars.  CC hooks larger
+      // labels under smaller ones, so D[0] == 0 forever and the offload
+      // optimization applies to the jump requests (the paper's hotspot).
+      jump_to_stars(ctx, run.d, copt, run.cc, ws_jump, par, grand, known);
+
+      // --- compact: drop edges already inside one component, keeping the
+      // cached target keys aligned with the surviving requests.
+      if (opt.compact) {
+        std::size_t kept = 0;
+        const bool keys_ok = ws_u.keys_valid && ws_v.keys_valid &&
+                             ws_u.keys.size() == eu.size() &&
+                             ws_v.keys.size() == ev.size();
+        for (std::size_t k = 0; k < eu.size(); ++k) {
+          if (du[k] == dv[k]) continue;
+          eu[kept] = eu[k];
+          ev[kept] = ev[k];
+          if (keys_ok) {
+            ws_u.keys[kept] = ws_u.keys[k];
+            ws_v.keys[kept] = ws_v.keys[k];
+          }
+          ++kept;
+        }
+        eu.resize(kept);
+        ev.resize(kept);
+        if (keys_ok) {
+          ws_u.keys.resize(kept);
+          ws_v.keys.resize(kept);
+        } else {
+          ws_u.invalidate_keys();
+          ws_v.invalidate_keys();
+        }
+        ctx.mem_seq(eu.size() * 2 * sizeof(std::uint64_t), Cat::Work);
+      }
+    }
+    if (me == 0) run.iterations.store(it + 1, std::memory_order_relaxed);
+  });
+
+  if (run.overran.load())
+    throw std::runtime_error("cc_coalesced: exceeded iteration bound");
+
+  ParCCResult r;
+  r.labels.assign(run.d.raw_all().begin(), run.d.raw_all().end());
+  for (std::size_t i = 0; i < n; ++i)
+    if (r.labels[i] == i) ++r.num_components;
+  r.iterations = run.iterations.load();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.costs = collect_costs(rt, wall);
+  return r;
+}
+
+ParCCResult sv_coalesced(pgas::Runtime& rt, const graph::EdgeList& el,
+                         const CcOptions& opt) {
+  const auto t0 = std::chrono::steady_clock::now();
+  rt.reset_costs();
+
+  const std::size_t n = el.n;
+  const int max_iters = opt.max_iters > 0
+                            ? opt.max_iters
+                            : 8 * (n < 2 ? 1 : std::bit_width(n)) + 128;
+  CcRun run(rt, n);
+  pgas::GlobalArray<std::uint64_t> st(rt, n);  // star flags
+  const coll::CollectiveOptions& copt = opt.coll;
+  // NOTE: no offload -- SV's star hooking (step 2) can hook root 0 under a
+  // larger root, so D[0] is not constant.
+
+  rt.run([&](pgas::ThreadCtx& ctx) {
+    const int s = ctx.nthreads();
+    const int me = ctx.id();
+    init_labels(ctx, run.d);
+
+    const auto chunk = graph::edge_chunk(el.edges, s, me);
+    std::vector<std::uint64_t> eu(chunk.size()), ev(chunk.size());
+    for (std::size_t k = 0; k < chunk.size(); ++k) {
+      eu[k] = chunk[k].u;
+      ev[k] = chunk[k].v;
+    }
+    ctx.mem_seq(chunk.size() * sizeof(graph::Edge), Cat::Work);
+
+    coll::CollWorkspace<std::uint64_t> ws_u, ws_v, ws_lab, ws_set;
+    std::vector<std::uint64_t> du, dv, ddu, ddv, gi, gv, par, grand, stu,
+        stv;
+
+    const auto my_block = [&] { return run.d.local_span(me); };
+
+    // Recompute star flags from the current D (standard subroutine):
+    //   st[i] = 1;  if D[i] != D[D[i]] { st[i] = 0; st[D[D[i]]] = 0; }
+    //   st[i] = st[D[i]].
+    const auto compute_stars = [&](bool& any_nonstar) {
+      auto stb = st.local_span(me);
+      auto blk = my_block();
+      par.assign(blk.begin(), blk.end());
+      grand.resize(par.size());
+      ws_lab.invalidate_keys();
+      coll::getd(ctx, run.d, par, std::span<std::uint64_t>(grand), copt,
+                 run.cc, ws_lab);
+      for (std::size_t k = 0; k < stb.size(); ++k) stb[k] = 1;
+      ctx.barrier();  // everyone's st initialized before remote zeroing
+      gi.clear();
+      gv.clear();
+      any_nonstar = false;
+      for (std::size_t k = 0; k < par.size(); ++k) {
+        if (grand[k] != par[k]) {
+          any_nonstar = true;
+          stb[k] = 0;
+          gi.push_back(grand[k]);  // st[D[D[i]]] = 0
+          gv.push_back(0);
+        }
+      }
+      ctx.mem_seq(par.size() * sizeof(std::uint64_t) * 2, Cat::Copy);
+      ws_set.invalidate_keys();
+      coll::setd(ctx, st, gi, std::span<const std::uint64_t>(gv), copt,
+                 run.cc, ws_set);
+      // st[i] = st[D[i]]
+      std::vector<std::uint64_t>& stpar = grand;  // reuse buffer
+      ws_lab.invalidate_keys();
+      coll::getd(ctx, st, par, std::span<std::uint64_t>(stpar), copt, run.cc,
+                 ws_lab);
+      for (std::size_t k = 0; k < stb.size(); ++k) stb[k] = stpar[k];
+      ctx.mem_seq(par.size() * sizeof(std::uint64_t), Cat::Copy);
+    };
+
+    int it = 0;
+    for (;; ++it) {
+      if (it >= max_iters) {
+        run.overran.store(true, std::memory_order_relaxed);
+        break;
+      }
+      bool changed = false;
+
+      // --- step 1: conditional graft onto roots.
+      du.resize(eu.size());
+      dv.resize(ev.size());
+      coll::getd(ctx, run.d, eu, std::span<std::uint64_t>(du), copt, run.cc,
+                 ws_u);
+      coll::getd(ctx, run.d, ev, std::span<std::uint64_t>(dv), copt, run.cc,
+                 ws_v);
+      ddu.resize(du.size());
+      ddv.resize(dv.size());
+      ws_lab.invalidate_keys();
+      coll::getd(ctx, run.d, du, std::span<std::uint64_t>(ddu), copt, run.cc,
+                 ws_lab);
+      ws_lab.invalidate_keys();
+      coll::getd(ctx, run.d, dv, std::span<std::uint64_t>(ddv), copt, run.cc,
+                 ws_lab);
+
+      gi.clear();
+      gv.clear();
+      for (std::size_t k = 0; k < eu.size(); ++k) {
+        if (dv[k] == ddv[k] && du[k] < dv[k]) {
+          gi.push_back(dv[k]);
+          gv.push_back(du[k]);
+        } else if (du[k] == ddu[k] && dv[k] < du[k]) {
+          gi.push_back(du[k]);
+          gv.push_back(dv[k]);
+        }
+      }
+      ctx.compute(eu.size() * 6, Cat::Work);
+      changed = changed || !gi.empty();
+      ws_set.invalidate_keys();
+      coll::setd_min(ctx, run.d, gi, std::span<const std::uint64_t>(gv),
+                     copt, run.cc, ws_set);
+
+      // --- step 2: hook stagnant stars onto any neighbouring component.
+      bool any_nonstar = false;
+      compute_stars(any_nonstar);
+      stu.resize(eu.size());
+      stv.resize(ev.size());
+      coll::getd(ctx, st, eu, std::span<std::uint64_t>(stu), copt, run.cc,
+                 ws_u);
+      coll::getd(ctx, st, ev, std::span<std::uint64_t>(stv), copt, run.cc,
+                 ws_v);
+      // Fresh labels after step 1's grafts, plus a fresh root check on the
+      // hook targets.
+      coll::getd(ctx, run.d, eu, std::span<std::uint64_t>(du), copt, run.cc,
+                 ws_u);
+      coll::getd(ctx, run.d, ev, std::span<std::uint64_t>(dv), copt, run.cc,
+                 ws_v);
+      ws_lab.invalidate_keys();
+      coll::getd(ctx, run.d, du, std::span<std::uint64_t>(ddu), copt, run.cc,
+                 ws_lab);
+      ws_lab.invalidate_keys();
+      coll::getd(ctx, run.d, dv, std::span<std::uint64_t>(ddv), copt, run.cc,
+                 ws_lab);
+      gi.clear();
+      gv.clear();
+      for (std::size_t k = 0; k < eu.size(); ++k) {
+        if (du[k] == dv[k]) continue;
+        // Hook a star onto a *smaller* neighbouring label only, and only
+        // through a verified root.  Two deviations from the textbook step:
+        //  - monotone targets: SV's "hook onto any neighbour" is safe only
+        //    with its full stagnancy-counter discipline; unconditional
+        //    hooking can close 3-cycles that pointer jumping then rotates
+        //    forever.  Monotone hooks keep the pointer graph acyclic.
+        //  - fresh root check (du == D[du]): the one-round star detection
+        //    leaves stale flags on members of depth >= 3 chains, and
+        //    hooking through a non-root label would split its subtree off
+        //    the component.
+        if (stu[k] && dv[k] < du[k] && ddu[k] == du[k]) {
+          gi.push_back(du[k]);
+          gv.push_back(dv[k]);
+        }
+        if (stv[k] && du[k] < dv[k] && ddv[k] == dv[k]) {
+          gi.push_back(dv[k]);
+          gv.push_back(du[k]);
+        }
+      }
+      ctx.compute(eu.size() * 4, Cat::Work);
+      changed = changed || !gi.empty();
+      ws_set.invalidate_keys();
+      coll::setd_min(ctx, run.d, gi, std::span<const std::uint64_t>(gv),
+                     copt, run.cc, ws_set);
+
+      // --- step 3: a single pointer jump.
+      const bool jumped =
+          jump_round(ctx, run.d, copt, run.cc, ws_lab, par, grand);
+      changed = changed || jumped;
+
+      // --- compact.
+      if (opt.compact) {
+        std::size_t kept = 0;
+        for (std::size_t k = 0; k < eu.size(); ++k) {
+          if (du[k] == dv[k]) continue;
+          eu[kept] = eu[k];
+          ev[kept] = ev[k];
+          ++kept;
+        }
+        eu.resize(kept);
+        ev.resize(kept);
+        ws_u.invalidate_keys();
+        ws_v.invalidate_keys();
+        ctx.mem_seq(eu.size() * 2 * sizeof(std::uint64_t), Cat::Work);
+      }
+
+      if (!pgas::allreduce_or(ctx, changed)) break;
+    }
+    if (me == 0) run.iterations.store(it + 1, std::memory_order_relaxed);
+  });
+
+  if (run.overran.load())
+    throw std::runtime_error("sv_coalesced: exceeded iteration bound");
+
+  ParCCResult r;
+  r.labels.assign(run.d.raw_all().begin(), run.d.raw_all().end());
+  for (std::size_t i = 0; i < n; ++i)
+    if (r.labels[i] == i) ++r.num_components;
+  r.iterations = run.iterations.load();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  r.costs = collect_costs(rt, wall);
+  return r;
+}
+
+}  // namespace pgraph::core

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "core/par_common.hpp"
+#include "graph/edge_list.hpp"
+#include "pgas/runtime.hpp"
+
+namespace pgraph::core {
+
+/// Fine-grained (per-element) implementation of the Bader-Cong CC
+/// algorithm: graft each edge's larger label under the smaller, then
+/// asynchronously shortcut every vertex to its root; repeat until no graft
+/// happens.
+///
+/// This single function implements *both* CC-SMP and CC-UPC-naive of the
+/// paper, exactly as Figure 1 shows them to be "almost identical except for
+/// the names of a few language constructs": run it on a single-node
+/// topology and every access is a local memory access (CC-SMP); run it on
+/// a cluster topology and the irregular accesses become fine-grained remote
+/// messages (the naive CC-UPC whose performance Figure 2 shows to be ~3
+/// orders of magnitude worse per processor).
+///
+/// `max_iters` == 0 picks a generous bound from the graph size; exceeding
+/// it throws (the algorithm is expected to converge in O(log n) rounds).
+ParCCResult cc_fine_grained(pgas::Runtime& rt, const graph::EdgeList& el,
+                            int max_iters = 0);
+
+/// Convenience wrappers with the paper's names.
+inline ParCCResult cc_smp(pgas::Runtime& rt, const graph::EdgeList& el) {
+  return cc_fine_grained(rt, el);
+}
+inline ParCCResult cc_naive_upc(pgas::Runtime& rt,
+                                const graph::EdgeList& el) {
+  return cc_fine_grained(rt, el);
+}
+
+}  // namespace pgraph::core

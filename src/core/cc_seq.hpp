@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+#include "machine/memory_model.hpp"
+
+namespace pgraph::core {
+
+/// Result of a sequential connected-components run.
+struct SeqCCResult {
+  std::vector<std::uint64_t> labels;  ///< labels[v] = component id of v
+  std::uint64_t num_components = 0;
+  double modeled_ns = 0.0;  ///< 0 unless a memory model was supplied
+};
+
+/// Union-find CC — the correctness ground truth for every other variant.
+SeqCCResult cc_dsu(const graph::EdgeList& el,
+                   const machine::MemoryModel* mem = nullptr);
+
+/// BFS-based CC over a CSR — "the execution time of BFS on a single
+/// thread", the sequential baseline line of Figures 7/8.
+SeqCCResult cc_bfs(const graph::EdgeList& el,
+                   const machine::MemoryModel* mem = nullptr);
+
+/// True iff two labelings induce the same partition of [0, n).
+bool same_partition(const std::vector<std::uint64_t>& a,
+                    const std::vector<std::uint64_t>& b);
+
+/// Number of distinct labels.
+std::uint64_t count_components(const std::vector<std::uint64_t>& labels);
+
+}  // namespace pgraph::core

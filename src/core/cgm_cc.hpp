@@ -1,0 +1,24 @@
+#pragma once
+
+#include "core/par_common.hpp"
+#include "graph/edge_list.hpp"
+#include "pgas/runtime.hpp"
+
+namespace pgraph::core {
+
+/// The "communication-efficient" baseline the paper argues against
+/// (Sections I/II/VII): a CGM-style connected-components algorithm that
+/// minimizes communication *rounds* instead of coordinating all processors
+/// over the same input.
+///
+/// Each thread reduces its edge chunk to a local spanning forest, the
+/// forests are merged pairwise up a binomial tree (O(log p) communication
+/// rounds, one long message per round, as CGM requires), the root finishes
+/// the contracted instance *sequentially*, and the labels are broadcast.
+///
+/// The shape the paper predicts — and this reproduces — is that the gain
+/// from O(log p) rounds is offset by the sequential step's poor cache
+/// behaviour on the large contracted input while p-1 processors idle.
+ParCCResult cgm_cc(pgas::Runtime& rt, const graph::EdgeList& el);
+
+}  // namespace pgraph::core

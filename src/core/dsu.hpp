@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace pgraph::core {
+
+/// Union-find with union by rank and path halving.  The sequential
+/// ground-truth for connected components and the engine of Kruskal's MST.
+/// Tracks the number of find steps so callers can charge a memory model.
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n) : parent_(n), rank_(n, 0) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+      steps_ += 2;
+    }
+    ++steps_;
+    return x;
+  }
+
+  /// Returns true if x and y were in different sets (i.e. a union happened).
+  bool unite(std::size_t x, std::size_t y) {
+    std::size_t rx = find(x), ry = find(y);
+    if (rx == ry) return false;
+    if (rank_[rx] < rank_[ry]) std::swap(rx, ry);
+    parent_[ry] = rx;
+    if (rank_[rx] == rank_[ry]) ++rank_[rx];
+    ++steps_;
+    return true;
+  }
+
+  std::size_t size() const { return parent_.size(); }
+
+  /// Total parent-array accesses so far (for analytic cost charging).
+  std::uint64_t steps() const { return steps_; }
+
+  /// Fully-compressed labels: label[i] = root of i.
+  std::vector<std::uint64_t> labels() {
+    std::vector<std::uint64_t> out(parent_.size());
+    for (std::size_t i = 0; i < parent_.size(); ++i)
+      out[i] = static_cast<std::uint64_t>(find(i));
+    return out;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::uint8_t> rank_;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace pgraph::core

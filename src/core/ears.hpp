@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "collectives/options.hpp"
+#include "core/par_common.hpp"
+#include "graph/edge_list.hpp"
+#include "pgas/runtime.hpp"
+
+namespace pgraph::core {
+
+/// Ear decomposition — the second member of the CGM algorithm suite the
+/// paper's Section II surveys ("connected components, ear decomposition,
+/// and biconnected components"), in the Maon-Schieber-Vishkin parallel
+/// formulation, composed from this library's distributed substrate:
+///
+///   1. spanning_tree_pgas                 (Boruvka + SetDMin)
+///   2. Euler tour metrics                 (two coalesced Wyllie rankings)
+///   3. per-nontree-edge labels (LCA depth, id); per-tree-edge ear =
+///      minimum label over the covering nontree edges, found with the same
+///      subtree range-min used by biconnectivity       (local linear pass)
+///
+/// Each nontree edge opens the ear named by its own label; a tree edge
+/// belongs to the ear of the smallest-labeled nontree edge covering it.
+/// Tree edges covered by no nontree edge are bridges.  Within every
+/// 2-edge-connected subgraph the ears, taken in increasing label order,
+/// form an open ear decomposition: the first ear is a cycle, every later
+/// ear is a path (or cycle) whose endpoints lie on earlier ears.
+
+inline constexpr std::uint64_t kBridge = ~0ull;
+
+struct EarResult {
+  /// Per input edge: its ear id (dense, ordered consistently with the
+  /// decomposition order), or kBridge for bridge tree edges.
+  std::vector<std::uint64_t> ear;
+  std::uint64_t num_ears = 0;
+  std::uint64_t num_bridges = 0;
+  RunCosts costs;
+};
+
+EarResult ear_decomposition_pgas(
+    pgas::Runtime& rt, const graph::EdgeList& el,
+    const coll::CollectiveOptions& opt = coll::CollectiveOptions::optimized());
+
+}  // namespace pgraph::core

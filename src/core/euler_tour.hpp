@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "collectives/options.hpp"
+#include "core/par_common.hpp"
+#include "graph/edge_list.hpp"
+#include "pgas/runtime.hpp"
+
+namespace pgraph::core {
+
+/// The Euler-tour technique — the PRAM toolbox's standard way to turn tree
+/// computations into list computations, and the canonical *consumer* of
+/// list ranking (the building block the paper's Section II discusses).
+/// Composed here entirely from this library's own substrate:
+///
+///   spanning_tree_pgas -> build_euler_tour -> list_ranking_weighted_pgas
+///
+/// yields rooted-tree metrics (depth, subtree size, traversal order) with
+/// O(log n) coalesced collective rounds.
+
+/// The tour of a tree with n vertices has 2(n-1) arcs; arc 2e is the
+/// "down" direction of tree edge e (parent-to-child once rooted), arc
+/// 2e+1 the reverse.  succ[] chains the arcs into a single cycle broken
+/// at the root (the last arc is its own successor).
+struct EulerTour {
+  std::size_t n = 0;
+  std::uint64_t root = 0;
+  std::vector<std::uint64_t> succ;      ///< size 2(n-1), arc -> next arc
+  std::vector<std::uint64_t> arc_from;  ///< tail vertex of each arc
+  std::vector<std::uint64_t> arc_to;    ///< head vertex of each arc
+  std::vector<std::uint64_t> first_arc; ///< per vertex: first outgoing arc
+                                        ///< in the tour (root: tour start)
+  std::vector<std::uint64_t> arc_comp_root;  ///< per arc: the canonical
+                                             ///< root vertex of its
+                                             ///< component's list
+  std::vector<std::uint64_t> comp_roots;     ///< every list's root (the
+                                             ///< chosen root, other
+                                             ///< components' minimum
+                                             ///< vertex, isolated vertices)
+
+  std::size_t arcs() const { return succ.size(); }
+};
+
+/// Build the tour from a tree/forest edge list.  Every component becomes
+/// one self-terminated arc list: `root`'s component is rooted at `root`,
+/// every other component at its minimum vertex (isolated vertices are
+/// degenerate roots).  Throws if the edges contain a cycle.
+EulerTour build_euler_tour(const graph::EdgeList& tree,
+                           std::uint64_t root);
+
+/// Rooted-forest metrics computed from the tour with the coalesced
+/// weighted list ranking.  Every component is covered, rooted at its
+/// comp_roots entry; `preorder` is component-local (each component's root
+/// has preorder 0), so subtree(v) occupies the contiguous interval
+/// [preorder(v), preorder(v) + subtree_size(v)) within its component —
+/// the property the Tarjan-Vishkin biconnectivity algorithm builds on.
+struct TreeMetrics {
+  std::vector<std::uint64_t> depth;         ///< hops from the component root
+  std::vector<std::uint64_t> subtree_size;  ///< vertices in the subtree
+  std::vector<std::uint64_t> parent;        ///< parent[v]; roots: themselves
+  std::vector<std::uint64_t> preorder;      ///< component-local preorder
+  int ranking_rounds = 0;
+  RunCosts costs;
+};
+
+TreeMetrics euler_tour_metrics(
+    pgas::Runtime& rt, const EulerTour& tour,
+    const coll::CollectiveOptions& opt = coll::CollectiveOptions::optimized());
+
+/// Sequential ground truth (DFS over every component, rooted the same way
+/// as build_euler_tour: `root`'s component at root, the rest at their
+/// minimum vertex).  `preorder` is left as the DFS's own visit order — a
+/// valid preorder but not necessarily the tour's (tests compare its
+/// interval properties, not raw values).
+TreeMetrics tree_metrics_sequential(const graph::EdgeList& tree,
+                                    std::uint64_t root);
+
+}  // namespace pgraph::core

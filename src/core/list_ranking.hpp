@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "collectives/options.hpp"
+#include "core/par_common.hpp"
+#include "pgas/runtime.hpp"
+
+namespace pgraph::core {
+
+/// List ranking is the paper's running example of the
+/// "communication-efficient" school it argues against (Sections I/II): the
+/// Dehne et al. CGM algorithm reduces the distributed list until it fits
+/// on one node, ranks it sequentially there, and broadcasts — O(log p)
+/// communication rounds, but "all but one processor remain idle during the
+/// sequential processing step" and the big sequential instance has poor
+/// cache behaviour.
+///
+/// A list of n elements is given as a successor array: succ[i] is the next
+/// element, succ[i] == i marks the tail.  rank[i] = #hops from i to the
+/// tail (tail has rank 0).  Multiple disjoint lists are allowed.
+
+/// Deterministic scrambled list of length n: a random permutation chained
+/// into one list whose successors have no locality (the adversarial layout
+/// for both approaches).  Returns the successor array; `head` (if non-null)
+/// receives the head element.
+std::vector<std::uint64_t> make_random_list(std::size_t n,
+                                            std::uint64_t seed,
+                                            std::uint64_t* head = nullptr);
+
+/// Sequential ranking (pointer chase) — ground truth, and the routine the
+/// CGM variant runs on its contracted instance.
+std::vector<std::uint64_t> rank_sequential(
+    const std::vector<std::uint64_t>& succ,
+    const machine::MemoryModel* mem = nullptr, double* modeled_ns = nullptr);
+
+struct ListRankResult {
+  std::vector<std::uint64_t> ranks;
+  int rounds = 0;
+  RunCosts costs;
+};
+
+/// PRAM Wyllie pointer jumping mapped onto the cluster with the GetD/SetD
+/// collectives: O(log n) coalesced collective rounds, every processor busy
+/// — the "coordinate multiple processors on the same input" approach the
+/// paper advocates.
+ListRankResult list_ranking_pgas(
+    pgas::Runtime& rt, const std::vector<std::uint64_t>& succ,
+    const coll::CollectiveOptions& opt = coll::CollectiveOptions::optimized());
+
+/// Weighted generalization (the form the Euler-tour technique needs):
+/// ranks[i] = sum of weights over the sublist starting at succ[i] and
+/// running to the tail — i.e. the *exclusive* suffix sum along the list.
+/// With unit weights this is exactly list_ranking_pgas.  Weights are
+/// unsigned and summed modulo 2^64 (callers encode signed values in
+/// two's complement, which prefix/suffix arithmetic preserves).
+ListRankResult list_ranking_weighted_pgas(
+    pgas::Runtime& rt, const std::vector<std::uint64_t>& succ,
+    const std::vector<std::uint64_t>& weights,
+    const coll::CollectiveOptions& opt = coll::CollectiveOptions::optimized());
+
+/// The contract-to-one-node baseline: every thread ships its block of the
+/// list to thread 0 in one long message (O(1) communication rounds, as CGM
+/// prescribes), thread 0 ranks the whole instance sequentially while the
+/// other s-1 threads idle, and the ranks are scattered back.  This is the
+/// degenerate (full-contraction) endpoint of the Dehne et al. scheme and
+/// exactly the trade-off Section I describes.
+ListRankResult list_ranking_contract(pgas::Runtime& rt,
+                                     const std::vector<std::uint64_t>& succ);
+
+}  // namespace pgraph::core

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "collectives/options.hpp"
+#include "core/par_common.hpp"
+#include "graph/edge_list.hpp"
+#include "pgas/runtime.hpp"
+
+namespace pgraph::core {
+
+/// Options for the collective-based parallel Boruvka MST.
+struct MstOptions {
+  coll::CollectiveOptions coll = coll::CollectiveOptions::optimized();
+  bool compact = true;
+  int max_iters = 0;
+
+  static MstOptions base() {
+    MstOptions o;
+    o.coll = coll::CollectiveOptions::base();
+    o.compact = false;
+    return o;
+  }
+  static MstOptions optimized(int tprime = 0) {
+    MstOptions o;
+    o.coll = coll::CollectiveOptions::optimized(tprime);
+    o.compact = true;
+    return o;
+  }
+};
+
+/// Parallel Boruvka rewritten with GetD / SetDMin (Section IV): the
+/// SetDMin priority-write collective replaces MST-SMP's fine-grained locks
+/// for the minimum-weight-edge reduction per supervertex.  Requires
+/// weights < 2^32 and edge count < 2^32 (packed (w, id) records).
+ParMstResult mst_pgas(pgas::Runtime& rt, const graph::WEdgeList& el,
+                      const MstOptions& opt = {});
+
+/// Spanning forest of an unweighted graph ("the closely-related spanning
+/// tree problem", Section II): Boruvka with unit weights, so the per-
+/// supervertex SetDMin reduction picks the smallest-id incident edge and
+/// the result is a deterministic spanning forest (edge ids into `el`).
+ParMstResult spanning_tree_pgas(pgas::Runtime& rt, const graph::EdgeList& el,
+                                const MstOptions& opt = {});
+
+}  // namespace pgraph::core

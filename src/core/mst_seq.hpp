@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "machine/memory_model.hpp"
+
+namespace pgraph::core {
+
+/// Result of an MST (minimum spanning forest) computation.  For
+/// disconnected graphs this is the minimum spanning forest: one tree per
+/// component.
+struct MstResult {
+  std::vector<graph::EdgeId> edges;  ///< indices into the input edge list
+  std::uint64_t total_weight = 0;
+  double modeled_ns = 0.0;
+};
+
+/// Kruskal with a cache-friendly merge sort — the paper's best sequential
+/// algorithm ("Kruskal's algorithm beats both the Prim's and Boruvka's
+/// algorithms. We use the cache-friendly merge sort", Section VI).
+MstResult mst_kruskal(const graph::WEdgeList& el,
+                      const machine::MemoryModel* mem = nullptr);
+
+/// Prim with a binary heap over CSR (sequential comparator).
+MstResult mst_prim(const graph::WEdgeList& el,
+                   const machine::MemoryModel* mem = nullptr);
+
+/// Sequential Boruvka (sequential comparator).
+MstResult mst_boruvka(const graph::WEdgeList& el,
+                      const machine::MemoryModel* mem = nullptr);
+
+/// Validate that `r` is a minimum spanning forest of `el`:
+///  - edge ids are valid and distinct,
+///  - the selected edges are acyclic,
+///  - they connect exactly the connected components of `el`,
+///  - total weight equals the (unique) minimum forest weight `expect_w`.
+bool is_spanning_forest(const graph::WEdgeList& el, const MstResult& r);
+
+}  // namespace pgraph::core

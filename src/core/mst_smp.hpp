@@ -1,0 +1,21 @@
+#pragma once
+
+#include "core/par_common.hpp"
+#include "graph/edge_list.hpp"
+#include "pgas/runtime.hpp"
+
+namespace pgraph::core {
+
+/// MST-SMP: the Bader-Cong shared-memory parallel Boruvka, with
+/// fine-grained locks guarding the per-supervertex minimum-edge records
+/// ("fine-grained locks are used to guard against race conditions among
+/// these processors when they attempt to update the minimum-weight edge").
+///
+/// Run it on a single-node topology for the paper's SMP baseline; the lock
+/// overhead is charged per acquisition, which is what makes MST-SMP barely
+/// faster than sequential Kruskal on inputs with 100M vertices (Section
+/// VI).  Requires weights and edge ids < 2^32.
+ParMstResult mst_smp(pgas::Runtime& rt, const graph::WEdgeList& el,
+                     int max_iters = 0);
+
+}  // namespace pgraph::core

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "collectives/getd.hpp"
+#include "machine/phase_stats.hpp"
+#include "pgas/coll.hpp"
+#include "pgas/global_array.hpp"
+
+namespace pgraph::core {
+
+/// Initialize D[i] = i over the caller's block, then barrier.
+inline void init_labels(pgas::ThreadCtx& ctx,
+                        pgas::GlobalArray<std::uint64_t>& d) {
+  auto blk = d.local_span(ctx.id());
+  const std::uint64_t base = d.block_begin(ctx.id());
+  for (std::size_t k = 0; k < blk.size(); ++k) blk[k] = base + k;
+  ctx.mem_seq(blk.size() * sizeof(std::uint64_t), machine::Cat::Work);
+  ctx.barrier();
+}
+
+/// One lock-step pointer-jumping round over the caller's block:
+/// D[i] <- D[D[i]] via GetD ("the algorithm applies pointer-jumping to all
+/// vertices in lock step", Section IV).  Returns whether any label changed
+/// locally.
+///
+/// `known` enables the offload optimization and must only be passed when
+/// the algorithm guarantees the element stays constant: true for CC (labels
+/// hook larger-under-smaller, so D[0] == 0 forever), FALSE for Boruvka
+/// (the minimum edge can hook root 0 under another root).
+inline bool jump_round(pgas::ThreadCtx& ctx,
+                       pgas::GlobalArray<std::uint64_t>& d,
+                       const coll::CollectiveOptions& copt,
+                       coll::CollectiveContext& cc,
+                       coll::CollWorkspace<std::uint64_t>& ws,
+                       std::vector<std::uint64_t>& par,
+                       std::vector<std::uint64_t>& grand,
+                       std::optional<coll::KnownElement> known = std::nullopt) {
+  auto blk = d.local_span(ctx.id());
+  par.assign(blk.begin(), blk.end());
+  ctx.mem_seq(par.size() * sizeof(std::uint64_t), machine::Cat::Copy);
+  grand.resize(par.size());
+  ws.invalidate_keys();  // parents change every round
+  coll::getd(ctx, d, par, std::span<std::uint64_t>(grand), copt, cc, ws,
+             known);
+  bool changed = false;
+  for (std::size_t k = 0; k < par.size(); ++k) {
+    if (grand[k] != par[k]) {
+      blk[k] = grand[k];
+      changed = true;
+    }
+  }
+  ctx.mem_seq(par.size() * sizeof(std::uint64_t), machine::Cat::Copy);
+  ctx.compute(par.size(), machine::Cat::Work);
+  return changed;
+}
+
+/// Lock-step pointer jumping "until all trees become rooted stars".
+inline void jump_to_stars(pgas::ThreadCtx& ctx,
+                          pgas::GlobalArray<std::uint64_t>& d,
+                          const coll::CollectiveOptions& copt,
+                          coll::CollectiveContext& cc,
+                          coll::CollWorkspace<std::uint64_t>& ws,
+                          std::vector<std::uint64_t>& par,
+                          std::vector<std::uint64_t>& grand,
+                          std::optional<coll::KnownElement> known =
+                              std::nullopt) {
+  for (;;) {
+    const bool changed = jump_round(ctx, d, copt, cc, ws, par, grand, known);
+    if (!pgas::allreduce_or(ctx, changed)) break;
+  }
+}
+
+}  // namespace pgraph::core

@@ -1,0 +1,42 @@
+#include "graph/csr.hpp"
+
+namespace pgraph::graph {
+
+namespace {
+
+template <class E>
+void build(std::size_t n, const std::vector<E>& edges,
+           std::vector<std::size_t>& offsets, std::vector<VertexId>& targets,
+           std::vector<Weight>* weights) {
+  offsets.assign(n + 1, 0);
+  for (const E& e : edges) {
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+  targets.resize(offsets[n]);
+  if (weights) weights->resize(offsets[n]);
+  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const E& e : edges) {
+    targets[cursor[e.u]] = e.v;
+    targets[cursor[e.v]] = e.u;
+    if (weights) {
+      if constexpr (requires { e.w; }) {
+        (*weights)[cursor[e.u]] = e.w;
+        (*weights)[cursor[e.v]] = e.w;
+      }
+    }
+    ++cursor[e.u];
+    ++cursor[e.v];
+  }
+}
+
+}  // namespace
+
+Csr::Csr(const EdgeList& el) { build(el.n, el.edges, offsets_, targets_, nullptr); }
+
+Csr::Csr(const WEdgeList& el) {
+  build(el.n, el.edges, offsets_, targets_, &weights_);
+}
+
+}  // namespace pgraph::graph

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace pgraph::graph {
+
+/// Compressed-sparse-row adjacency built from an undirected edge list
+/// (each edge appears in both endpoints' rows).  Used by the sequential
+/// baselines (BFS connected components, Prim's MST).
+class Csr {
+ public:
+  explicit Csr(const EdgeList& el);
+  Csr(const WEdgeList& el);
+
+  std::size_t n() const { return offsets_.size() - 1; }
+  std::size_t directed_edges() const { return targets_.size(); }
+
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return std::span<const VertexId>(targets_.data() + offsets_[v],
+                                     offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Weights parallel to neighbors(); empty if built unweighted.
+  std::span<const Weight> weights(VertexId v) const {
+    if (weights_.empty()) return {};
+    return std::span<const Weight>(weights_.data() + offsets_[v],
+                                   offsets_[v + 1] - offsets_[v]);
+  }
+
+  std::size_t degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;
+  std::vector<VertexId> targets_;
+  std::vector<Weight> weights_;
+};
+
+}  // namespace pgraph::graph

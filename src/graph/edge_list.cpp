@@ -1,0 +1,5 @@
+#include "graph/edge_list.hpp"
+
+// with_random_weights lives in generators.cpp (it shares the RNG helpers);
+// this TU exists so the graph library always has at least one object file
+// even if generators are split out later.

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace pgraph::graph {
+
+/// Edge-list graph representation — the input format of CC and MST in the
+/// paper ("CC takes an edge list as input").
+struct EdgeList {
+  std::size_t n = 0;           ///< number of vertices (ids in [0, n))
+  std::vector<Edge> edges;
+
+  std::size_t m() const { return edges.size(); }
+};
+
+/// Weighted edge list (MST input).
+struct WEdgeList {
+  std::size_t n = 0;
+  std::vector<WEdge> edges;
+
+  std::size_t m() const { return edges.size(); }
+
+  /// Drop weights.
+  EdgeList unweighted() const {
+    EdgeList el;
+    el.n = n;
+    el.edges.reserve(edges.size());
+    for (const WEdge& e : edges) el.edges.push_back({e.u, e.v});
+    return el;
+  }
+};
+
+/// Attach deterministic pseudo-random weights in [0, max_w) to an edge list
+/// ("edge weights randomly chosen between 0 and the maximum integer
+/// number", Section VI).  Weight depends only on (seed, edge index) so the
+/// weighted graph is identical for any thread count.
+WEdgeList with_random_weights(const EdgeList& el, std::uint64_t seed,
+                              Weight max_w = (1ULL << 31));
+
+/// Evenly split the half-open range [0, m) into `parts` chunks; returns the
+/// chunk of `part` ("we partition work by dividing the edges evenly instead
+/// of the vertices", Section V).
+inline std::pair<std::size_t, std::size_t> even_chunk(std::size_t m,
+                                                      int parts, int part) {
+  const std::size_t lo =
+      m * static_cast<std::size_t>(part) / static_cast<std::size_t>(parts);
+  const std::size_t hi = m * (static_cast<std::size_t>(part) + 1) /
+                         static_cast<std::size_t>(parts);
+  return {lo, hi};
+}
+
+template <class E>
+std::span<const E> edge_chunk(const std::vector<E>& edges, int parts,
+                              int part) {
+  auto [lo, hi] = even_chunk(edges.size(), parts, part);
+  return std::span<const E>(edges.data() + lo, hi - lo);
+}
+
+}  // namespace pgraph::graph

@@ -1,0 +1,229 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graph/rng.hpp"
+
+namespace pgraph::graph {
+
+namespace {
+
+/// Pack an unordered vertex pair into a set key.  Requires ids < 2^32.
+std::uint64_t pair_key(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (u << 32) | v;
+}
+
+}  // namespace
+
+WEdgeList with_random_weights(const EdgeList& el, std::uint64_t seed,
+                              Weight max_w) {
+  WEdgeList wl;
+  wl.n = el.n;
+  wl.edges.reserve(el.edges.size());
+  for (std::size_t i = 0; i < el.edges.size(); ++i) {
+    std::uint64_t st = seed ^ (0x51ed270b2f6c92b5ULL * (i + 1));
+    const Weight w = splitmix64(st) % max_w;
+    wl.edges.push_back({el.edges[i].u, el.edges[i].v, w});
+  }
+  return wl;
+}
+
+EdgeList random_graph(std::size_t n, std::size_t m, std::uint64_t seed) {
+  if (n < 2) throw std::invalid_argument("random_graph: need n >= 2");
+  if (n > (1ULL << 32)) throw std::invalid_argument("random_graph: n too large");
+  const double max_edges = 0.5 * static_cast<double>(n) *
+                           static_cast<double>(n - 1);
+  if (static_cast<double>(m) > max_edges)
+    throw std::invalid_argument("random_graph: m exceeds simple-graph bound");
+
+  EdgeList el;
+  el.n = n;
+  el.edges.reserve(m);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+  Xoshiro256 rng(seed);
+  while (el.edges.size() < m) {
+    const VertexId u = rng.next_below(n);
+    const VertexId v = rng.next_below(n);
+    if (u == v) continue;
+    if (!seen.insert(pair_key(u, v)).second) continue;
+    el.edges.push_back({u, v});
+  }
+  return el;
+}
+
+EdgeList rmat_graph(std::size_t n, std::size_t m, std::uint64_t seed,
+                    const RmatParams& p) {
+  if (n < 2) throw std::invalid_argument("rmat_graph: need n >= 2");
+  std::size_t levels = 0;
+  std::size_t pot = 1;
+  while (pot < n) {
+    pot <<= 1;
+    ++levels;
+  }
+  const double d = 1.0 - p.a - p.b - p.c;
+  if (p.a < 0 || p.b < 0 || p.c < 0 || d < 0)
+    throw std::invalid_argument("rmat_graph: invalid quadrant probabilities");
+
+  EdgeList el;
+  el.n = pot;
+  el.edges.reserve(m);
+  std::unordered_set<std::uint64_t> seen;
+  if (p.dedupe) seen.reserve(m * 2);
+  Xoshiro256 rng(seed);
+  const double ab = p.a + p.b;
+  const double abc = p.a + p.b + p.c;
+  while (el.edges.size() < m) {
+    VertexId u = 0, v = 0;
+    for (std::size_t l = 0; l < levels; ++l) {
+      const double r = rng.next_double();
+      // Quadrants: a = (0,0), b = (0,1), c = (1,0), d = (1,1).
+      if (r < p.a) {
+      } else if (r < ab) {
+        v |= (1ULL << l);
+      } else if (r < abc) {
+        u |= (1ULL << l);
+      } else {
+        u |= (1ULL << l);
+        v |= (1ULL << l);
+      }
+    }
+    if (u == v) continue;
+    if (p.dedupe && !seen.insert(pair_key(u, v)).second) continue;
+    el.edges.push_back({u, v});
+  }
+  return el;
+}
+
+EdgeList hybrid_graph(std::size_t n, std::size_t m, std::uint64_t seed) {
+  if (n < 16) throw std::invalid_argument("hybrid_graph: need n >= 16");
+  Xoshiro256 rng(seed);
+
+  // Pick the 2*sqrt(n) core vertices at random (distinct).
+  std::size_t core = 2 * static_cast<std::size_t>(std::max(
+                             1.0, std::sqrt(static_cast<double>(n))));
+  core = std::min(core, n);
+  std::unordered_set<VertexId> core_set;
+  core_set.reserve(core * 2);
+  std::vector<VertexId> core_vs;
+  core_vs.reserve(core);
+  while (core_vs.size() < core) {
+    const VertexId v = rng.next_below(n);
+    if (core_set.insert(v).second) core_vs.push_back(v);
+  }
+
+  EdgeList el;
+  el.n = n;
+  el.edges.reserve(m);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(m * 2);
+
+  // Scale-free core: preferential attachment (Barabasi-Albert style) using
+  // the repeated-endpoints trick.  With `links` attachments per arriving
+  // vertex the max degree is ~ links * sqrt(core); links is scaled so hubs
+  // reach the Theta(sqrt(n)) degree the paper relies on for its
+  // load-balance discussion.
+  const std::size_t links = std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::sqrt(std::sqrt(
+             static_cast<double>(n)))));
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(core * 2 * links);
+  if (core >= 2) {
+    // Seed with one edge between the first two core vertices.
+    if (seen.insert(pair_key(core_vs[0], core_vs[1])).second) {
+      el.edges.push_back({core_vs[0], core_vs[1]});
+      endpoints.push_back(core_vs[0]);
+      endpoints.push_back(core_vs[1]);
+    }
+    for (std::size_t i = 2; i < core && el.edges.size() < m; ++i) {
+      const VertexId nu = core_vs[i];
+      for (std::size_t link = 0; link < links && el.edges.size() < m;
+           ++link) {
+        const VertexId tgt = endpoints[rng.next_below(endpoints.size())];
+        if (tgt == nu) continue;
+        if (!seen.insert(pair_key(nu, tgt)).second) continue;
+        el.edges.push_back({nu, tgt});
+        endpoints.push_back(nu);
+        endpoints.push_back(tgt);
+      }
+    }
+  }
+
+  // Random fill over all n vertices until m edges.
+  while (el.edges.size() < m) {
+    const VertexId u = rng.next_below(n);
+    const VertexId v = rng.next_below(n);
+    if (u == v) continue;
+    if (!seen.insert(pair_key(u, v)).second) continue;
+    el.edges.push_back({u, v});
+  }
+  return el;
+}
+
+EdgeList path_graph(std::size_t n) {
+  EdgeList el;
+  el.n = n;
+  if (n >= 2) el.edges.reserve(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    el.edges.push_back({i, i + 1});
+  return el;
+}
+
+EdgeList cycle_graph(std::size_t n) {
+  EdgeList el = path_graph(n);
+  if (n >= 3) el.edges.push_back({n - 1, 0});
+  return el;
+}
+
+EdgeList star_graph(std::size_t n) {
+  EdgeList el;
+  el.n = n;
+  if (n >= 2) el.edges.reserve(n - 1);
+  for (std::size_t i = 1; i < n; ++i) el.edges.push_back({0, i});
+  return el;
+}
+
+EdgeList grid_graph(std::size_t rows, std::size_t cols) {
+  EdgeList el;
+  el.n = rows * cols;
+  el.edges.reserve(2 * rows * cols);
+  const auto id = [cols](std::size_t r, std::size_t c) { return r * cols + c; };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) el.edges.push_back({id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) el.edges.push_back({id(r, c), id(r + 1, c)});
+    }
+  }
+  return el;
+}
+
+EdgeList disjoint_cliques(std::size_t k, std::size_t sz) {
+  EdgeList el;
+  el.n = k * sz;
+  el.edges.reserve(k * sz * (sz - 1) / 2);
+  for (std::size_t g = 0; g < k; ++g) {
+    const std::size_t base = g * sz;
+    for (std::size_t i = 0; i < sz; ++i)
+      for (std::size_t j = i + 1; j < sz; ++j)
+        el.edges.push_back({base + i, base + j});
+  }
+  return el;
+}
+
+std::size_t max_degree(const EdgeList& el) {
+  std::vector<std::size_t> deg(el.n, 0);
+  for (const Edge& e : el.edges) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  std::size_t mx = 0;
+  for (std::size_t d : deg) mx = std::max(mx, d);
+  return mx;
+}
+
+}  // namespace pgraph::graph

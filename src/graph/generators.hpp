@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace pgraph::graph {
+
+/// Random graph: "created by randomly adding m unique edges to the vertex
+/// set" (Section III).  No self loops, no duplicate (unordered) edges.
+/// Requires m <= n*(n-1)/2.
+EdgeList random_graph(std::size_t n, std::size_t m, std::uint64_t seed);
+
+/// R-MAT recursive-matrix generator (Chakrabarti, Zhan, Faloutsos).
+/// `n` is rounded up to a power of two.  Self loops are rejected;
+/// duplicates are kept unless `dedupe` (the R-MAT literature keeps them).
+/// The paper notes R-MAT graphs "contain artificial locality" — see
+/// permute.hpp for the random relabeling that removes it.
+struct RmatParams {
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1 - a - b - c
+  bool dedupe = false;
+};
+EdgeList rmat_graph(std::size_t n, std::size_t m, std::uint64_t seed,
+                    const RmatParams& params = {});
+
+/// The paper's hybrid generator (Section III): select 2*sqrt(n) vertices at
+/// random, build a scale-free (preferential-attachment) graph on them, then
+/// add random edges over all n vertices until m edges exist.  The result
+/// has no locality pattern but contains hubs of degree O(sqrt(n)).
+EdgeList hybrid_graph(std::size_t n, std::size_t m, std::uint64_t seed);
+
+/// Deterministic structured graphs for tests and examples.
+EdgeList path_graph(std::size_t n);
+EdgeList cycle_graph(std::size_t n);
+EdgeList star_graph(std::size_t n);
+/// `rows x cols` 4-neighbour grid.
+EdgeList grid_graph(std::size_t rows, std::size_t cols);
+/// Union of `k` disjoint cliques of `sz` vertices each.
+EdgeList disjoint_cliques(std::size_t k, std::size_t sz);
+
+/// Maximum degree of the graph (diagnostic; hybrid graphs should show
+/// Theta(sqrt(n)) hubs).
+std::size_t max_degree(const EdgeList& el);
+
+}  // namespace pgraph::graph

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace pgraph::graph {
+
+/// DIMACS-like text format:
+///   c <comment>
+///   p edge <n> <m>          (or "p sp <n> <m>" for weighted)
+///   e <u> <v> [<w>]         (1-based vertex ids, as in DIMACS)
+/// Throws std::runtime_error on malformed input.
+void write_dimacs(std::ostream& os, const EdgeList& el);
+void write_dimacs(std::ostream& os, const WEdgeList& el);
+EdgeList read_dimacs(std::istream& is);
+WEdgeList read_dimacs_weighted(std::istream& is);
+
+/// Compact binary format (magic + n + m + raw edge records), for caching
+/// large generated graphs between bench runs.
+void write_binary(const std::string& path, const WEdgeList& el);
+WEdgeList read_binary(const std::string& path);
+
+}  // namespace pgraph::graph

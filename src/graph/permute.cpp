@@ -1,0 +1,47 @@
+#include "graph/permute.hpp"
+
+#include <numeric>
+
+#include "graph/rng.hpp"
+
+namespace pgraph::graph {
+
+std::vector<VertexId> random_permutation(std::size_t n, std::uint64_t seed) {
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), VertexId{0});
+  Xoshiro256 rng(seed);
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = rng.next_below(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+EdgeList relabel(const EdgeList& el, const std::vector<VertexId>& perm) {
+  EdgeList out;
+  out.n = el.n;
+  out.edges.reserve(el.edges.size());
+  for (const Edge& e : el.edges)
+    out.edges.push_back({perm[e.u], perm[e.v]});
+  return out;
+}
+
+WEdgeList relabel(const WEdgeList& el, const std::vector<VertexId>& perm) {
+  WEdgeList out;
+  out.n = el.n;
+  out.edges.reserve(el.edges.size());
+  for (const WEdge& e : el.edges)
+    out.edges.push_back({perm[e.u], perm[e.v], e.w});
+  return out;
+}
+
+bool is_permutation_of_iota(const std::vector<VertexId>& perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (const VertexId v : perm) {
+    if (v >= perm.size() || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+}  // namespace pgraph::graph

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace pgraph::graph {
+
+/// Deterministic random permutation of [0, n) (Fisher-Yates driven by a
+/// seeded xoshiro).  The paper requires that "the permutations generated
+/// with different number of threads be identical"; a sequential seeded
+/// shuffle trivially has this property.
+std::vector<VertexId> random_permutation(std::size_t n, std::uint64_t seed);
+
+/// Relabel vertices of `el` through `perm` (new id of v is perm[v]).
+/// Used to destroy the artificial locality of R-MAT graphs (Section III).
+EdgeList relabel(const EdgeList& el, const std::vector<VertexId>& perm);
+WEdgeList relabel(const WEdgeList& el, const std::vector<VertexId>& perm);
+
+/// Verify `perm` is a permutation of [0, n).
+bool is_permutation_of_iota(const std::vector<VertexId>& perm);
+
+}  // namespace pgraph::graph

@@ -1,0 +1,82 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <unordered_set>
+
+namespace pgraph::graph {
+
+namespace {
+std::vector<std::size_t> degrees(const EdgeList& el) {
+  std::vector<std::size_t> deg(el.n, 0);
+  for (const Edge& e : el.edges) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  return deg;
+}
+}  // namespace
+
+DegreeStats degree_stats(const EdgeList& el) {
+  DegreeStats s;
+  if (el.n == 0) return s;
+  const auto deg = degrees(el);
+  s.min_degree = SIZE_MAX;
+  double sum = 0;
+  for (const std::size_t d : deg) {
+    s.min_degree = std::min(s.min_degree, d);
+    s.max_degree = std::max(s.max_degree, d);
+    sum += static_cast<double>(d);
+    if (d == 0) ++s.isolated;
+  }
+  s.mean_degree = sum / static_cast<double>(el.n);
+  double var = 0;
+  for (const std::size_t d : deg) {
+    const double x = static_cast<double>(d) - s.mean_degree;
+    var += x * x;
+  }
+  s.variance = var / static_cast<double>(el.n);
+
+  const std::size_t buckets =
+      s.max_degree == 0 ? 1 : std::bit_width(s.max_degree);
+  s.log2_histogram.assign(buckets + 1, 0);
+  for (const std::size_t d : deg)
+    ++s.log2_histogram[d == 0 ? 0 : std::bit_width(d) - 1];
+  return s;
+}
+
+double degree_gini(const EdgeList& el) {
+  if (el.n == 0) return 0.0;
+  auto deg = degrees(el);
+  std::sort(deg.begin(), deg.end());
+  // G = (2 * sum_i i*x_i) / (n * sum x) - (n + 1) / n, 1-based i.
+  double sum = 0, weighted = 0;
+  for (std::size_t i = 0; i < deg.size(); ++i) {
+    sum += static_cast<double>(deg[i]);
+    weighted += static_cast<double>(i + 1) * static_cast<double>(deg[i]);
+  }
+  if (sum == 0) return 0.0;
+  const double n = static_cast<double>(el.n);
+  return 2.0 * weighted / (n * sum) - (n + 1.0) / n;
+}
+
+EdgeHygiene edge_hygiene(const EdgeList& el) {
+  EdgeHygiene h;
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(el.m() * 2);
+  for (const Edge& e : el.edges) {
+    if (e.u == e.v) {
+      ++h.self_loops;
+      continue;
+    }
+    const std::uint64_t u = std::min(e.u, e.v), v = std::max(e.u, e.v);
+    if (seen.insert((u << 32) | v).second)
+      ++h.distinct;
+    else
+      ++h.duplicates;
+  }
+  return h;
+}
+
+}  // namespace pgraph::graph

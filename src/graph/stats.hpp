@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace pgraph::graph {
+
+/// Descriptive statistics of a graph — used by the examples and by tests
+/// that check generator families have the shapes the paper relies on
+/// (random: concentrated degrees; hybrid: Theta(sqrt(n)) hubs).
+struct DegreeStats {
+  std::size_t min_degree = 0;
+  std::size_t max_degree = 0;
+  double mean_degree = 0.0;
+  double variance = 0.0;
+  std::size_t isolated = 0;  ///< degree-0 vertices
+
+  /// Histogram over log2 buckets: bucket k counts vertices with degree in
+  /// [2^k, 2^(k+1)); bucket 0 additionally holds degree-1.
+  std::vector<std::size_t> log2_histogram;
+};
+
+DegreeStats degree_stats(const EdgeList& el);
+
+/// Gini coefficient of the degree distribution in [0, 1]: 0 = perfectly
+/// even (regular graph), -> 1 = a few hubs hold all the edges.  Random
+/// graphs sit low; scale-free families sit markedly higher.
+double degree_gini(const EdgeList& el);
+
+/// Count of distinct undirected edges (duplicates and orientation
+/// collapsed) and of self loops — generator hygiene checks.
+struct EdgeHygiene {
+  std::size_t distinct = 0;
+  std::size_t duplicates = 0;
+  std::size_t self_loops = 0;
+};
+EdgeHygiene edge_hygiene(const EdgeList& el);
+
+}  // namespace pgraph::graph

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+
+namespace pgraph::graph {
+
+using VertexId = std::uint64_t;
+using EdgeId = std::uint64_t;
+using Weight = std::uint64_t;
+
+/// Undirected edge; (u, v) and (v, u) denote the same edge.
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Weighted undirected edge.
+struct WEdge {
+  VertexId u = 0;
+  VertexId v = 0;
+  Weight w = 0;
+
+  friend bool operator==(const WEdge&, const WEdge&) = default;
+};
+
+}  // namespace pgraph::graph

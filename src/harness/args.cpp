@@ -1,0 +1,51 @@
+#include "harness/args.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pgraph::harness {
+
+BenchArgs BenchArgs::parse(int argc, char** argv) {
+  BenchArgs a;
+  for (int i = 1; i < argc; ++i) {
+    const auto is = [&](const char* flag) {
+      return std::strcmp(argv[i], flag) == 0;
+    };
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (is("--n"))
+      a.n = std::strtoull(next(), nullptr, 10);
+    else if (is("--m"))
+      a.m = std::strtoull(next(), nullptr, 10);
+    else if (is("--nodes"))
+      a.nodes = std::atoi(next());
+    else if (is("--threads"))
+      a.threads = std::atoi(next());
+    else if (is("--tprime"))
+      a.tprime = std::atoi(next());
+    else if (is("--seed"))
+      a.seed = std::strtoull(next(), nullptr, 10);
+    else if (is("--scale"))
+      a.scale = std::atof(next());
+    else if (is("--csv"))
+      a.csv = true;
+    else if (is("--help") || is("-h")) {
+      std::printf(
+          "flags: --n N --m M --nodes P --threads T --tprime T' "
+          "--seed S --scale F --csv\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag %s (try --help)\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+}  // namespace pgraph::harness

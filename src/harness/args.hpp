@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pgraph::harness {
+
+/// Common CLI flags for bench binaries, so every figure can be re-run at
+/// paper scale on a big machine (`--scale`) while defaulting to sizes that
+/// finish in seconds inside CI.
+///
+///   --n <vertices>    --m <edges>   --nodes <p>   --threads <t>
+///   --tprime <t'>     --seed <s>    --scale <f>   (multiplies n and m)
+///   --csv             (emit CSV instead of aligned tables)
+struct BenchArgs {
+  std::uint64_t n = 0;  ///< 0 = bench default
+  std::uint64_t m = 0;
+  int nodes = 0;
+  int threads = 0;
+  int tprime = 0;
+  std::uint64_t seed = 42;
+  double scale = 1.0;
+  bool csv = false;
+
+  static BenchArgs parse(int argc, char** argv);
+
+  std::uint64_t scaled(std::uint64_t base) const {
+    return static_cast<std::uint64_t>(static_cast<double>(base) * scale);
+  }
+};
+
+}  // namespace pgraph::harness

@@ -1,0 +1,81 @@
+#include "harness/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace pgraph::harness {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::eng(double ns) {
+  char buf[64];
+  if (ns >= 1e9)
+    std::snprintf(buf, sizeof(buf), "%.3f s", ns / 1e9);
+  else if (ns >= 1e6)
+    std::snprintf(buf, sizeof(buf), "%.3f ms", ns / 1e6);
+  else if (ns >= 1e3)
+    std::snprintf(buf, sizeof(buf), "%.3f us", ns / 1e3);
+  else
+    std::snprintf(buf, sizeof(buf), "%.0f ns", ns);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << cell;
+      os << std::string(width[c] - cell.size(), ' ') << " | ";
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << std::string(width[c] + 2, '-') << "|";
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  const auto emit = [&os](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+void banner(std::ostream& os, const std::string& title) {
+  os << '\n' << std::string(title.size() + 4, '=') << '\n'
+     << "= " << title << " =\n"
+     << std::string(title.size() + 4, '=') << '\n';
+}
+
+}  // namespace pgraph::harness

@@ -1,0 +1,73 @@
+#include "machine/cache_sim.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace pgraph::machine {
+
+CacheSim::CacheSim(std::size_t size_bytes, std::size_t line_bytes,
+                   std::size_t assoc)
+    : size_bytes_(size_bytes), line_bytes_(line_bytes), assoc_(assoc) {
+  if (!std::has_single_bit(line_bytes))
+    throw std::invalid_argument("CacheSim: line size must be a power of two");
+  if (assoc == 0 || size_bytes == 0 || size_bytes % (line_bytes * assoc) != 0)
+    throw std::invalid_argument("CacheSim: size must be a multiple of line*assoc");
+  sets_ = size_bytes / (line_bytes * assoc);
+  if (!std::has_single_bit(sets_))
+    throw std::invalid_argument("CacheSim: number of sets must be a power of two");
+  line_shift_ = static_cast<unsigned>(std::countr_zero(line_bytes));
+  lines_.assign(sets_ * assoc_, Line{});
+}
+
+bool CacheSim::access(std::uint64_t addr) {
+  const std::uint64_t block = addr >> line_shift_;
+  const std::size_t set = static_cast<std::size_t>(block & (sets_ - 1));
+  const std::uint64_t tag = block >> std::countr_zero(sets_);
+  Line* base = &lines_[set * assoc_];
+  ++tick_;
+  // Hit path.
+  for (std::size_t w = 0; w < assoc_; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      base[w].age = tick_;
+      ++hits_;
+      return true;
+    }
+  }
+  // Miss: evict LRU (or fill an invalid way).
+  std::size_t victim = 0;
+  std::uint64_t oldest = UINT64_MAX;
+  for (std::size_t w = 0; w < assoc_; ++w) {
+    if (!base[w].valid) {
+      victim = w;
+      break;
+    }
+    if (base[w].age < oldest) {
+      oldest = base[w].age;
+      victim = w;
+    }
+  }
+  base[victim] = Line{tag, tick_, true};
+  ++misses_;
+  return false;
+}
+
+void CacheSim::access_range(std::uint64_t addr, std::size_t bytes) {
+  if (bytes == 0) return;
+  const std::uint64_t first = addr >> line_shift_;
+  const std::uint64_t last = (addr + bytes - 1) >> line_shift_;
+  for (std::uint64_t b = first; b <= last; ++b) access(b << line_shift_);
+}
+
+void CacheSim::reset() {
+  lines_.assign(sets_ * assoc_, Line{});
+  tick_ = 0;
+  reset_counters();
+}
+
+void CacheSim::reset_counters() {
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace pgraph::machine

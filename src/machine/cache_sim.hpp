@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pgraph::machine {
+
+/// Trace-driven set-associative LRU cache simulator.
+///
+/// This is the *validation* substrate for the analytic MemoryModel: the
+/// access-scheduling tests and bench/abl04 replay the exact address traces
+/// produced by Algorithm 1 (grouped accesses) and by the original code
+/// (random accesses) through this simulator and compare the measured miss
+/// counts against the model's expectations (equations 4/5 of the paper).
+///
+/// LRU is maintained per set with an age counter per line; associativity is
+/// small (<= 16) so the linear scans are cheap.
+class CacheSim {
+ public:
+  /// `size_bytes` total capacity, `line_bytes` block size (power of two),
+  /// `assoc` ways per set.
+  CacheSim(std::size_t size_bytes, std::size_t line_bytes, std::size_t assoc);
+
+  /// Simulate an access to byte address `addr`; returns true on hit.
+  bool access(std::uint64_t addr);
+
+  /// Simulate a sequential run of `bytes` starting at `addr` (touches each
+  /// line once).
+  void access_range(std::uint64_t addr, std::size_t bytes);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t accesses() const { return hits_ + misses_; }
+  double miss_rate() const {
+    return accesses() == 0 ? 0.0
+                           : static_cast<double>(misses_) /
+                                 static_cast<double>(accesses());
+  }
+
+  std::size_t size_bytes() const { return size_bytes_; }
+  std::size_t line_bytes() const { return line_bytes_; }
+  std::size_t num_sets() const { return sets_; }
+  std::size_t associativity() const { return assoc_; }
+
+  /// Clear contents and counters.
+  void reset();
+  /// Clear counters only (keep cache contents warm).
+  void reset_counters();
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t age = 0;
+    bool valid = false;
+  };
+
+  std::size_t size_bytes_;
+  std::size_t line_bytes_;
+  std::size_t assoc_;
+  std::size_t sets_;
+  unsigned line_shift_;
+  std::vector<Line> lines_;  // sets_ * assoc_, set-major
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Two-level inclusive hierarchy (L1 + L2): an access probes L1; on an L1
+/// miss it probes L2; on an L2 miss it fills both.  Used to study where
+/// the t' sub-blocking should aim ("the block fits into a certain level
+/// cache hierarchy (e.g. L2)", Section IV) — small t' blocks that fit L1
+/// stop paying even the L2 hit cost.
+class CacheHierarchy {
+ public:
+  CacheHierarchy(std::size_t l1_bytes, std::size_t l1_assoc,
+                 std::size_t l2_bytes, std::size_t l2_assoc,
+                 std::size_t line_bytes)
+      : l1_(l1_bytes, line_bytes, l1_assoc),
+        l2_(l2_bytes, line_bytes, l2_assoc) {}
+
+  /// Returns the level that served the access: 1, 2, or 3 (memory).
+  int access(std::uint64_t addr) {
+    if (l1_.access(addr)) return 1;
+    if (l2_.access(addr)) return 2;
+    return 3;
+  }
+
+  std::uint64_t l1_hits() const { return l1_.hits(); }
+  std::uint64_t l2_hits() const { return l2_.hits(); }
+  std::uint64_t memory_accesses() const { return l2_.misses(); }
+  std::uint64_t accesses() const { return l1_.accesses(); }
+
+  /// Average access time under a simple 3-level latency vector.
+  double amat_ns(double l1_ns, double l2_ns, double mem_ns) const {
+    if (accesses() == 0) return 0.0;
+    const double a = static_cast<double>(accesses());
+    return (static_cast<double>(l1_hits()) * l1_ns +
+            static_cast<double>(l2_hits()) * l2_ns +
+            static_cast<double>(memory_accesses()) * mem_ns) /
+           a;
+  }
+
+  void reset() {
+    l1_.reset();
+    l2_.reset();
+  }
+
+  const CacheSim& l1() const { return l1_; }
+  const CacheSim& l2() const { return l2_; }
+
+ private:
+  CacheSim l1_;
+  CacheSim l2_;
+};
+
+}  // namespace pgraph::machine

@@ -1,0 +1,40 @@
+#include "machine/cost_params.hpp"
+
+namespace pgraph::machine {
+
+CostParams CostParams::hps_cluster() {
+  CostParams p;
+  p.preset = "hps-cluster";
+  // Dual-plane HPS: ~2 GB/s per link; measured one-way MPI latency on the
+  // HPS generation of hardware was a few microseconds.
+  p.net_latency_ns = 1900.0;
+  p.net_inv_bw_ns_per_byte = 0.5;
+  p.net_overhead_ns = 600.0;
+  p.net_small_msg_sw_ns = 400.0;
+  p.mem_latency_ns = 90.0;
+  p.mem_inv_bw_ns_per_byte = 0.25;
+  return p;
+}
+
+CostParams CostParams::infiniband_ddr3() {
+  CostParams p;
+  p.preset = "infiniband-ddr3";
+  // Section III: "Infiniband latency is about 190 nanoseconds, while that
+  // of the DDR3 SDRAM is about 9 nanoseconds" and B ~= B_M ~= 4 GB/s.
+  p.net_latency_ns = 190.0;
+  p.net_inv_bw_ns_per_byte = 0.25;
+  p.net_overhead_ns = 200.0;
+  p.net_small_msg_sw_ns = 400.0;
+  p.mem_latency_ns = 9.0;
+  p.mem_inv_bw_ns_per_byte = 0.25;
+  p.cache_hit_ns = 1.0;
+  return p;
+}
+
+CostParams CostParams::smp_node() {
+  CostParams p = hps_cluster();
+  p.preset = "smp-node";
+  return p;
+}
+
+}  // namespace pgraph::machine

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace pgraph::machine {
+
+/// Cost parameters for the machine model.
+///
+/// The model is LogGP-flavoured for the network and latency/bandwidth
+/// (alpha-beta) for the memory hierarchy, matching the analysis in Section
+/// III of the paper: network latency `L`, network bandwidth `B`, memory
+/// latency `L_M` and memory bandwidth `B_M`.  All times are nanoseconds; all
+/// bandwidths are expressed as ns/byte (i.e. 1/B) so that costs are simple
+/// multiply-adds on the hot path.
+struct CostParams {
+  // --- network (inter-node) -------------------------------------------
+  /// One-way wire latency L (ns).
+  double net_latency_ns = 1900.0;
+  /// Inverse bandwidth 1/B (ns per byte).  2 GB/s HPS => 0.5 ns/byte.
+  double net_inv_bw_ns_per_byte = 0.5;
+  /// Per-message software overhead o (ns): injection, matching, handler.
+  double net_overhead_ns = 600.0;
+  /// Extra per-message overhead for *fine-grained* (non-coalesced) puts and
+  /// gets issued by compiled PGAS code: runtime dispatch, address
+  /// translation, active-message handler.  The paper attributes a large
+  /// part of the naive implementation's slowness to this software handling.
+  double net_small_msg_sw_ns = 400.0;
+  /// NIC-side occupancy of one *small* (fine-grained) message: the NIC's
+  /// message-rate limit, separate from the per-thread software cost above
+  /// (which is paid on the issuing thread and overlaps across threads).
+  double nic_small_msg_svc_ns = 50.0;
+  /// Congestion model for bursts of small messages ("the burst of the
+  /// short messages overwhelms the cluster and the nodes", Section VI):
+  /// when a node handles more than `nic_burst_capacity` fine-grained
+  /// messages within one superstep, per-message service degrades by
+  /// factor (1 + msgs/capacity), capped at `nic_congestion_cap`.
+  double nic_burst_capacity = 2048.0;
+  double nic_congestion_cap = 60.0;
+
+  // --- memory (intra-node) --------------------------------------------
+  /// Random-access (cache miss) latency L_M (ns).
+  double mem_latency_ns = 90.0;
+  /// Inverse memory bandwidth 1/B_M (ns per byte).  4 GB/s => 0.25.
+  double mem_inv_bw_ns_per_byte = 0.25;
+  /// Cost of a cache hit (ns).
+  double cache_hit_ns = 2.0;
+  /// Store misses retire through the store buffer and overlap with
+  /// computation, so a scattered *write* miss stalls for only a fraction
+  /// of the load-miss latency.
+  double store_miss_factor = 0.35;
+  /// Effective per-thread cache capacity (bytes) used by the analytic
+  /// working-set model; roughly an L2 slice.
+  std::size_t cache_bytes = 1u << 21;
+  /// Cache line size (bytes) for both the analytic model and CacheSim.
+  std::size_t cache_line_bytes = 128;
+  /// Inverse of the *node-wide shared* memory-bus bandwidth (ns per byte).
+  /// The per-thread latency terms above model a single thread; the t
+  /// threads of an SMP node additionally contend for one memory bus, so
+  /// DRAM traffic (misses * line size, streamed bytes) is accumulated per
+  /// node and drained at superstep boundaries — the same treatment as the
+  /// NIC.  A 16-way P575+ node sustains ~16 GB/s streamed => 0.0625 ns/B
+  /// (a single thread's ~1.4 GB/s random demand never saturates it; 16
+  /// threads' ~22 GB/s does — which is why CC-SMP scales to ~2-4x a single
+  /// thread and no further).
+  double mem_bus_inv_bw_ns_per_byte = 0.0625;
+  /// Random line fills pay DRAM row activations and defeat prefetch, so
+  /// they sustain roughly half of streamed bandwidth; their bus occupancy
+  /// is scaled by this factor (streamed traffic is not).
+  double dram_random_penalty = 2.0;
+
+  // --- CPU --------------------------------------------------------------
+  /// Cost of one simple ALU/branch operation (ns).  1.9 GHz P575+ ~ 0.53ns
+  /// per cycle; we charge ~2 cycles per abstract op.
+  double cpu_op_ns = 1.0;
+  /// Cost of acquiring+releasing one fine-grained lock under low contention
+  /// (ns).  Used by the MST-SMP baseline (the paper's "100M locks" story).
+  double lock_ns = 60.0;
+
+  // --- synchronization --------------------------------------------------
+  /// Per-participant cost of a barrier (ns); total barrier cost is
+  /// `barrier_base_ns + barrier_per_thread_ns * s`.
+  double barrier_base_ns = 2000.0;
+  double barrier_per_thread_ns = 150.0;
+
+  /// Human-readable preset name (for bench banners).
+  std::string preset = "hps-cluster";
+
+  /// The paper's target platform: 16 IBM P575+ nodes, dual-plane 2 GB/s
+  /// High Performance Switch, DDR2 memory.
+  static CostParams hps_cluster();
+
+  /// Section III's "industry standard" numbers: Infiniband HCA (190 ns,
+  /// 4 GB/s) and DDR3 SDRAM (9 ns).  Used for the >20x analytic gap check.
+  static CostParams infiniband_ddr3();
+
+  /// A single shared-memory node (no network): remote accesses are
+  /// impossible; used when running SMP/sequential baselines standalone.
+  static CostParams smp_node();
+};
+
+}  // namespace pgraph::machine

@@ -1,0 +1,64 @@
+#include "machine/exchange_sim.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pgraph::machine {
+
+namespace {
+struct InFlight {
+  double arrival;
+  std::int32_t dst_node;
+  double service;
+};
+}  // namespace
+
+double exchange_duration_ns(const ExchangePlan& plan,
+                            const std::vector<std::int32_t>& thread_node,
+                            int nodes, double latency_ns) {
+  assert(plan.size() == thread_node.size());
+  const std::size_t nthreads = plan.size();
+
+  std::size_t max_steps = 0;
+  std::size_t total_msgs = 0;
+  for (const auto& lst : plan) {
+    max_steps = std::max(max_steps, lst.size());
+    total_msgs += lst.size();
+  }
+  if (total_msgs == 0) return 0.0;
+
+  // Sender side: serialize each node's messages on its send NIC, visiting
+  // threads step-by-step (step k of every thread before step k+1).
+  std::vector<double> send_free(static_cast<std::size_t>(nodes), 0.0);
+  std::vector<InFlight> inflight;
+  inflight.reserve(total_msgs);
+  double sender_finish = 0.0;
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    for (std::size_t thr = 0; thr < nthreads; ++thr) {
+      if (step >= plan[thr].size()) continue;
+      const ExchangeMsg& m = plan[thr][step];
+      const std::int32_t src = thread_node[thr];
+      const double depart = send_free[src] + m.service_ns;
+      send_free[src] = depart;
+      sender_finish = std::max(sender_finish, depart);
+      inflight.push_back({depart + latency_ns, m.dst_node, m.service_ns});
+    }
+  }
+
+  // Receiver side: each node's receive NIC serves messages in arrival order.
+  std::sort(inflight.begin(), inflight.end(),
+            [](const InFlight& a, const InFlight& b) {
+              return a.arrival < b.arrival;
+            });
+  std::vector<double> recv_free(static_cast<std::size_t>(nodes), 0.0);
+  double recv_finish = 0.0;
+  for (const InFlight& m : inflight) {
+    double start = std::max(recv_free[m.dst_node], m.arrival);
+    recv_free[m.dst_node] = start + m.service;
+    recv_finish = std::max(recv_finish, recv_free[m.dst_node]);
+  }
+
+  return std::max(sender_finish, recv_finish);
+}
+
+}  // namespace pgraph::machine

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/cost_params.hpp"
+
+namespace pgraph::machine {
+
+/// One message of a collective's exchange phase.
+struct ExchangeMsg {
+  std::int32_t dst_node = 0;
+  double service_ns = 0.0;  ///< NIC occupancy o + b/B for this message
+};
+
+/// Per-thread ordered send list for one exchange phase (issue order matters:
+/// this is exactly what the `circular` optimization changes).
+using ExchangePlan = std::vector<std::vector<ExchangeMsg>>;
+
+/// Event-sweep simulation of one exchange phase of a collective
+/// (steps 5.1-5.5 of Algorithm 2 in the paper).
+///
+/// Model:
+///  - Each node has one send NIC and one receive NIC.
+///  - The messages issued by the t threads of a node are serialized on the
+///    node's send NIC, interleaved step-by-step in thread order (thread 0's
+///    k-th message, thread 1's k-th message, ..., then step k+1).
+///  - A message departs when the send NIC has pushed it, arrives
+///    `latency_ns` later, and then occupies the receive NIC of the target
+///    node for its service time; the receive NIC serves messages in arrival
+///    order.
+///  - The phase completes when every NIC is idle.
+///
+/// This reproduces the congestion effect the paper describes in Section V:
+/// with the identity schedule (every thread sends to peer 0, then 1, ...)
+/// all s messages of step k arrive at node k/t within a small window, so
+/// the hot receive NIC drains ~s messages while others idle, roughly
+/// doubling the phase relative to the circular schedule (i, i+1, ...,
+/// i+s-1 mod s) where every step is a balanced permutation.
+///
+/// `thread_node[i]` maps thread i to its node.  Returns the phase duration.
+double exchange_duration_ns(const ExchangePlan& plan,
+                            const std::vector<std::int32_t>& thread_node,
+                            int nodes, double latency_ns);
+
+}  // namespace pgraph::machine

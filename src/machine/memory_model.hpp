@@ -1,0 +1,115 @@
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <cstddef>
+
+#include "machine/cost_params.hpp"
+
+namespace pgraph::machine {
+
+/// Analytic memory-cost model, following the charging scheme of Section IV
+/// of the paper (equations 4 and 5):
+///
+///  - a sequential (streamed) access of k bytes costs  L_M + k / B_M
+///    ("Sequentially accessing k elements is charged L_M + k/B_M time
+///     considering the prefetch or bulk transfer optimization")
+///  - a random access over a working set that fits in cache is a hit after
+///    the first touch; over a working set larger than cache, the expected
+///    miss fraction is 1 - Z/W.
+///
+/// The model is deliberately stateless: callers pass the working-set size
+/// they are touching.  The CacheSim class provides a trace-driven
+/// validation of these formulas (see bench/abl04_cache_model_validation).
+class MemoryModel {
+ public:
+  /// Parameters are copied: a MemoryModel may safely outlive the CostParams
+  /// expression it was constructed from (benches pass temporaries).
+  explicit MemoryModel(CostParams p) : p_(std::move(p)) {}
+
+  /// Cost of streaming `bytes` bytes sequentially (one prefetched run).
+  double seq_ns(std::size_t bytes) const {
+    return p_.mem_latency_ns +
+           static_cast<double>(bytes) * p_.mem_inv_bw_ns_per_byte;
+  }
+
+  /// Cost of `count` independent random accesses of `elem_bytes` each over a
+  /// working set of `working_set_bytes`.
+  ///
+  /// If the working set fits in cache, the first touch of each distinct line
+  /// misses and every later access hits; we charge
+  ///   min(count, lines) * L_M + rest * hit.
+  /// Otherwise the expected miss fraction is (1 - Z/W).
+  double random_ns(std::size_t count, std::size_t working_set_bytes,
+                   std::size_t elem_bytes) const {
+    return random_impl(count, working_set_bytes, elem_bytes,
+                       p_.mem_latency_ns);
+  }
+
+  /// Like random_ns, but for scattered *stores*: write misses drain through
+  /// the store buffer and stall for only `store_miss_factor` of the load
+  /// latency.  Used for the permute phase of Algorithm 1, whose writes to C
+  /// are irregular but independent.
+  double random_write_ns(std::size_t count, std::size_t working_set_bytes,
+                         std::size_t elem_bytes) const {
+    return random_impl(count, working_set_bytes, elem_bytes,
+                       p_.mem_latency_ns * p_.store_miss_factor);
+  }
+
+  /// Expected number of cache misses for `count` random accesses over a
+  /// working set (shared by the latency charge and the DRAM-traffic
+  /// estimate).
+  double expected_misses(std::size_t count,
+                         std::size_t working_set_bytes,
+                         std::size_t elem_bytes = 8) const {
+    if (count == 0) return 0.0;
+    const double z = static_cast<double>(p_.cache_bytes);
+    const double w =
+        static_cast<double>(std::max(working_set_bytes, elem_bytes));
+    const double line = static_cast<double>(p_.cache_line_bytes);
+    if (w <= z) {
+      const double lines = std::max(1.0, w / line);
+      return std::min(static_cast<double>(count), lines);
+    }
+    return static_cast<double>(count) * (1.0 - z / w);
+  }
+
+  /// Effective DRAM-bus occupancy (in bytes of streamed-equivalent
+  /// traffic) of `count` random accesses: one line per miss, scaled by the
+  /// random-access penalty (row activations, no prefetch).
+  double random_traffic_bytes(std::size_t count,
+                              std::size_t working_set_bytes,
+                              std::size_t elem_bytes) const {
+    return expected_misses(count, working_set_bytes, elem_bytes) *
+           static_cast<double>(p_.cache_line_bytes) *
+           p_.dram_random_penalty;
+  }
+
+  double random_impl(std::size_t count, std::size_t working_set_bytes,
+                     std::size_t elem_bytes, double miss_ns) const {
+    if (count == 0) return 0.0;
+    const double misses =
+        expected_misses(count, working_set_bytes, elem_bytes);
+    const double hits = static_cast<double>(count) - misses;
+    return misses * miss_ns + hits * p_.cache_hit_ns +
+           static_cast<double>(count * elem_bytes) *
+               p_.mem_inv_bw_ns_per_byte;
+  }
+
+  /// Cost of `ops` simple CPU operations.
+  double compute_ns(std::size_t ops) const {
+    return static_cast<double>(ops) * p_.cpu_op_ns;
+  }
+
+  /// Cost of acquiring and releasing `n` uncontended fine-grained locks.
+  double locks_ns(std::size_t n) const {
+    return static_cast<double>(n) * p_.lock_ns;
+  }
+
+  const CostParams& params() const { return p_; }
+
+ private:
+  CostParams p_;
+};
+
+}  // namespace pgraph::machine

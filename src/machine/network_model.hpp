@@ -1,0 +1,120 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "machine/cost_params.hpp"
+
+namespace pgraph::machine {
+
+/// LogGP-flavoured network cost model with per-node NIC serialization.
+///
+/// Three properties of the paper's platform are modeled:
+///
+///  1. A message of b bytes costs the *sender* `o + b/B` of NIC occupancy
+///     and arrives `L` later; the *receiver* NIC is then occupied for
+///     `o + b/B` to deliver it.
+///  2. The threads of one node share the node's NIC, so their messages are
+///     serialized ("when blocking communication common in compiled code is
+///     used, the messages from the t threads on one node are serialized",
+///     Section III).  We account this with per-node service accumulators
+///     that are drained at each BSP superstep boundary (barrier): the
+///     superstep cannot end before the busiest NIC has pushed/delivered all
+///     of its traffic.
+///  3. Fine-grained (per-element) PGAS accesses additionally pay a software
+///     handling cost per message (`net_small_msg_sw_ns`) — the compiled-code
+///     overhead the paper's naive implementation suffers from.
+///
+/// Order-sensitivity of the collectives' exchange loops (the `circular`
+/// optimization) is handled one level up by ExchangeSchedule, which uses the
+/// `msg_service_ns` / `msg_wire_ns` primitives from this class.
+///
+/// Thread safety: all accounting uses relaxed atomics; the model never
+/// blocks the simulated threads against each other.
+class NetworkModel {
+ public:
+  NetworkModel(const CostParams& p, int nodes);
+
+  int nodes() const { return nodes_; }
+
+  /// --- primitive message costs --------------------------------------
+
+  /// NIC occupancy (service time) for one message of `bytes`: o + b/B.
+  double msg_service_ns(std::size_t bytes) const {
+    return p_->net_overhead_ns +
+           static_cast<double>(bytes) * p_->net_inv_bw_ns_per_byte;
+  }
+
+  /// End-to-end wire time of one message: o + L + b/B.
+  double msg_wire_ns(std::size_t bytes) const {
+    return msg_service_ns(bytes) + p_->net_latency_ns;
+  }
+
+  /// --- fine-grained (per-element) operations -------------------------
+
+  /// Blocking remote read round trip: small request out, `bytes` reply back,
+  /// plus software handling on both ends.  Returns the latency to add to the
+  /// *calling thread's* clock; also accrues NIC service on both nodes.
+  double fine_get_ns(int src_node, int dst_node, std::size_t bytes);
+
+  /// One-sided remote write of `bytes` (blocking until injected).
+  double fine_put_ns(int src_node, int dst_node, std::size_t bytes);
+
+  /// --- coalesced bulk operations --------------------------------------
+
+  /// One-sided bulk put (upc_memput after coalescing / RDMA-capable).
+  /// Returns sender-side occupancy; accrues NIC service on both nodes.
+  double bulk_put_ns(int src_node, int dst_node, std::size_t bytes);
+
+  /// Blocking bulk get (upc_memget): full round trip for the caller.
+  double bulk_get_ns(int src_node, int dst_node, std::size_t bytes);
+
+  /// --- superstep drain -------------------------------------------------
+
+  /// Max over nodes of NIC service accumulated since the last drain, then
+  /// reset.  Called by the runtime inside each barrier: the returned value
+  /// lower-bounds the duration of the superstep that just ended.  Bursty
+  /// nodes pay a congestion factor (1 + msgs/capacity), capped.
+  double drain_nic_max_ns();
+
+  /// Record a coalesced message priced elsewhere (by the exchange
+  /// simulation) so that the global message/byte counters stay complete.
+  void count_message(std::size_t bytes) {
+    msgs_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  /// --- counters (monotonic, never reset) -------------------------------
+  std::uint64_t total_messages() const {
+    return msgs_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_bytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t fine_messages() const {
+    return fine_msgs_.load(std::memory_order_relaxed);
+  }
+
+  const CostParams& params() const { return *p_; }
+
+ private:
+  // Nanoseconds are accumulated as integers to allow lock-free atomic adds.
+  struct alignas(64) NodeNic {
+    std::atomic<std::uint64_t> service_ns{0};
+    std::atomic<std::uint64_t> msgs{0};
+  };
+
+  void accrue(int node, double ns, std::uint64_t nmsgs = 1);
+
+  const CostParams* p_;
+  int nodes_;
+  std::unique_ptr<NodeNic[]> nic_;
+  std::atomic<std::uint64_t> msgs_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> fine_msgs_{0};
+};
+
+}  // namespace pgraph::machine

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace pgraph::machine {
+
+/// Cost categories matching the execution-time breakdown of Figure 5/6 in
+/// the paper:
+///   Comm      - time in upc_memget/upc_memput (network transfers)
+///   Sort      - sorting request indices (the group phase)
+///   Copy      - reading/writing the local portion of shared arrays
+///   Irregular - reordering retrieved elements to the request order
+///   Setup     - building the SMatrix/PMatrix communication matrices
+///   Work      - allocation, initialization, target-thread-id computation
+enum class Cat : std::uint8_t { Comm = 0, Sort, Copy, Irregular, Setup, Work };
+
+inline constexpr std::size_t kNumCats = 6;
+
+inline constexpr std::array<std::string_view, kNumCats> kCatNames = {
+    "Comm", "Sort", "Copy", "Irregular", "Setup", "Work"};
+
+constexpr std::string_view cat_name(Cat c) {
+  return kCatNames[static_cast<std::size_t>(c)];
+}
+
+/// Per-thread accumulator of modeled nanoseconds, by category.
+/// Not thread-safe; each thread owns one and they are merged after a run.
+class PhaseStats {
+ public:
+  void add(Cat c, double ns) { ns_[static_cast<std::size_t>(c)] += ns; }
+
+  double get(Cat c) const { return ns_[static_cast<std::size_t>(c)]; }
+
+  double total() const {
+    double t = 0;
+    for (double v : ns_) t += v;
+    return t;
+  }
+
+  void merge_max(const PhaseStats& o) {
+    for (std::size_t i = 0; i < kNumCats; ++i)
+      if (o.ns_[i] > ns_[i]) ns_[i] = o.ns_[i];
+  }
+
+  void merge_sum(const PhaseStats& o) {
+    for (std::size_t i = 0; i < kNumCats; ++i) ns_[i] += o.ns_[i];
+  }
+
+  void reset() { ns_.fill(0.0); }
+
+ private:
+  std::array<double, kNumCats> ns_{};
+};
+
+}  // namespace pgraph::machine

@@ -1,0 +1,202 @@
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "machine/phase_stats.hpp"
+#include "pgas/runtime.hpp"
+
+namespace pgraph::pgas {
+
+/// Block-distributed shared array — the UPC `shared [blk] T A[n]` analogue.
+///
+/// Element i has affinity to thread i / ceil(n/s) (block distribution, the
+/// layout the paper's partition phase assumes).  Storage is one contiguous
+/// buffer (we are simulating the cluster in one address space), so a
+/// thread's block is the slice [block_begin(t), block_end(t)).
+///
+/// Access paths and their costs:
+///  - get/put: fine-grained single-element access.  Charged as a remote
+///    round trip when the owner lives on another node (the naive
+///    implementation's pattern), or as a random local memory access
+///    otherwise.  Data is moved with relaxed atomics because PRAM-style
+///    algorithms race benignly on these cells.
+///  - memget/memput: coalesced bulk transfer within a single owner's block
+///    (the optimized pattern).  Charged as one message.
+///  - local_span/raw: direct access for owner-local phases and for
+///    verification; uninstrumented (callers charge via ThreadCtx, which is
+///    what the `localcpy` optimization controls).
+template <class T>
+class GlobalArray {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  GlobalArray(Runtime& rt, std::size_t n)
+      : rt_(&rt),
+        n_(n),
+        nthreads_(static_cast<std::size_t>(rt.topo().total_threads())),
+        blk_((n + nthreads_ - 1) / nthreads_),
+        data_(n) {}
+
+  std::size_t size() const { return n_; }
+  std::size_t block_size() const { return blk_; }
+
+  int owner(std::size_t i) const {
+    assert(i < n_);
+    return static_cast<int>(i / blk_);
+  }
+
+  std::size_t block_begin(int thr) const {
+    const std::size_t b = static_cast<std::size_t>(thr) * blk_;
+    return b > n_ ? n_ : b;
+  }
+  std::size_t block_end(int thr) const {
+    const std::size_t e = (static_cast<std::size_t>(thr) + 1) * blk_;
+    return e > n_ ? n_ : e;
+  }
+  std::size_t local_size(int thr) const {
+    return block_end(thr) - block_begin(thr);
+  }
+
+  /// Fine-grained read of element i (relaxed atomic; benign races allowed).
+  /// Node-local accesses (own block or a same-node peer's) are random
+  /// probes whose working set is the node's slice of the array — the
+  /// access pattern of PRAM-style code; remote accesses are a network
+  /// round trip.
+  T get(ThreadCtx& ctx, std::size_t i,
+        machine::Cat c = machine::Cat::Comm) {
+    static_assert(sizeof(T) <= 8, "fine-grained access requires small T");
+    const int own = owner(i);
+    if (ctx.topo().same_node(own, ctx.id())) {
+      ctx.mem_random(1, node_slice_bytes(), sizeof(T), c);
+    } else {
+      ctx.remote_get_cost(own, sizeof(T), c);
+    }
+    return load_relaxed(i);
+  }
+
+  /// Fine-grained write of element i.
+  void put(ThreadCtx& ctx, std::size_t i, T v,
+           machine::Cat c = machine::Cat::Comm) {
+    static_assert(sizeof(T) <= 8, "fine-grained access requires small T");
+    const int own = owner(i);
+    if (ctx.topo().same_node(own, ctx.id())) {
+      ctx.mem_random(1, node_slice_bytes(), sizeof(T), c);
+    } else {
+      ctx.remote_put_cost(own, sizeof(T), c);
+    }
+    store_relaxed(i, v);
+  }
+
+  /// Fine-grained write charged exactly like put(), but stored as a
+  /// monotone min so that PRAM-style benign write races cannot resurrect a
+  /// larger value in the host execution (the modeled machine would race
+  /// benignly; the cost is that of the racy plain write).
+  void put_min(ThreadCtx& ctx, std::size_t i, T v,
+               machine::Cat c = machine::Cat::Comm)
+    requires(sizeof(T) <= 8)
+  {
+    const int own = owner(i);
+    if (ctx.topo().same_node(own, ctx.id())) {
+      ctx.mem_random(1, node_slice_bytes(), sizeof(T), c);
+    } else {
+      ctx.remote_put_cost(own, sizeof(T), c);
+    }
+    fetch_min_relaxed(i, v);
+  }
+
+  /// Coalesced bulk read of [start, start+count), which must lie within one
+  /// owner's block (upc_memget).
+  void memget(ThreadCtx& ctx, std::size_t start, std::size_t count, T* dst,
+              machine::Cat c = machine::Cat::Comm) {
+    if (count == 0) return;
+    const int own = owner(start);
+    assert(owner(start + count - 1) == own && "memget must not span blocks");
+    ctx.bulk_get_cost(own, count * sizeof(T), c);
+    std::memcpy(dst, data_.data() + start, count * sizeof(T));
+  }
+
+  /// Coalesced bulk write (upc_memput); same single-block restriction.
+  void memput(ThreadCtx& ctx, std::size_t start, std::size_t count,
+              const T* src, machine::Cat c = machine::Cat::Comm) {
+    if (count == 0) return;
+    const int own = owner(start);
+    assert(owner(start + count - 1) == own && "memput must not span blocks");
+    ctx.bulk_put_cost(own, count * sizeof(T), c);
+    std::memcpy(data_.data() + start, src, count * sizeof(T));
+  }
+
+  /// The calling thread's own block (or any thread's, for owner-side
+  /// phases).  Uninstrumented: cost is charged by the caller, which is how
+  /// the `localcpy` optimization (private-pointer arithmetic) is modeled.
+  std::span<T> local_span(int thr) {
+    return std::span<T>(data_.data() + block_begin(thr), local_size(thr));
+  }
+  std::span<const T> local_span(int thr) const {
+    return std::span<const T>(data_.data() + block_begin(thr),
+                              local_size(thr));
+  }
+
+  /// Uninstrumented whole-array view for single-threaded verification.
+  T& raw(std::size_t i) { return data_[i]; }
+  const T& raw(std::size_t i) const { return data_[i]; }
+  std::span<T> raw_all() { return std::span<T>(data_); }
+  std::span<const T> raw_all() const { return std::span<const T>(data_); }
+
+  /// Relaxed element access without cost charging (used inside collectives
+  /// where the cost is accounted at batch granularity).
+  T load_relaxed(std::size_t i) const {
+    if constexpr (sizeof(T) <= 8) {
+      // atomic_ref<const T> is not available in C++20; the cast is safe
+      // because the underlying storage is always mutable.
+      return std::atomic_ref<T>(const_cast<T&>(data_[i]))
+          .load(std::memory_order_relaxed);
+    } else {
+      return data_[i];
+    }
+  }
+  void store_relaxed(std::size_t i, T v) {
+    if constexpr (sizeof(T) <= 8) {
+      std::atomic_ref<T>(data_[i]).store(v, std::memory_order_relaxed);
+    } else {
+      data_[i] = v;
+    }
+  }
+
+  /// Atomically shrink element i to min(current, v).  Used where PRAM
+  /// algorithms rely on benign write races that must stay monotone for the
+  /// host execution to converge (the cost charged by callers is still that
+  /// of a plain racy write — the real machine would race benignly).
+  void fetch_min_relaxed(std::size_t i, T v)
+    requires(sizeof(T) <= 8)
+  {
+    std::atomic_ref<T> ref(data_[i]);
+    T cur = ref.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !ref.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  Runtime& runtime() { return *rt_; }
+
+  /// Bytes of this array with affinity to one node (the fine-grained
+  /// working set of node-local irregular access).
+  std::size_t node_slice_bytes() const {
+    const int tpn = rt_->topo().threads_per_node;
+    return blk_ * static_cast<std::size_t>(tpn) * sizeof(T);
+  }
+
+ private:
+  Runtime* rt_;
+  std::size_t n_;
+  std::size_t nthreads_;
+  std::size_t blk_;
+  std::vector<T> data_;
+};
+
+}  // namespace pgraph::pgas

@@ -1,0 +1,268 @@
+#include "pgas/runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+namespace pgraph::pgas {
+
+// ---------------------------------------------------------------------------
+// ThreadCtx
+// ---------------------------------------------------------------------------
+
+ThreadCtx::ThreadCtx(Runtime& rt, int id)
+    : rt_(&rt), id_(id), node_(rt.topo().node_of(id)) {
+  clock_ = rt.saved_clocks_[static_cast<std::size_t>(id)];
+  stats_ = rt.saved_stats_[static_cast<std::size_t>(id)];
+}
+
+int ThreadCtx::nthreads() const { return rt_->topo().total_threads(); }
+int ThreadCtx::nnodes() const { return rt_->topo().nodes; }
+const Topology& ThreadCtx::topo() const { return rt_->topo(); }
+const machine::MemoryModel& ThreadCtx::mem() const { return rt_->mem(); }
+machine::NetworkModel& ThreadCtx::net() { return rt_->net(); }
+
+void ThreadCtx::compute(std::size_t ops, machine::Cat c) {
+  charge(c, rt_->mem().compute_ns(ops));
+}
+
+void ThreadCtx::mem_seq(std::size_t bytes, machine::Cat c) {
+  charge(c, rt_->mem().seq_ns(bytes));
+  rt_->accrue_bus(node_, static_cast<double>(bytes) *
+                             rt_->params().mem_bus_inv_bw_ns_per_byte);
+}
+
+void ThreadCtx::mem_random(std::size_t count, std::size_t working_set_bytes,
+                           std::size_t elem_bytes, machine::Cat c) {
+  charge(c, rt_->mem().random_ns(count, working_set_bytes, elem_bytes));
+  rt_->accrue_bus(
+      node_, rt_->mem().random_traffic_bytes(count, working_set_bytes,
+                                             elem_bytes) *
+                 rt_->params().mem_bus_inv_bw_ns_per_byte);
+}
+
+void ThreadCtx::mem_random_write(std::size_t count,
+                                 std::size_t working_set_bytes,
+                                 std::size_t elem_bytes, machine::Cat c) {
+  charge(c, rt_->mem().random_write_ns(count, working_set_bytes, elem_bytes));
+  rt_->accrue_bus(
+      node_, rt_->mem().random_traffic_bytes(count, working_set_bytes,
+                                             elem_bytes) *
+                 rt_->params().mem_bus_inv_bw_ns_per_byte);
+}
+
+void ThreadCtx::mem_compulsory(std::size_t count, std::size_t elem_bytes,
+                               machine::Cat c) {
+  const auto& p = rt_->params();
+  charge(c, static_cast<double>(count) *
+                (p.mem_latency_ns +
+                 static_cast<double>(elem_bytes) * p.mem_inv_bw_ns_per_byte));
+  rt_->accrue_bus(node_, static_cast<double>(count) *
+                             static_cast<double>(p.cache_line_bytes) *
+                             p.dram_random_penalty *
+                             p.mem_bus_inv_bw_ns_per_byte);
+}
+
+void ThreadCtx::locks(std::size_t n, machine::Cat c) {
+  charge(c, rt_->mem().locks_ns(n));
+}
+
+void ThreadCtx::remote_get_cost(int owner_thread, std::size_t bytes,
+                                machine::Cat c) {
+  const int dst = rt_->topo().node_of(owner_thread);
+  if (dst == node_) {
+    // Same node: a random access into the owner's block.
+    mem_random(1, rt_->params().cache_bytes * 4, bytes, c);
+    return;
+  }
+  charge(c, rt_->net().fine_get_ns(node_, dst, bytes));
+}
+
+void ThreadCtx::remote_put_cost(int owner_thread, std::size_t bytes,
+                                machine::Cat c) {
+  const int dst = rt_->topo().node_of(owner_thread);
+  if (dst == node_) {
+    mem_random(1, rt_->params().cache_bytes * 4, bytes, c);
+    return;
+  }
+  charge(c, rt_->net().fine_put_ns(node_, dst, bytes));
+}
+
+void ThreadCtx::bulk_get_cost(int owner_thread, std::size_t bytes,
+                              machine::Cat c) {
+  const int dst = rt_->topo().node_of(owner_thread);
+  if (dst == node_) {
+    charge(c, rt_->mem().seq_ns(bytes));
+    return;
+  }
+  charge(c, rt_->net().bulk_get_ns(node_, dst, bytes));
+}
+
+void ThreadCtx::bulk_put_cost(int owner_thread, std::size_t bytes,
+                              machine::Cat c) {
+  const int dst = rt_->topo().node_of(owner_thread);
+  if (dst == node_) {
+    charge(c, rt_->mem().seq_ns(bytes));
+    return;
+  }
+  charge(c, rt_->net().bulk_put_ns(node_, dst, bytes));
+}
+
+void ThreadCtx::post_exchange_msg(int dst_thread, std::size_t bytes) {
+  const int dst_node = rt_->topo().node_of(dst_thread);
+  if (dst_node == node_) {
+    // Intra-node "message": a streamed memory copy, no NIC involvement.
+    mem_seq(bytes, machine::Cat::Comm);
+    return;
+  }
+  const std::size_t wire = bytes + 16;  // header
+  pending_.push_back({static_cast<std::int32_t>(dst_node),
+                      rt_->net().msg_service_ns(wire)});
+  rt_->net().count_message(wire);
+}
+
+void ThreadCtx::exchange_barrier() { rt_->barrier_sync(*this, true); }
+
+void ThreadCtx::barrier() { rt_->barrier_sync(*this, false); }
+
+void ThreadCtx::publish(int slot, void* p) {
+  assert(slot >= 0 && slot < kRegistrySlots);
+  rt_->slots_[static_cast<std::size_t>(id_)].registry[slot] = p;
+}
+
+void* ThreadCtx::peer_ptr(int thread, int slot) const {
+  assert(slot >= 0 && slot < kRegistrySlots);
+  return rt_->slots_[static_cast<std::size_t>(thread)].registry[slot];
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(Topology topo, machine::CostParams params)
+    : topo_(topo),
+      params_(std::move(params)),
+      mem_model_(params_),
+      net_(std::make_unique<machine::NetworkModel>(params_, topo.nodes)),
+      slots_(static_cast<std::size_t>(topo.total_threads())),
+      bus_(std::make_unique<NodeBus[]>(static_cast<std::size_t>(topo.nodes))),
+      thread_node_(topo.thread_node_map()),
+      saved_stats_(static_cast<std::size_t>(topo.total_threads())),
+      saved_clocks_(static_cast<std::size_t>(topo.total_threads()), 0.0) {
+  bar_ = std::make_unique<std::barrier<std::function<void()>>>(
+      topo.total_threads(), std::function<void()>([this] { on_barrier(); }));
+}
+
+Runtime::~Runtime() = default;
+
+void Runtime::run(const std::function<void(ThreadCtx&)>& f) {
+  const int s = topo_.total_threads();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(s));
+  for (int i = 0; i < s; ++i) {
+    threads.emplace_back([this, &f, i] {
+      ThreadCtx ctx(*this, i);
+      slots_[static_cast<std::size_t>(i)].ctx = &ctx;
+      // Initial sync: every slot registered before anyone proceeds.
+      barrier_sync(ctx, false);
+      f(ctx);
+      // Final alignment so modeled_time_ns() reflects the critical path.
+      barrier_sync(ctx, false);
+      saved_clocks_[static_cast<std::size_t>(i)] = ctx.clock_;
+      saved_stats_[static_cast<std::size_t>(i)] = ctx.stats_;
+      slots_[static_cast<std::size_t>(i)].ctx = nullptr;
+    });
+  }
+  for (auto& t : threads) t.join();
+  finish_ns_ = last_barrier_ns_;
+}
+
+void Runtime::accrue_bus(int node, double ns) {
+  bus_[static_cast<std::size_t>(node)].busy_ns.fetch_add(
+      static_cast<std::uint64_t>(ns), std::memory_order_relaxed);
+}
+
+double Runtime::drain_bus_max_ns() {
+  std::uint64_t mx = 0;
+  for (int i = 0; i < topo_.nodes; ++i) {
+    const std::uint64_t v = bus_[static_cast<std::size_t>(i)].busy_ns.exchange(
+        0, std::memory_order_relaxed);
+    if (v > mx) mx = v;
+  }
+  return static_cast<double>(mx);
+}
+
+void Runtime::reset_costs() {
+  for (auto& st : saved_stats_) st.reset();
+  std::fill(saved_clocks_.begin(), saved_clocks_.end(), 0.0);
+  last_barrier_ns_ = 0.0;
+  finish_ns_ = 0.0;
+  barriers_ = 0;
+  net_ = std::make_unique<machine::NetworkModel>(params_, topo_.nodes);
+  drain_bus_max_ns();
+}
+
+machine::PhaseStats Runtime::critical_stats() const {
+  machine::PhaseStats out;
+  for (const auto& st : saved_stats_) out.merge_max(st);
+  return out;
+}
+
+machine::PhaseStats Runtime::total_stats() const {
+  machine::PhaseStats out;
+  for (const auto& st : saved_stats_) out.merge_sum(st);
+  return out;
+}
+
+void Runtime::barrier_sync(ThreadCtx& ctx, bool /*exchange*/) {
+  (void)ctx;
+  bar_->arrive_and_wait();
+}
+
+void Runtime::on_barrier() {
+  const int s = topo_.total_threads();
+  double max_clock = 0.0;
+  bool any_exchange = false;
+  for (int i = 0; i < s; ++i) {
+    ThreadCtx* c = slots_[static_cast<std::size_t>(i)].ctx;
+    assert(c != nullptr);
+    max_clock = std::max(max_clock, c->clock_);
+    any_exchange = any_exchange || !c->pending_.empty();
+  }
+
+  // Per-node serialization floors: fine-grained network traffic on the
+  // NIC, and DRAM traffic on the shared memory bus.
+  double t = std::max(max_clock, last_barrier_ns_ + net_->drain_nic_max_ns());
+  t = std::max(t, last_barrier_ns_ + drain_bus_max_ns());
+
+  if (any_exchange) {
+    machine::ExchangePlan plan(static_cast<std::size_t>(s));
+    for (int i = 0; i < s; ++i) {
+      ThreadCtx* c = slots_[static_cast<std::size_t>(i)].ctx;
+      plan[static_cast<std::size_t>(i)] = std::move(c->pending_);
+      c->pending_.clear();
+    }
+    const double dur = machine::exchange_duration_ns(
+        plan, thread_node_, topo_.nodes, params_.net_latency_ns);
+    t = std::max(t, max_clock + dur);
+  }
+
+  const double bar_cost =
+      params_.barrier_base_ns + params_.barrier_per_thread_ns * s;
+  const double t_final = t + bar_cost;
+
+  for (int i = 0; i < s; ++i) {
+    ThreadCtx* c = slots_[static_cast<std::size_t>(i)].ctx;
+    if (any_exchange) {
+      // In a communication superstep, waiting *is* communication time.
+      c->stats_.add(machine::Cat::Comm, t_final - c->clock_);
+    } else {
+      c->stats_.add(machine::Cat::Comm, bar_cost);
+    }
+    c->clock_ = t_final;
+  }
+  last_barrier_ns_ = t_final;
+  ++barriers_;
+}
+
+}  // namespace pgraph::pgas

@@ -1,0 +1,189 @@
+#pragma once
+
+#include <barrier>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "machine/cost_params.hpp"
+#include "machine/exchange_sim.hpp"
+#include "machine/memory_model.hpp"
+#include "machine/network_model.hpp"
+#include "machine/phase_stats.hpp"
+#include "pgas/topology.hpp"
+
+namespace pgraph::pgas {
+
+class Runtime;
+
+/// Per-thread execution context handed to every SPMD function.
+///
+/// Carries the thread's identity, its BSP cost clock, and its per-category
+/// cost statistics.  All cost-charging goes through this class so that
+/// algorithms read like their UPC originals with instrumentation attached.
+class ThreadCtx {
+ public:
+  ThreadCtx(Runtime& rt, int id);
+
+  int id() const { return id_; }
+  int node() const { return node_; }
+  int nthreads() const;
+  int nnodes() const;
+  const Topology& topo() const;
+  Runtime& runtime() { return *rt_; }
+  const machine::MemoryModel& mem() const;
+  machine::NetworkModel& net();
+
+  /// --- cost charging ---------------------------------------------------
+  double now_ns() const { return clock_; }
+  void charge(machine::Cat c, double ns) {
+    clock_ += ns;
+    stats_.add(c, ns);
+  }
+  /// `ops` simple CPU operations.
+  void compute(std::size_t ops, machine::Cat c = machine::Cat::Work);
+  /// Sequential stream of `bytes` local memory.
+  void mem_seq(std::size_t bytes, machine::Cat c);
+  /// `count` random accesses of `elem_bytes` over `working_set_bytes`.
+  void mem_random(std::size_t count, std::size_t working_set_bytes,
+                  std::size_t elem_bytes, machine::Cat c);
+  /// `count` scattered stores (write misses overlap; see MemoryModel).
+  void mem_random_write(std::size_t count, std::size_t working_set_bytes,
+                        std::size_t elem_bytes, machine::Cat c);
+  /// `count` compulsory (first-touch) misses: full latency plus one DRAM
+  /// line each, regardless of working set.
+  void mem_compulsory(std::size_t count, std::size_t elem_bytes,
+                      machine::Cat c);
+  /// `n` fine-grained lock acquire/release pairs.
+  void locks(std::size_t n, machine::Cat c = machine::Cat::Work);
+
+  /// --- fine-grained remote operations (cost only) ----------------------
+  /// Blocking remote read of `bytes` from `owner_thread` (cost only; the
+  /// data movement itself is done by the caller through shared memory).
+  void remote_get_cost(int owner_thread, std::size_t bytes,
+                       machine::Cat c = machine::Cat::Comm);
+  void remote_put_cost(int owner_thread, std::size_t bytes,
+                       machine::Cat c = machine::Cat::Comm);
+  /// Bulk (coalesced) one-sided transfers.
+  void bulk_get_cost(int owner_thread, std::size_t bytes,
+                     machine::Cat c = machine::Cat::Comm);
+  void bulk_put_cost(int owner_thread, std::size_t bytes,
+                     machine::Cat c = machine::Cat::Comm);
+
+  /// --- scheduled exchange (order-sensitive, see ExchangeSim) -----------
+  /// Record that this thread's next exchange phase sends `bytes` to
+  /// `dst_thread` as its next message in issue order.  Same-node messages
+  /// are charged as memory copies immediately and not enqueued.
+  void post_exchange_msg(int dst_thread, std::size_t bytes);
+  /// Barrier that additionally prices the posted exchange messages with the
+  /// event-sweep NIC simulation and advances every clock past the phase.
+  void exchange_barrier();
+
+  /// --- synchronization --------------------------------------------------
+  void barrier();
+
+  /// --- pointer registry (for one-sided access to peers' buffers) -------
+  static constexpr int kRegistrySlots = 8;
+  void publish(int slot, void* p);
+  void* peer_ptr(int thread, int slot) const;
+  template <class T>
+  T* peer_as(int thread, int slot) const {
+    return static_cast<T*>(peer_ptr(thread, slot));
+  }
+
+  const machine::PhaseStats& stats() const { return stats_; }
+  machine::PhaseStats& stats() { return stats_; }
+
+ private:
+  friend class Runtime;
+  Runtime* rt_;
+  int id_;
+  int node_;
+  double clock_ = 0.0;
+  machine::PhaseStats stats_;
+  // Pending exchange messages for the next exchange_barrier().
+  std::vector<machine::ExchangeMsg> pending_;
+};
+
+/// SPMD PGAS runtime: spawns one OS thread per UPC thread, provides
+/// cost-aligned barriers (BSP superstep boundaries), and owns the machine
+/// models.
+///
+/// Cost semantics of a barrier:
+///   T_new = max( max_i clock_i,
+///                T_last_barrier + drain(NIC service since last barrier),
+///                T_last_barrier + drain(node memory-bus traffic),
+///                T_last_barrier + exchange_phase_duration )
+///          + barrier_cost(s)
+/// after which every thread clock is set to T_new.  The NIC drain term
+/// implements per-node serialization of fine-grained network traffic; the
+/// memory-bus drain implements the shared DRAM bandwidth of an SMP node
+/// (the t threads' misses contend for one bus); the exchange term prices
+/// collective exchange phases with the order-sensitive event-sweep
+/// simulation.
+class Runtime {
+ public:
+  Runtime(Topology topo, machine::CostParams params);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  const Topology& topo() const { return topo_; }
+  const machine::CostParams& params() const { return params_; }
+  const machine::MemoryModel& mem() const { return mem_model_; }
+  machine::NetworkModel& net() { return *net_; }
+
+  /// Run `f` SPMD on all threads; blocks until all complete.  May be called
+  /// repeatedly; cost clocks and stats persist across calls until
+  /// reset_costs().
+  void run(const std::function<void(ThreadCtx&)>& f);
+
+  /// Zero all clocks, stats and counters (not the topology).
+  void reset_costs();
+
+  /// Max thread clock after the last run (including a final NIC drain).
+  double modeled_time_ns() const { return finish_ns_; }
+  /// Per-category stats of the critical thread (element-wise max).
+  machine::PhaseStats critical_stats() const;
+  /// Element-wise sum over threads (total resource consumption).
+  machine::PhaseStats total_stats() const;
+
+  std::uint64_t barriers_executed() const { return barriers_; }
+
+ private:
+  friend class ThreadCtx;
+
+  struct alignas(64) Slot {
+    ThreadCtx* ctx = nullptr;
+    void* registry[ThreadCtx::kRegistrySlots] = {};
+  };
+
+  struct alignas(64) NodeBus {
+    std::atomic<std::uint64_t> busy_ns{0};
+  };
+
+  void barrier_sync(ThreadCtx& ctx, bool exchange);
+  void on_barrier();  // completion step, runs on one thread
+  void accrue_bus(int node, double ns);
+  double drain_bus_max_ns();
+
+  Topology topo_;
+  machine::CostParams params_;
+  machine::MemoryModel mem_model_;
+  std::unique_ptr<machine::NetworkModel> net_;
+  std::vector<Slot> slots_;
+  std::unique_ptr<NodeBus[]> bus_;
+  std::vector<std::int32_t> thread_node_;
+  std::unique_ptr<std::barrier<std::function<void()>>> bar_;
+  double last_barrier_ns_ = 0.0;
+  double finish_ns_ = 0.0;
+  std::uint64_t barriers_ = 0;
+  // Saved stats from threads of completed run() calls.
+  std::vector<machine::PhaseStats> saved_stats_;
+  std::vector<double> saved_clocks_;
+};
+
+}  // namespace pgraph::pgas

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace pgraph::pgas {
+
+/// Cluster topology: `nodes` SMP nodes, each running `threads_per_node` UPC
+/// threads.  UPC presents the s = nodes * threads_per_node threads as a flat
+/// sequence 0..s-1 (the paper discusses the limitations of this flatness);
+/// thread i runs on node i / threads_per_node.
+struct Topology {
+  int nodes = 1;
+  int threads_per_node = 1;
+
+  int total_threads() const { return nodes * threads_per_node; }
+
+  int node_of(int thread) const {
+    assert(thread >= 0 && thread < total_threads());
+    return thread / threads_per_node;
+  }
+
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+  /// thread -> node map (used by the exchange simulator).
+  std::vector<std::int32_t> thread_node_map() const {
+    std::vector<std::int32_t> m(static_cast<std::size_t>(total_threads()));
+    for (int i = 0; i < total_threads(); ++i)
+      m[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(node_of(i));
+    return m;
+  }
+
+  static Topology single_node(int threads) { return Topology{1, threads}; }
+  static Topology cluster(int nodes, int threads) {
+    return Topology{nodes, threads};
+  }
+};
+
+}  // namespace pgraph::pgas

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "pgas/global_array.hpp"
+#include "pgas/runtime.hpp"
+
+namespace pgraph::pgas::upc {
+
+/// A thin UPC-flavoured veneer over the runtime so that algorithm code can
+/// be written in the shape of the paper's Figure 1 ("CC-SMP and CC-UPC are
+/// almost identical except for the names of a few language constructs").
+/// It adds nothing semantically — every call forwards to ThreadCtx /
+/// GlobalArray — but it makes the correspondence with UPC source auditable:
+///
+///   upc::Env upc(ctx);
+///   upc.forall(0, n, affinity_of_D, [&](std::size_t i) { ... });
+///   upc.barrier();
+///
+/// maps to
+///
+///   upc_forall (i = 0; i < n; i++; &D[i]) { ... }
+///   upc_barrier;
+class Env {
+ public:
+  explicit Env(ThreadCtx& ctx) : ctx_(&ctx) {}
+
+  /// MYTHREAD / THREADS.
+  int mythread() const { return ctx_->id(); }
+  int threads() const { return ctx_->nthreads(); }
+
+  /// upc_barrier.
+  void barrier() { ctx_->barrier(); }
+
+  /// upc_forall with pointer affinity: the iteration for index i runs on
+  /// the thread that owns A[i] (UPC's `&A[i]` affinity expression).
+  template <class T, class Body>
+  void forall(std::size_t lo, std::size_t hi, GlobalArray<T>& affinity,
+              Body body) {
+    for (std::size_t i = lo; i < hi; ++i)
+      if (affinity.owner(i) == ctx_->id()) body(i);
+    ctx_->compute(hi - lo, machine::Cat::Work);  // affinity tests
+  }
+
+  /// upc_forall with integer affinity: iteration i runs on thread i % s.
+  template <class Body>
+  void forall(std::size_t lo, std::size_t hi, Body body) {
+    const auto s = static_cast<std::size_t>(ctx_->nthreads());
+    const auto me = static_cast<std::size_t>(ctx_->id());
+    for (std::size_t i = lo + me; i < hi;
+         i += s)  // cyclic, as UPC integer affinity
+      body(i);
+    ctx_->compute((hi - lo) / s + 1, machine::Cat::Work);
+  }
+
+  /// Shared-array element access (fine-grained, like compiled UPC code).
+  template <class T>
+  T read(GlobalArray<T>& a, std::size_t i) {
+    return a.get(*ctx_, i);
+  }
+  template <class T>
+  void write(GlobalArray<T>& a, std::size_t i, T v) {
+    a.put(*ctx_, i, v);
+  }
+
+  /// upc_memget / upc_memput (coalesced bulk transfers).
+  template <class T>
+  void memget(T* dst, GlobalArray<T>& src, std::size_t start,
+              std::size_t count) {
+    src.memget(*ctx_, start, count, dst);
+  }
+  template <class T>
+  void memput(GlobalArray<T>& dst, std::size_t start, const T* src,
+              std::size_t count) {
+    dst.memput(*ctx_, start, count, src);
+  }
+
+  ThreadCtx& ctx() { return *ctx_; }
+
+ private:
+  ThreadCtx* ctx_;
+};
+
+}  // namespace pgraph::pgas::upc

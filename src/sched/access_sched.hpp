@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "machine/memory_model.hpp"
+#include "machine/phase_stats.hpp"
+
+namespace pgraph::sched {
+
+/// Optional hook that records every *element index of D* touched during the
+/// access phase, in touch order.  Replaying the trace through
+/// machine::CacheSim validates the analytic model (bench/abl04).
+using AccessTrace = std::vector<std::uint64_t>;
+
+/// Aggregate cost report of one scheduled_gather call, split along the
+/// phases of Algorithm 1.
+struct SchedCost {
+  double sort_ns = 0.0;     ///< group phase (count sorts)
+  double access_ns = 0.0;   ///< access phase (touching D)
+  double permute_ns = 0.0;  ///< permute phase (restoring request order)
+
+  double total_ns() const { return sort_ns + access_ns + permute_ns; }
+};
+
+/// Algorithm 1 of the paper: compute C[i] = D[R[i]] for all i, with the
+/// accesses to D scheduled block-by-block.
+///
+/// `ws` (the W parameters) gives the fan-out of each recursion level; an
+/// empty list degenerates to the original unscheduled gather.  Each level
+/// partitions D into W blocks, groups the requests by target block with a
+/// stable counting sort, recurses into each block, and finally permutes the
+/// retrieved values back into request order.  The paper limits practical
+/// recursion depth to <= 3 (cluster / node / cache levels); this
+/// implementation accepts any depth.
+///
+/// Cost accounting (optional): if `mem` is non-null, the analytic cost of
+/// each phase is accumulated into `cost` using the equations of Section IV.
+/// If `trace` is non-null, the indices of D touched in the access phase are
+/// appended in order (for cache-simulator validation).
+void scheduled_gather(std::span<const std::uint64_t> D,
+                      std::span<const std::uint64_t> R,
+                      std::span<std::uint64_t> C,
+                      std::span<const std::size_t> ws,
+                      const machine::MemoryModel* mem = nullptr,
+                      SchedCost* cost = nullptr, AccessTrace* trace = nullptr);
+
+/// The unscheduled original: C[i] = D[R[i]] directly (for comparison).
+void direct_gather(std::span<const std::uint64_t> D,
+                   std::span<const std::uint64_t> R,
+                   std::span<std::uint64_t> C,
+                   const machine::MemoryModel* mem = nullptr,
+                   SchedCost* cost = nullptr, AccessTrace* trace = nullptr);
+
+/// Scatter counterpart: D[R[i]] = V[i], scheduled the same way ("parallel
+/// writes in a parallel step can be scheduled similarly").  Concurrent
+/// writes to the same location resolve to the last one in block order
+/// (arbitrary CRCW semantics).
+void scheduled_scatter(std::span<std::uint64_t> D,
+                       std::span<const std::uint64_t> R,
+                       std::span<const std::uint64_t> V,
+                       std::span<const std::size_t> ws,
+                       const machine::MemoryModel* mem = nullptr,
+                       SchedCost* cost = nullptr,
+                       AccessTrace* trace = nullptr);
+
+}  // namespace pgraph::sched

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace pgraph::sched {
+
+/// Virtual-thread block decomposition (Section IV): each of the s physical
+/// threads simulates t' virtual threads, so the shared array D is viewed as
+/// s * t' blocks and requests are grouped by *virtual* block.  The sub-block
+/// size is chosen so a block fits in a target cache level; the owner of a
+/// virtual block is the physical thread that owns the containing block.
+///
+/// Used as the counting-sort key inside the GetD/SetD/SetDMin collectives:
+/// sorting requests by virtual key gives the owner temporal locality within
+/// each sub-block during its gather/apply phase.
+struct VBlocks {
+  std::size_t n = 0;        ///< total elements in the shared array
+  std::size_t blk = 1;      ///< per-thread block size (ceil(n / s))
+  std::size_t sub_blk = 1;  ///< per-virtual-thread sub-block size
+  int nthreads = 1;
+  int tprime = 1;
+
+  VBlocks() = default;
+
+  VBlocks(std::size_t n_, int nthreads_, int tprime_)
+      : n(n_), nthreads(nthreads_), tprime(tprime_ < 1 ? 1 : tprime_) {
+    assert(nthreads_ >= 1);
+    blk = (n + static_cast<std::size_t>(nthreads) - 1) /
+          static_cast<std::size_t>(nthreads);
+    if (blk == 0) blk = 1;
+    sub_blk = (blk + static_cast<std::size_t>(tprime) - 1) /
+              static_cast<std::size_t>(tprime);
+    if (sub_blk == 0) sub_blk = 1;
+  }
+
+  std::size_t nbuckets() const {
+    return static_cast<std::size_t>(nthreads) *
+           static_cast<std::size_t>(tprime);
+  }
+
+  /// Physical owner thread of element i.
+  int owner(std::uint64_t i) const {
+    const auto t = static_cast<int>(i / blk);
+    return t >= nthreads ? nthreads - 1 : t;
+  }
+
+  /// Virtual bucket of element i: owner * t' + sub-block within the block.
+  std::size_t vkey(std::uint64_t i) const {
+    const int t = owner(i);
+    const std::uint64_t within = i - static_cast<std::uint64_t>(t) * blk;
+    std::size_t sub = static_cast<std::size_t>(within / sub_blk);
+    if (sub >= static_cast<std::size_t>(tprime))
+      sub = static_cast<std::size_t>(tprime) - 1;
+    return static_cast<std::size_t>(t) * static_cast<std::size_t>(tprime) +
+           sub;
+  }
+
+  /// First bucket belonging to physical thread t.
+  std::size_t first_bucket(int t) const {
+    return static_cast<std::size_t>(t) * static_cast<std::size_t>(tprime);
+  }
+};
+
+}  // namespace pgraph::sched

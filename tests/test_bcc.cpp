@@ -1,0 +1,146 @@
+// Biconnected components: Tarjan-Vishkin over the distributed substrate
+// against sequential Hopcroft-Tarjan, plus known-answer structures.
+#include <gtest/gtest.h>
+
+#include "core/bcc.hpp"
+#include "graph/generators.hpp"
+#include "graph/permute.hpp"
+#include "graph/rng.hpp"
+
+namespace core = pgraph::core;
+namespace g = pgraph::graph;
+namespace pg = pgraph::pgas;
+namespace m = pgraph::machine;
+
+namespace {
+pg::Runtime cluster(int nodes = 2, int threads = 2) {
+  return pg::Runtime(pg::Topology::cluster(nodes, threads),
+                     m::CostParams::hps_cluster());
+}
+}  // namespace
+
+TEST(BccSequential, PathIsAllBridges) {
+  const auto r = core::bcc_sequential(g::path_graph(6));
+  EXPECT_EQ(r.num_blocks, 5u);  // every edge its own block
+  // Interior vertices are articulation points; endpoints are not.
+  EXPECT_EQ(r.is_articulation[0], 0);
+  for (int v = 1; v <= 4; ++v) EXPECT_EQ(r.is_articulation[v], 1);
+  EXPECT_EQ(r.is_articulation[5], 0);
+}
+
+TEST(BccSequential, CycleIsOneBlock) {
+  const auto r = core::bcc_sequential(g::cycle_graph(7));
+  EXPECT_EQ(r.num_blocks, 1u);
+  for (const auto a : r.is_articulation) EXPECT_EQ(a, 0);
+}
+
+TEST(BccSequential, BowTie) {
+  // Two triangles sharing vertex 2: two blocks, one articulation point.
+  g::EdgeList el;
+  el.n = 5;
+  el.edges = {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 2}};
+  const auto r = core::bcc_sequential(el);
+  EXPECT_EQ(r.num_blocks, 2u);
+  EXPECT_EQ(r.edge_block[0], r.edge_block[1]);
+  EXPECT_EQ(r.edge_block[1], r.edge_block[2]);
+  EXPECT_EQ(r.edge_block[3], r.edge_block[4]);
+  EXPECT_NE(r.edge_block[0], r.edge_block[3]);
+  for (int v = 0; v < 5; ++v)
+    EXPECT_EQ(r.is_articulation[v], v == 2 ? 1 : 0) << v;
+}
+
+TEST(BccSequential, CliqueIsOneBlock) {
+  const auto r = core::bcc_sequential(g::disjoint_cliques(1, 6));
+  EXPECT_EQ(r.num_blocks, 1u);
+}
+
+TEST(BccSequential, ParallelEdgesFormABlock) {
+  g::EdgeList el;
+  el.n = 3;
+  el.edges = {{0, 1}, {0, 1}, {1, 2}};
+  const auto r = core::bcc_sequential(el);
+  EXPECT_EQ(r.num_blocks, 2u);
+  EXPECT_EQ(r.edge_block[0], r.edge_block[1]);  // the 2-cycle
+  EXPECT_NE(r.edge_block[0], r.edge_block[2]);  // the bridge
+  EXPECT_EQ(r.is_articulation[1], 1);
+}
+
+TEST(BccPgas, KnownStructuresMatchSequential) {
+  auto rt = cluster();
+  g::EdgeList bowtie;
+  bowtie.n = 5;
+  bowtie.edges = {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 2}};
+  for (const auto& el :
+       {g::path_graph(12), g::cycle_graph(9), g::disjoint_cliques(3, 5),
+        g::grid_graph(4, 5), g::star_graph(8), bowtie}) {
+    const auto seq = core::bcc_sequential(el);
+    const auto par = core::bcc_pgas(rt, el);
+    EXPECT_TRUE(core::same_blocks(par, seq)) << "n=" << el.n;
+  }
+}
+
+class BccP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BccP, RandomGraphsMatchSequential) {
+  const std::uint64_t seed = GetParam();
+  g::Xoshiro256 rng(seed);
+  auto rt = cluster(1 + static_cast<int>(seed % 3),
+                    1 + static_cast<int>(seed % 2));
+  for (int round = 0; round < 3; ++round) {
+    const std::size_t n = 30 + rng.next_below(400);
+    const std::size_t mm = std::min(n * (n - 1) / 2,
+                                    1 + rng.next_below(3 * n));
+    const auto el = g::random_graph(n, mm, seed * 31 + round);
+    const auto seq = core::bcc_sequential(el);
+    const auto par = core::bcc_pgas(rt, el);
+    EXPECT_TRUE(core::same_blocks(par, seq))
+        << "seed=" << seed << " n=" << n << " m=" << mm;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BccP,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(BccPgas, HybridGraph) {
+  auto rt = cluster(4, 2);
+  const auto el = g::hybrid_graph(800, 2400, 9);
+  EXPECT_TRUE(core::same_blocks(core::bcc_pgas(rt, el),
+                                core::bcc_sequential(el)));
+}
+
+TEST(BccPgas, SparseBarelyConnected) {
+  // m ~ n: mostly trees with a few cycles — bridge-heavy.
+  auto rt = cluster();
+  const auto el = g::random_graph(500, 520, 10);
+  const auto seq = core::bcc_sequential(el);
+  const auto par = core::bcc_pgas(rt, el);
+  EXPECT_TRUE(core::same_blocks(par, seq));
+  EXPECT_GT(seq.num_blocks, 100u);  // sanity: bridge-heavy
+}
+
+TEST(BccPgas, RejectsSelfLoops) {
+  g::EdgeList el;
+  el.n = 2;
+  el.edges = {{0, 0}};
+  auto rt = cluster();
+  EXPECT_THROW(core::bcc_pgas(rt, el), std::invalid_argument);
+  EXPECT_THROW(core::bcc_sequential(el), std::invalid_argument);
+}
+
+TEST(BccPgas, EdgelessAndEmpty) {
+  auto rt = cluster();
+  g::EdgeList el;
+  el.n = 4;
+  const auto r = core::bcc_pgas(rt, el);
+  EXPECT_EQ(r.num_blocks, 0u);
+  for (const auto a : r.is_articulation) EXPECT_EQ(a, 0);
+}
+
+TEST(BccPgas, CostsAccumulateAcrossPhases) {
+  auto rt = cluster();
+  const auto el = g::random_graph(300, 900, 11);
+  const auto r = core::bcc_pgas(rt, el);
+  EXPECT_GT(r.costs.modeled_ns, 0.0);
+  EXPECT_GT(r.costs.messages, 0u);
+  EXPECT_GT(r.costs.barriers, 0u);
+}

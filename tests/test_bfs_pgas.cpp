@@ -1,0 +1,79 @@
+// Distributed level-synchronous BFS against sequential distances, and the
+// O(diameter) round behaviour the paper's introduction discusses.
+#include <gtest/gtest.h>
+
+#include "core/bfs_pgas.hpp"
+#include "graph/generators.hpp"
+
+namespace core = pgraph::core;
+namespace g = pgraph::graph;
+namespace pg = pgraph::pgas;
+namespace m = pgraph::machine;
+
+TEST(BfsSequential, PathDistances) {
+  const auto el = g::path_graph(6);
+  const auto d = core::bfs_sequential_dist(el, 0);
+  EXPECT_EQ(d, (std::vector<std::uint64_t>{0, 1, 2, 3, 4, 5}));
+  const auto d2 = core::bfs_sequential_dist(el, 3);
+  EXPECT_EQ(d2, (std::vector<std::uint64_t>{3, 2, 1, 0, 1, 2}));
+}
+
+TEST(BfsSequential, UnreachableIsMarked) {
+  const auto el = g::disjoint_cliques(2, 3);
+  const auto d = core::bfs_sequential_dist(el, 0);
+  for (int i = 0; i < 3; ++i) EXPECT_NE(d[i], core::kBfsUnreached);
+  for (int i = 3; i < 6; ++i) EXPECT_EQ(d[i], core::kBfsUnreached);
+}
+
+class BfsP : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BfsP, MatchesSequentialOnVariedGraphs) {
+  const auto [nodes, threads] = GetParam();
+  pg::Runtime rt(pg::Topology::cluster(nodes, threads),
+                 m::CostParams::hps_cluster());
+  const g::EdgeList graphs[] = {
+      g::path_graph(50),
+      g::cycle_graph(41),
+      g::star_graph(60),
+      g::grid_graph(12, 13),
+      g::random_graph(400, 1200, 3),
+      g::hybrid_graph(300, 900, 4),
+      g::disjoint_cliques(4, 6),
+  };
+  for (std::size_t gi = 0; gi < std::size(graphs); ++gi) {
+    const std::uint64_t src = gi % graphs[gi].n;
+    const auto expect = core::bfs_sequential_dist(graphs[gi], src);
+    const auto got = core::bfs_pgas(rt, graphs[gi], src);
+    EXPECT_EQ(got.dist, expect) << nodes << "x" << threads << " g" << gi;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BfsP,
+                         ::testing::Values(std::tuple{1, 1},
+                                           std::tuple{1, 4},
+                                           std::tuple{2, 2},
+                                           std::tuple{4, 2}));
+
+TEST(BfsPgas, LevelsEqualEccentricityOnPath) {
+  pg::Runtime rt(pg::Topology::cluster(4, 1), m::CostParams::hps_cluster());
+  const auto el = g::path_graph(80);
+  const auto r = core::bfs_pgas(rt, el, 0);
+  // The frontier advances one hop per collective round: O(d) rounds.
+  EXPECT_EQ(r.levels, 79);
+  const auto r2 = core::bfs_pgas(rt, el, 40);
+  EXPECT_EQ(r2.levels, 40);
+}
+
+TEST(BfsPgas, LowDiameterNeedsFewLevels) {
+  pg::Runtime rt(pg::Topology::cluster(4, 2), m::CostParams::hps_cluster());
+  const auto el = g::random_graph(2000, 12000, 5);  // d = O(log n)
+  const auto r = core::bfs_pgas(rt, el, 0);
+  EXPECT_LE(r.levels, 12);
+  EXPECT_EQ(r.dist, core::bfs_sequential_dist(el, 0));
+}
+
+TEST(BfsPgas, RejectsBadSource) {
+  pg::Runtime rt(pg::Topology::cluster(1, 2), m::CostParams::hps_cluster());
+  const auto el = g::path_graph(5);
+  EXPECT_THROW(core::bfs_pgas(rt, el, 5), std::invalid_argument);
+}

@@ -1,0 +1,68 @@
+// Two-level cache hierarchy: inclusion on fills, level attribution, AMAT.
+#include <gtest/gtest.h>
+
+#include "graph/rng.hpp"
+#include "machine/cache_sim.hpp"
+
+namespace m = pgraph::machine;
+
+TEST(CacheHierarchy, ColdMissFillsBothLevels) {
+  m::CacheHierarchy h(1024, 2, 8192, 4, 64);
+  EXPECT_EQ(h.access(0), 3);   // memory
+  EXPECT_EQ(h.access(0), 1);   // now in L1
+  EXPECT_EQ(h.accesses(), 2u);
+  EXPECT_EQ(h.memory_accesses(), 1u);
+}
+
+TEST(CacheHierarchy, L2CatchesL1Evictions) {
+  // L1 = 2 lines total (1 set x 2 ways at 64B line, 128B), L2 = 64 lines.
+  m::CacheHierarchy h(128, 2, 4096, 4, 64);
+  // Touch 4 distinct lines: all L1-evict quickly but stay in L2.
+  for (int rep = 0; rep < 3; ++rep)
+    for (std::uint64_t a = 0; a < 4 * 64; a += 64) h.access(a);
+  EXPECT_EQ(h.memory_accesses(), 4u);          // only compulsory
+  EXPECT_GT(h.l2_hits(), 0u);                  // re-fetches served by L2
+}
+
+TEST(CacheHierarchy, WorkingSetDeterminesServiceLevel) {
+  pgraph::graph::Xoshiro256 rng(1);
+  const auto run = [&](std::size_t ws) {
+    m::CacheHierarchy h(4096, 4, 65536, 8, 64);
+    for (int i = 0; i < 60000; ++i) h.access(rng.next_below(ws) & ~7ull);
+    return h;
+  };
+  // Fits L1: nearly all L1 hits.
+  const auto small = run(2048);
+  EXPECT_GT(static_cast<double>(small.l1_hits()) /
+                static_cast<double>(small.accesses()),
+            0.99);
+  // Fits L2 but not L1: mostly L2.
+  const auto mid = run(32768);
+  EXPECT_GT(mid.l2_hits(), mid.accesses() / 2);
+  EXPECT_LT(mid.memory_accesses(), mid.accesses() / 10);
+  // Exceeds both: mostly memory.
+  const auto big = run(1 << 20);
+  EXPECT_GT(big.memory_accesses(), big.accesses() / 2);
+}
+
+TEST(CacheHierarchy, AmatOrdersWithWorkingSet) {
+  pgraph::graph::Xoshiro256 rng(2);
+  const auto amat = [&](std::size_t ws) {
+    m::CacheHierarchy h(4096, 4, 65536, 8, 64);
+    for (int i = 0; i < 50000; ++i) h.access(rng.next_below(ws) & ~7ull);
+    return h.amat_ns(1.0, 10.0, 90.0);
+  };
+  const double a1 = amat(2048), a2 = amat(32768), a3 = amat(1 << 21);
+  EXPECT_LT(a1, a2);
+  EXPECT_LT(a2, a3);
+  EXPECT_LT(a1, 2.0);    // ~L1 speed
+  EXPECT_GT(a3, 45.0);   // ~memory speed
+}
+
+TEST(CacheHierarchy, ResetClearsBoth) {
+  m::CacheHierarchy h(1024, 2, 8192, 4, 64);
+  h.access(0);
+  h.reset();
+  EXPECT_EQ(h.accesses(), 0u);
+  EXPECT_EQ(h.access(0), 3);  // cold again
+}

@@ -1,0 +1,109 @@
+// Trace-driven cache simulator tests, including the cross-validation of the
+// analytic MemoryModel that DESIGN.md's substitution table promises.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/rng.hpp"
+#include "machine/cache_sim.hpp"
+#include "machine/cost_params.hpp"
+#include "machine/memory_model.hpp"
+
+namespace m = pgraph::machine;
+
+TEST(CacheSim, RejectsBadGeometry) {
+  EXPECT_THROW(m::CacheSim(1000, 64, 4), std::invalid_argument);  // not mult
+  EXPECT_THROW(m::CacheSim(4096, 48, 4), std::invalid_argument);  // line !pow2
+  EXPECT_THROW(m::CacheSim(4096, 64, 0), std::invalid_argument);
+}
+
+TEST(CacheSim, Geometry) {
+  m::CacheSim c(8192, 64, 4);
+  EXPECT_EQ(c.num_sets(), 8192u / (64 * 4));
+  EXPECT_EQ(c.line_bytes(), 64u);
+  EXPECT_EQ(c.associativity(), 4u);
+}
+
+TEST(CacheSim, SequentialReuseHits) {
+  m::CacheSim c(4096, 64, 4);
+  for (int rep = 0; rep < 3; ++rep)
+    for (std::uint64_t a = 0; a < 4096; a += 8) c.access(a);
+  // First pass misses once per line; later passes hit.
+  EXPECT_EQ(c.misses(), 4096u / 64);
+  EXPECT_EQ(c.accesses(), 3u * 512);
+}
+
+TEST(CacheSim, LruEvictsOldest) {
+  // 1 set, 2 ways, 64B lines => addresses 0, 64, 128 conflict... they map
+  // to different sets unless sets==1: size = 64*2 = 128 bytes.
+  m::CacheSim c(128, 64, 2);
+  ASSERT_EQ(c.num_sets(), 1u);
+  c.access(0);      // miss, fills way 0
+  c.access(64);     // miss, fills way 1
+  c.access(0);      // hit, refreshes 0
+  c.access(128);    // miss, evicts 64 (LRU)
+  c.access(0);      // hit
+  c.access(64);     // miss (was evicted)
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 4u);
+}
+
+TEST(CacheSim, WorkingSetBiggerThanCacheThrashes) {
+  m::CacheSim c(4096, 64, 4);
+  // Stream over 16x the capacity repeatedly: ~every access misses.
+  for (int rep = 0; rep < 4; ++rep)
+    for (std::uint64_t a = 0; a < 4096 * 16; a += 64) c.access(a);
+  EXPECT_GT(c.miss_rate(), 0.99);
+}
+
+TEST(CacheSim, AccessRangeTouchesEachLineOnce) {
+  m::CacheSim c(1 << 16, 64, 8);
+  c.access_range(30, 1000);  // spans lines 0..16
+  EXPECT_EQ(c.accesses(), (30 + 1000 - 1) / 64 - 30 / 64 + 1);
+}
+
+TEST(CacheSim, ResetClearsContents) {
+  m::CacheSim c(4096, 64, 4);
+  c.access(0);
+  c.reset();
+  EXPECT_EQ(c.accesses(), 0u);
+  c.access(0);
+  EXPECT_EQ(c.misses(), 1u);  // cold again
+}
+
+/// Validation: random accesses over a working set W through the simulator
+/// should match the analytic miss fraction max(0, 1 - Z/W) within a
+/// tolerance, for W >> Z and W << Z.
+TEST(CacheSim, AnalyticModelMatchesSimulatedMissRate) {
+  const std::size_t cache_bytes = 1 << 15;  // 32 KiB
+  m::CostParams p = m::CostParams::hps_cluster();
+  p.cache_bytes = cache_bytes;
+  p.cache_line_bytes = 64;
+
+  pgraph::graph::Xoshiro256 rng(7);
+  for (const std::size_t ws_factor : {4u, 16u}) {
+    const std::size_t ws = cache_bytes * ws_factor;
+    m::CacheSim sim(cache_bytes, 64, 8);
+    // Warm up, then measure.
+    const int accesses = 200000;
+    for (int i = 0; i < accesses / 4; ++i)
+      sim.access(rng.next_below(ws) & ~7ull);
+    sim.reset_counters();
+    for (int i = 0; i < accesses; ++i)
+      sim.access(rng.next_below(ws) & ~7ull);
+    const double analytic =
+        1.0 - static_cast<double>(cache_bytes) / static_cast<double>(ws);
+    EXPECT_NEAR(sim.miss_rate(), analytic, 0.08)
+        << "working set factor " << ws_factor;
+  }
+  // Cache-resident working set: almost everything hits after warmup.
+  {
+    m::CacheSim sim(cache_bytes, 64, 8);
+    for (int i = 0; i < 100000; ++i)
+      sim.access(rng.next_below(cache_bytes / 2) & ~7ull);
+    sim.reset_counters();
+    for (int i = 0; i < 100000; ++i)
+      sim.access(rng.next_below(cache_bytes / 2) & ~7ull);
+    EXPECT_LT(sim.miss_rate(), 0.01);
+  }
+}

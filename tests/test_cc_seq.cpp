@@ -1,0 +1,72 @@
+// Sequential CC baselines and the partition-comparison helpers.
+#include <gtest/gtest.h>
+
+#include "core/cc_seq.hpp"
+#include "core/dsu.hpp"
+#include "graph/generators.hpp"
+
+namespace g = pgraph::graph;
+namespace core = pgraph::core;
+
+TEST(Dsu, BasicUnions) {
+  core::Dsu d(6);
+  EXPECT_TRUE(d.unite(0, 1));
+  EXPECT_TRUE(d.unite(2, 3));
+  EXPECT_FALSE(d.unite(1, 0));
+  EXPECT_TRUE(d.unite(1, 3));
+  EXPECT_EQ(d.find(0), d.find(3));
+  EXPECT_NE(d.find(0), d.find(4));
+  const auto labels = d.labels();
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_EQ(labels[4], 4u);
+}
+
+TEST(SamePartition, DetectsEqualAndUnequal) {
+  using V = std::vector<std::uint64_t>;
+  EXPECT_TRUE(core::same_partition(V{0, 0, 2}, V{5, 5, 9}));
+  EXPECT_FALSE(core::same_partition(V{0, 0, 2}, V{5, 6, 9}));
+  EXPECT_FALSE(core::same_partition(V{0, 1, 2}, V{5, 5, 9}));
+  EXPECT_FALSE(core::same_partition(V{0}, V{0, 1}));
+  EXPECT_TRUE(core::same_partition(V{}, V{}));
+}
+
+TEST(CcSeq, KnownStructures) {
+  EXPECT_EQ(core::cc_dsu(g::path_graph(10)).num_components, 1u);
+  EXPECT_EQ(core::cc_dsu(g::disjoint_cliques(5, 4)).num_components, 5u);
+  EXPECT_EQ(core::cc_dsu(g::star_graph(100)).num_components, 1u);
+  {
+    g::EdgeList el;
+    el.n = 7;  // no edges: 7 singletons
+    EXPECT_EQ(core::cc_dsu(el).num_components, 7u);
+  }
+}
+
+TEST(CcSeq, BfsMatchesDsuOnManyGraphs) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    for (const std::size_t n : {50u, 500u, 3000u}) {
+      const auto el = g::random_graph(n, n, seed);  // sparse => many comps
+      const auto a = core::cc_dsu(el);
+      const auto b = core::cc_bfs(el);
+      EXPECT_TRUE(core::same_partition(a.labels, b.labels))
+          << "n=" << n << " seed=" << seed;
+      EXPECT_EQ(a.num_components, b.num_components);
+    }
+  }
+  const auto hy = g::hybrid_graph(2000, 6000, 4);
+  EXPECT_TRUE(core::same_partition(core::cc_dsu(hy).labels,
+                                   core::cc_bfs(hy).labels));
+}
+
+TEST(CcSeq, ModeledCostPopulatedWithModel) {
+  const pgraph::machine::MemoryModel mm(
+      pgraph::machine::CostParams::hps_cluster());
+  const auto el = g::random_graph(1000, 4000, 5);
+  EXPECT_GT(core::cc_dsu(el, &mm).modeled_ns, 0.0);
+  EXPECT_GT(core::cc_bfs(el, &mm).modeled_ns, 0.0);
+  EXPECT_DOUBLE_EQ(core::cc_dsu(el).modeled_ns, 0.0);
+}
+
+TEST(CountComponents, Counts) {
+  EXPECT_EQ(core::count_components({1, 1, 2, 9}), 3u);
+  EXPECT_EQ(core::count_components({}), 0u);
+}

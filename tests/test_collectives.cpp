@@ -1,0 +1,341 @@
+// GetD / SetD / SetDMin (Algorithm 2) — semantics across topologies and
+// optimization configurations, plus the cost-shape properties the paper's
+// optimizations rely on.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <numeric>
+
+#include "collectives/getd.hpp"
+#include "collectives/setd.hpp"
+#include "graph/rng.hpp"
+#include "pgas/global_array.hpp"
+
+namespace pg = pgraph::pgas;
+namespace m = pgraph::machine;
+namespace c = pgraph::coll;
+using pgraph::graph::Xoshiro256;
+
+namespace {
+
+struct Config {
+  int nodes, threads;
+  c::CollectiveOptions opt;
+  const char* name;
+};
+
+std::ostream& operator<<(std::ostream& os, const Config& c) {
+  return os << c.name << "(" << c.nodes << "x" << c.threads << ")";
+}
+
+std::vector<Config> configs() {
+  std::vector<Config> out;
+  const auto base = c::CollectiveOptions::base();
+  const auto optd = c::CollectiveOptions::optimized(4);
+  c::CollectiveOptions circ_only;
+  circ_only.circular = true;
+  c::CollectiveOptions off_only;
+  off_only.offload = true;
+  c::CollectiveOptions tp;
+  tp.tprime = 6;
+  auto hier = c::CollectiveOptions::optimized();
+  hier.hierarchical = true;
+  for (const auto& [nodes, threads] :
+       {std::pair{1, 1}, {1, 4}, {2, 2}, {4, 2}}) {
+    out.push_back({nodes, threads, base, "base"});
+    out.push_back({nodes, threads, optd, "optimized"});
+  }
+  out.push_back({2, 3, circ_only, "circular-only"});
+  out.push_back({2, 3, off_only, "offload-only"});
+  out.push_back({2, 3, tp, "tprime-only"});
+  out.push_back({2, 3, hier, "hierarchical"});
+  out.push_back({4, 4, hier, "hierarchical-4x4"});
+  out.push_back({1, 4, hier, "hierarchical-1node"});
+  return out;
+}
+
+}  // namespace
+
+class CollectivesP : public ::testing::TestWithParam<Config> {};
+
+TEST_P(CollectivesP, GetDReturnsRequestedValues) {
+  const Config cfg = GetParam();
+  pg::Runtime rt(pg::Topology::cluster(cfg.nodes, cfg.threads),
+                 m::CostParams::hps_cluster());
+  const std::size_t n = 701;  // awkward size
+  pg::GlobalArray<std::uint64_t> d(rt, n);
+  for (std::size_t i = 0; i < n; ++i) d.raw(i) = 1000 + i * 3;
+  d.raw(0) = 0;  // offload contract: D[0] == 0
+  c::CollectiveContext cc(rt);
+
+  rt.run([&](pg::ThreadCtx& ctx) {
+    Xoshiro256 rng(100 + ctx.id());
+    const std::size_t mreq = 97 + 13 * static_cast<std::size_t>(ctx.id());
+    std::vector<std::uint64_t> idx(mreq);
+    for (auto& x : idx) x = rng.next_below(n);
+    idx[0] = 0;  // make sure the offload path triggers
+    std::vector<std::uint64_t> out(mreq);
+    c::CollWorkspace<std::uint64_t> ws;
+    // Run twice: the second call exercises the id-cache path.
+    for (int rep = 0; rep < 2; ++rep) {
+      c::getd(ctx, d, idx, std::span<std::uint64_t>(out), cfg.opt, cc, ws,
+              c::KnownElement{0, 0});
+      for (std::size_t i = 0; i < mreq; ++i)
+        ASSERT_EQ(out[i], d.raw(idx[i])) << "rep " << rep << " req " << i;
+    }
+  });
+}
+
+TEST_P(CollectivesP, SetDWritesAllValues) {
+  const Config cfg = GetParam();
+  pg::Runtime rt(pg::Topology::cluster(cfg.nodes, cfg.threads),
+                 m::CostParams::hps_cluster());
+  const std::size_t n = 512;
+  const int s = rt.topo().total_threads();
+  pg::GlobalArray<std::uint64_t> d(rt, n);
+  for (std::size_t i = 0; i < n; ++i) d.raw(i) = UINT64_MAX;
+  c::CollectiveContext cc(rt);
+
+  // Disjoint targets: thread t writes indices congruent to t mod s.
+  rt.run([&](pg::ThreadCtx& ctx) {
+    std::vector<std::uint64_t> idx, val;
+    for (std::size_t i = static_cast<std::size_t>(ctx.id()); i < n;
+         i += static_cast<std::size_t>(s)) {
+      idx.push_back(i);
+      val.push_back(i * 7 + 1);
+    }
+    c::CollWorkspace<std::uint64_t> ws;
+    c::setd(ctx, d, idx, std::span<const std::uint64_t>(val), cfg.opt, cc,
+            ws);
+    ctx.barrier();
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(d.raw(i), i * 7 + 1);
+}
+
+TEST_P(CollectivesP, SetDArbitraryPicksOneOfTheProposals) {
+  const Config cfg = GetParam();
+  pg::Runtime rt(pg::Topology::cluster(cfg.nodes, cfg.threads),
+                 m::CostParams::hps_cluster());
+  const std::size_t n = 64;
+  pg::GlobalArray<std::uint64_t> d(rt, n);
+  for (std::size_t i = 0; i < n; ++i) d.raw(i) = 0;
+  c::CollectiveContext cc(rt);
+
+  // Every thread writes its id+1 to every cell: result must be one of them.
+  rt.run([&](pg::ThreadCtx& ctx) {
+    std::vector<std::uint64_t> idx(n), val(n);
+    std::iota(idx.begin(), idx.end(), 0);
+    std::fill(val.begin(), val.end(),
+              static_cast<std::uint64_t>(ctx.id()) + 1);
+    c::CollWorkspace<std::uint64_t> ws;
+    c::setd(ctx, d, idx, std::span<const std::uint64_t>(val), cfg.opt, cc,
+            ws);
+    ctx.barrier();
+  });
+  const std::uint64_t s = static_cast<std::uint64_t>(
+      rt.topo().total_threads());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_GE(d.raw(i), 1u);
+    EXPECT_LE(d.raw(i), s);
+  }
+}
+
+TEST_P(CollectivesP, SetDMinKeepsTheMinimum) {
+  const Config cfg = GetParam();
+  pg::Runtime rt(pg::Topology::cluster(cfg.nodes, cfg.threads),
+                 m::CostParams::hps_cluster());
+  const std::size_t n = 128;
+  pg::GlobalArray<std::uint64_t> d(rt, n);
+  for (std::size_t i = 0; i < n; ++i) d.raw(i) = UINT64_MAX;
+  c::CollectiveContext cc(rt);
+
+  rt.run([&](pg::ThreadCtx& ctx) {
+    // Thread t proposes (i * 100 + t) for every i; min over t is i*100.
+    std::vector<std::uint64_t> idx(n), val(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      idx[i] = i;
+      val[i] = i * 100 + static_cast<std::uint64_t>(ctx.id());
+    }
+    c::CollWorkspace<std::uint64_t> ws;
+    c::setd_min(ctx, d, idx, std::span<const std::uint64_t>(val), cfg.opt,
+                cc, ws);
+    ctx.barrier();
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(d.raw(i), i * 100);
+}
+
+namespace {
+struct Rec {
+  std::uint64_t key = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t info = 0;
+  friend bool operator<(const Rec& a, const Rec& b) { return a.key < b.key; }
+};
+}  // namespace
+
+TEST_P(CollectivesP, SetDMinTwoWordRecords) {
+  const Config cfg = GetParam();
+  pg::Runtime rt(pg::Topology::cluster(cfg.nodes, cfg.threads),
+                 m::CostParams::hps_cluster());
+  const std::size_t n = 40;
+  pg::GlobalArray<Rec> d(rt, n);
+  c::CollectiveContext cc(rt);
+
+  rt.run([&](pg::ThreadCtx& ctx) {
+    std::vector<std::uint64_t> idx(n);
+    std::vector<Rec> val(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      idx[i] = i;
+      const std::uint64_t k = (static_cast<std::uint64_t>(ctx.id()) + i) %
+                              static_cast<std::uint64_t>(ctx.nthreads());
+      val[i] = {k, 1000 + k};  // info rides along with the winning key
+    }
+    c::CollWorkspace<Rec> ws;
+    c::setd_min(ctx, d, idx, std::span<const Rec>(val), cfg.opt, cc, ws);
+    ctx.barrier();
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(d.raw(i).key, 0u);
+    EXPECT_EQ(d.raw(i).info, 1000u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CollectivesP, ::testing::ValuesIn(configs()));
+
+// --- cost-shape properties -------------------------------------------------
+
+TEST(CollectiveCosts, CoalescedGetDBeatsFineGrainedGets) {
+  const pg::Topology topo = pg::Topology::cluster(4, 2);
+  const std::size_t n = 4096, mreq = 4096;
+
+  pg::Runtime rt1(topo, m::CostParams::hps_cluster());
+  pg::GlobalArray<std::uint64_t> d1(rt1, n);
+  c::CollectiveContext cc(rt1);
+  rt1.run([&](pg::ThreadCtx& ctx) {
+    Xoshiro256 rng(5 + ctx.id());
+    std::vector<std::uint64_t> idx(mreq), out(mreq);
+    for (auto& x : idx) x = rng.next_below(n);
+    c::CollWorkspace<std::uint64_t> ws;
+    c::getd(ctx, d1, idx, std::span<std::uint64_t>(out),
+            c::CollectiveOptions::base(), cc, ws);
+  });
+
+  pg::Runtime rt2(topo, m::CostParams::hps_cluster());
+  pg::GlobalArray<std::uint64_t> d2(rt2, n);
+  rt2.run([&](pg::ThreadCtx& ctx) {
+    Xoshiro256 rng(5 + ctx.id());
+    for (std::size_t i = 0; i < mreq; ++i) d2.get(ctx, rng.next_below(n));
+    ctx.barrier();
+  });
+
+  // Communication coalescing: order(s) of magnitude fewer messages and a
+  // large modeled-time gap (Figure 3 shows ~70x for full CC).
+  EXPECT_LT(rt1.net().total_messages(), rt2.net().total_messages() / 20);
+  EXPECT_LT(rt1.modeled_time_ns(), rt2.modeled_time_ns() / 5);
+}
+
+TEST(CollectiveCosts, CircularReducesExchangeTime) {
+  const pg::Topology topo = pg::Topology::cluster(8, 1);
+  const std::size_t n = 1 << 15, mreq = 1 << 15;
+  const auto run_with = [&](bool circular) {
+    pg::Runtime rt(topo, m::CostParams::hps_cluster());
+    pg::GlobalArray<std::uint64_t> d(rt, n);
+    c::CollectiveContext cc(rt);
+    c::CollectiveOptions opt;
+    opt.circular = circular;
+    rt.run([&](pg::ThreadCtx& ctx) {
+      Xoshiro256 rng(9 + ctx.id());
+      std::vector<std::uint64_t> idx(mreq), out(mreq);
+      for (auto& x : idx) x = rng.next_below(n);
+      c::CollWorkspace<std::uint64_t> ws;
+      for (int rep = 0; rep < 3; ++rep)
+        c::getd(ctx, d, idx, std::span<std::uint64_t>(out), opt, cc, ws);
+    });
+    return rt.critical_stats().get(m::Cat::Comm);
+  };
+  const double ident = run_with(false);
+  const double circ = run_with(true);
+  EXPECT_GT(ident, 1.2 * circ);
+}
+
+TEST(CollectiveCosts, OffloadDropsHotspotTraffic) {
+  const pg::Topology topo = pg::Topology::cluster(4, 1);
+  const std::size_t n = 1 << 12, mreq = 1 << 14;
+  const auto msgs_with = [&](bool offload) {
+    pg::Runtime rt(topo, m::CostParams::hps_cluster());
+    pg::GlobalArray<std::uint64_t> d(rt, n);
+    d.raw(0) = 0;
+    c::CollectiveContext cc(rt);
+    c::CollectiveOptions opt;
+    opt.offload = offload;
+    rt.run([&](pg::ThreadCtx& ctx) {
+      // 90% of requests hit index 0 — the pointer-jumping hotspot.
+      Xoshiro256 rng(3 + ctx.id());
+      std::vector<std::uint64_t> idx(mreq), out(mreq);
+      for (auto& x : idx)
+        x = rng.next_below(10) == 0 ? rng.next_below(n) : 0;
+      c::CollWorkspace<std::uint64_t> ws;
+      c::getd(ctx, d, idx, std::span<std::uint64_t>(out), opt, cc, ws,
+              c::KnownElement{0, 0});
+      for (std::size_t i = 0; i < mreq; ++i)
+        ASSERT_EQ(out[i], d.raw(idx[i]));
+    });
+    return rt.net().total_bytes();
+  };
+  EXPECT_LT(msgs_with(true), msgs_with(false) / 2);
+}
+
+TEST(CollectiveCosts, TprimeReducesOwnerGatherCopyTime) {
+  // Larger t' shrinks the owner's gather working set (Copy category) —
+  // the Figure 4 mechanism.
+  const pg::Topology topo = pg::Topology::single_node(2);
+  const std::size_t n = 1 << 20, mreq = 1 << 18;
+  const auto copy_with = [&](int tprime) {
+    m::CostParams p = m::CostParams::hps_cluster();
+    p.cache_bytes = 1 << 16;
+    pg::Runtime rt(topo, p);
+    pg::GlobalArray<std::uint64_t> d(rt, n);
+    c::CollectiveContext cc(rt);
+    c::CollectiveOptions opt;
+    opt.tprime = tprime;
+    rt.run([&](pg::ThreadCtx& ctx) {
+      Xoshiro256 rng(13 + ctx.id());
+      std::vector<std::uint64_t> idx(mreq), out(mreq);
+      for (auto& x : idx) x = rng.next_below(n);
+      c::CollWorkspace<std::uint64_t> ws;
+      c::getd(ctx, d, idx, std::span<std::uint64_t>(out), opt, cc, ws);
+    });
+    return rt.critical_stats().get(m::Cat::Copy);
+  };
+  EXPECT_GT(copy_with(1), 1.5 * copy_with(64));
+}
+
+
+TEST(CollectiveCosts, HierarchicalEliminatesTheFineMessageBurst) {
+  // Section VI's future-work proposal: the SMatrix/PMatrix all-to-all
+  // involves only p processes instead of s = p*t threads.
+  const pg::Topology topo = pg::Topology::cluster(4, 4);
+  const std::size_t n = 1 << 12, mreq = 1 << 12;
+  const auto run_with = [&](bool hierarchical) {
+    pg::Runtime rt(topo, m::CostParams::hps_cluster());
+    pg::GlobalArray<std::uint64_t> d(rt, n);
+    c::CollectiveContext cc(rt);
+    auto opt = c::CollectiveOptions::optimized();
+    opt.hierarchical = hierarchical;
+    rt.run([&](pg::ThreadCtx& ctx) {
+      Xoshiro256 rng(3 + ctx.id());
+      std::vector<std::uint64_t> idx(mreq), out(mreq);
+      for (auto& x : idx) x = rng.next_below(n);
+      c::CollWorkspace<std::uint64_t> ws;
+      c::getd(ctx, d, idx, std::span<std::uint64_t>(out), opt, cc, ws);
+      for (std::size_t i = 0; i < mreq; ++i)
+        ASSERT_EQ(out[i], d.raw(idx[i]));
+    });
+    return rt.net().fine_messages();
+  };
+  const auto flat = run_with(false);
+  const auto hier = run_with(true);
+  // Flat: ~2 * s^2 fine puts; hierarchical: none at all (the tiles travel
+  // as coalesced messages).
+  EXPECT_GT(flat, 200u);
+  EXPECT_EQ(hier, 0u);
+}

@@ -1,0 +1,206 @@
+// Ear decomposition (Maon-Schieber-Vishkin labels over the distributed
+// substrate): known answers, structural decomposition invariants verified
+// incrementally, and bridge cross-checks against biconnectivity.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/bcc.hpp"
+#include "core/dsu.hpp"
+#include "core/ears.hpp"
+#include "graph/generators.hpp"
+#include "graph/rng.hpp"
+
+namespace core = pgraph::core;
+namespace g = pgraph::graph;
+namespace pg = pgraph::pgas;
+namespace m = pgraph::machine;
+
+namespace {
+
+pg::Runtime cluster() {
+  return pg::Runtime(pg::Topology::cluster(2, 2),
+                     m::CostParams::hps_cluster());
+}
+
+/// Structural verification of a decomposition:
+///  - ear ids are dense [0, num_ears);
+///  - each ear's edge set forms a simple path or cycle;
+///  - taken in id order, the first ear touching any set of fresh vertices
+///    is a cycle, and every later ear attaches to previously-seen vertices
+///    (path: both endpoints seen, internals fresh; cycle: >= 1 seen).
+void verify_decomposition(const g::EdgeList& el, const core::EarResult& r) {
+  ASSERT_EQ(r.ear.size(), el.m());
+  // Group edges by ear.
+  std::map<std::uint64_t, std::vector<std::size_t>> ears;
+  std::uint64_t bridges = 0;
+  for (std::size_t e = 0; e < el.m(); ++e) {
+    if (r.ear[e] == core::kBridge) {
+      ++bridges;
+      continue;
+    }
+    ASSERT_LT(r.ear[e], r.num_ears);
+    ears[r.ear[e]].push_back(e);
+  }
+  EXPECT_EQ(bridges, r.num_bridges);
+  EXPECT_EQ(ears.size(), r.num_ears);
+
+  std::set<std::uint64_t> seen;  // vertices on processed ears
+  for (const auto& [id, edges] : ears) {
+    // Degree profile of the ear's subgraph.
+    std::map<std::uint64_t, int> deg;
+    for (const auto e : edges) {
+      ++deg[el.edges[e].u];
+      ++deg[el.edges[e].v];
+    }
+    std::vector<std::uint64_t> endpoints;
+    for (const auto& [v, d] : deg) {
+      ASSERT_LE(d, 2) << "ear " << id << " is not a path/cycle";
+      if (d == 1) endpoints.push_back(v);
+    }
+    ASSERT_TRUE(endpoints.size() == 2 || endpoints.empty())
+        << "ear " << id;
+    // Connectivity of the ear (walk it).
+    {
+      std::map<std::uint64_t, std::vector<std::uint64_t>> adj;
+      for (const auto e : edges) {
+        adj[el.edges[e].u].push_back(el.edges[e].v);
+        adj[el.edges[e].v].push_back(el.edges[e].u);
+      }
+      std::set<std::uint64_t> vis;
+      std::vector<std::uint64_t> stack = {deg.begin()->first};
+      while (!stack.empty()) {
+        const auto v = stack.back();
+        stack.pop_back();
+        if (!vis.insert(v).second) continue;
+        for (const auto w : adj[v]) stack.push_back(w);
+      }
+      ASSERT_EQ(vis.size(), deg.size()) << "ear " << id << " disconnected";
+    }
+    // Attachment discipline.
+    if (endpoints.size() == 2) {
+      // Open ear: endpoints on earlier ears (unless this component's
+      // decomposition is just starting, which only a cycle may do).
+      EXPECT_TRUE(seen.count(endpoints[0])) << "ear " << id;
+      EXPECT_TRUE(seen.count(endpoints[1])) << "ear " << id;
+      for (const auto& [v, d] : deg) {
+        if (d == 2) {
+          EXPECT_FALSE(seen.count(v))
+              << "ear " << id << " re-visits interior vertex " << v;
+        }
+      }
+    } else {
+      // Cycle: either opens a fresh 2-edge-connected component, or hangs
+      // off exactly one articulation vertex of an earlier ear.
+      int already = 0;
+      for (const auto& [v, d] : deg) already += seen.count(v) ? 1 : 0;
+      EXPECT_LE(already, 1) << "cycle ear " << id;
+    }
+    for (const auto& [v, d] : deg) seen.insert(v);
+  }
+}
+
+}  // namespace
+
+TEST(Ears, CycleIsOneEar) {
+  auto rt = cluster();
+  const auto r = core::ear_decomposition_pgas(rt, g::cycle_graph(9));
+  EXPECT_EQ(r.num_ears, 1u);
+  EXPECT_EQ(r.num_bridges, 0u);
+  verify_decomposition(g::cycle_graph(9), r);
+}
+
+TEST(Ears, PathIsAllBridges) {
+  auto rt = cluster();
+  const auto r = core::ear_decomposition_pgas(rt, g::path_graph(8));
+  EXPECT_EQ(r.num_ears, 0u);
+  EXPECT_EQ(r.num_bridges, 7u);
+}
+
+TEST(Ears, CliqueCount) {
+  // m - n + 1 ears for a connected bridgeless graph.
+  const auto el = g::disjoint_cliques(1, 6);
+  auto rt = cluster();
+  const auto r = core::ear_decomposition_pgas(rt, el);
+  EXPECT_EQ(r.num_ears, el.m() - el.n + 1);
+  EXPECT_EQ(r.num_bridges, 0u);
+  verify_decomposition(el, r);
+}
+
+TEST(Ears, ThetaGraph) {
+  // Two hubs joined by three disjoint paths: 2 ears.
+  g::EdgeList el;
+  el.n = 5;  // hubs 0,4; middles 1,2,3
+  el.edges = {{0, 1}, {1, 4}, {0, 2}, {2, 4}, {0, 3}, {3, 4}};
+  auto rt = cluster();
+  const auto r = core::ear_decomposition_pgas(rt, el);
+  EXPECT_EQ(r.num_ears, 2u);
+  EXPECT_EQ(r.num_bridges, 0u);
+  verify_decomposition(el, r);
+}
+
+TEST(Ears, BowtieTwoCycleEars) {
+  g::EdgeList el;
+  el.n = 5;
+  el.edges = {{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 2}};
+  auto rt = cluster();
+  const auto r = core::ear_decomposition_pgas(rt, el);
+  EXPECT_EQ(r.num_ears, 2u);
+  EXPECT_EQ(r.num_bridges, 0u);
+  verify_decomposition(el, r);
+}
+
+TEST(Ears, GridDecomposition) {
+  const auto el = g::grid_graph(5, 6);
+  auto rt = cluster();
+  const auto r = core::ear_decomposition_pgas(rt, el);
+  EXPECT_EQ(r.num_ears, el.m() - el.n + 1);
+  EXPECT_EQ(r.num_bridges, 0u);
+  verify_decomposition(el, r);
+}
+
+class EarsP : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EarsP, RandomGraphsDecomposeAndMatchBccBridges) {
+  const std::uint64_t seed = GetParam();
+  g::Xoshiro256 rng(seed);
+  auto rt = cluster();
+  for (int round = 0; round < 2; ++round) {
+    const std::size_t n = 30 + rng.next_below(300);
+    const std::size_t mm = std::min(n * (n - 1) / 2,
+                                    1 + rng.next_below(3 * n));
+    const auto el = g::random_graph(n, mm, seed * 13 + round);
+    const auto r = core::ear_decomposition_pgas(rt, el);
+    verify_decomposition(el, r);
+    // Cross-check: bridges are exactly the singleton blocks of the
+    // biconnectivity decomposition.
+    const auto bcc = core::bcc_sequential(el);
+    std::map<std::uint64_t, int> block_size;
+    for (const auto b : bcc.edge_block) ++block_size[b];
+    for (std::size_t e = 0; e < el.m(); ++e) {
+      const bool is_bridge = r.ear[e] == core::kBridge;
+      EXPECT_EQ(is_bridge, block_size[bcc.edge_block[e]] == 1)
+          << "edge " << e << " seed " << seed;
+    }
+    // Count: ears per connected component sum to m' - n' + c'.
+    // (num_ears == #nontree edges of the spanning forest.)
+    std::uint64_t tree_edges = 0;
+    {
+      core::Dsu d(el.n);
+      for (const auto& e : el.edges)
+        if (d.unite(e.u, e.v)) ++tree_edges;
+    }
+    EXPECT_EQ(r.num_ears, el.m() - tree_edges);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EarsP, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Ears, RejectsSelfLoops) {
+  g::EdgeList el;
+  el.n = 2;
+  el.edges = {{0, 0}};
+  auto rt = cluster();
+  EXPECT_THROW(core::ear_decomposition_pgas(rt, el), std::invalid_argument);
+}

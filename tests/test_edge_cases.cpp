@@ -1,0 +1,128 @@
+// Degenerate-shape edge cases: more threads than elements, tiny inputs,
+// and exact-determinism regression guards for the cost model.
+#include <gtest/gtest.h>
+
+#include "collectives/getd.hpp"
+#include "collectives/setd.hpp"
+#include "core/cc_coalesced.hpp"
+#include "core/cc_seq.hpp"
+#include "core/mst_pgas.hpp"
+#include "core/mst_seq.hpp"
+#include "graph/generators.hpp"
+#include "pgas/global_array.hpp"
+
+namespace c = pgraph::coll;
+namespace core = pgraph::core;
+namespace g = pgraph::graph;
+namespace pg = pgraph::pgas;
+namespace m = pgraph::machine;
+
+TEST(EdgeCases, GlobalArraySmallerThanThreadCount) {
+  pg::Runtime rt(pg::Topology::cluster(4, 2), m::CostParams::hps_cluster());
+  pg::GlobalArray<std::uint64_t> a(rt, 3);  // 8 threads, 3 elements
+  EXPECT_EQ(a.block_size(), 1u);
+  EXPECT_EQ(a.owner(2), 2);
+  for (int t = 3; t < 8; ++t) EXPECT_EQ(a.local_size(t), 0u);
+  rt.run([&](pg::ThreadCtx& ctx) {
+    auto blk = a.local_span(ctx.id());
+    for (auto& x : blk) x = 7;
+    ctx.barrier();
+    EXPECT_EQ(a.get(ctx, 2), 7u);
+    ctx.barrier();
+  });
+}
+
+TEST(EdgeCases, CollectivesOnTinyArrays) {
+  pg::Runtime rt(pg::Topology::cluster(4, 2), m::CostParams::hps_cluster());
+  pg::GlobalArray<std::uint64_t> d(rt, 5);
+  for (std::size_t i = 0; i < 5; ++i) d.raw(i) = 100 + i;
+  c::CollectiveContext cc(rt);
+  rt.run([&](pg::ThreadCtx& ctx) {
+    // Every thread asks for every element; some threads own nothing.
+    std::vector<std::uint64_t> idx = {0, 1, 2, 3, 4};
+    std::vector<std::uint64_t> out(5);
+    c::CollWorkspace<std::uint64_t> ws;
+    c::getd(ctx, d, idx, std::span<std::uint64_t>(out),
+            c::CollectiveOptions::optimized(), cc, ws);
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(out[i], 100 + i);
+    // And a SetDMin with everyone proposing.
+    std::vector<std::uint64_t> val(5,
+                                   static_cast<std::uint64_t>(ctx.id()) + 50);
+    c::setd_min(ctx, d, idx, std::span<const std::uint64_t>(val),
+                c::CollectiveOptions::optimized(), cc, ws);
+    ctx.barrier();
+  });
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(d.raw(i), 50u);
+}
+
+TEST(EdgeCases, CcWithMoreThreadsThanVertices) {
+  pg::Runtime rt(pg::Topology::cluster(4, 3), m::CostParams::hps_cluster());
+  g::EdgeList el;
+  el.n = 5;
+  el.edges = {{0, 1}, {2, 3}};
+  const auto r = core::cc_coalesced(rt, el);
+  EXPECT_EQ(r.num_components, 3u);
+  EXPECT_TRUE(core::same_partition(r.labels, core::cc_dsu(el).labels));
+}
+
+TEST(EdgeCases, MstWithMoreThreadsThanEdges) {
+  pg::Runtime rt(pg::Topology::cluster(4, 3), m::CostParams::hps_cluster());
+  g::WEdgeList el;
+  el.n = 4;
+  el.edges = {{0, 1, 5}, {1, 2, 3}};
+  const auto r = core::mst_pgas(rt, el);
+  EXPECT_EQ(r.total_weight, 8u);
+  EXPECT_EQ(r.edges.size(), 2u);
+}
+
+TEST(EdgeCases, SingleThreadSingleNodeEverything) {
+  pg::Runtime rt(pg::Topology::single_node(1), m::CostParams::smp_node());
+  const auto el = g::random_graph(200, 600, 1);
+  EXPECT_TRUE(core::same_partition(core::cc_coalesced(rt, el).labels,
+                                   core::cc_dsu(el).labels));
+  const auto wel = g::with_random_weights(el, 2);
+  EXPECT_EQ(core::mst_pgas(rt, wel).total_weight,
+            core::mst_kruskal(wel).total_weight);
+}
+
+TEST(EdgeCases, ModeledTimeIsExactlyDeterministic) {
+  // The whole point of a cost model over wall clocks: identical runs give
+  // bit-identical modeled times, messages, and breakdowns.
+  const auto el = g::random_graph(400, 1600, 3);
+  const auto run_once = [&] {
+    pg::Runtime rt(pg::Topology::cluster(4, 2),
+                   m::CostParams::hps_cluster());
+    const auto r = core::cc_coalesced(rt, el);
+    return std::tuple{r.costs.modeled_ns, r.costs.messages,
+                      r.costs.breakdown.get(m::Cat::Comm),
+                      r.costs.breakdown.get(m::Cat::Copy)};
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(std::get<0>(a), std::get<0>(b));
+  EXPECT_EQ(std::get<1>(a), std::get<1>(b));
+  EXPECT_EQ(std::get<2>(a), std::get<2>(b));
+  EXPECT_EQ(std::get<3>(a), std::get<3>(b));
+}
+
+TEST(EdgeCases, MstModeledTimeDeterministic) {
+  const auto wel = g::with_random_weights(g::random_graph(300, 900, 4), 5);
+  const auto run_once = [&] {
+    pg::Runtime rt(pg::Topology::cluster(2, 2),
+                   m::CostParams::hps_cluster());
+    return core::mst_pgas(rt, wel).costs.modeled_ns;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(EdgeCases, DenseTinyGraph) {
+  // Complete graph on 8 vertices across 8 threads.
+  pg::Runtime rt(pg::Topology::cluster(4, 2), m::CostParams::hps_cluster());
+  const auto el = g::disjoint_cliques(1, 8);
+  const auto r = core::cc_coalesced(rt, el);
+  EXPECT_EQ(r.num_components, 1u);
+  const auto wel = g::with_random_weights(el, 6);
+  const auto mst = core::mst_pgas(rt, wel);
+  EXPECT_EQ(mst.edges.size(), 7u);
+  EXPECT_EQ(mst.total_weight, core::mst_kruskal(wel).total_weight);
+}

@@ -1,0 +1,216 @@
+// Euler-tour technique: tour construction invariants and the distributed
+// (list-ranking-powered) tree metrics against sequential DFS — including
+// the full pipeline spanning_tree -> euler tour -> metrics.
+#include <gtest/gtest.h>
+
+#include "core/cc_seq.hpp"
+#include "core/euler_tour.hpp"
+#include "core/mst_pgas.hpp"
+#include "graph/generators.hpp"
+#include "graph/permute.hpp"
+#include "graph/rng.hpp"
+
+namespace core = pgraph::core;
+namespace g = pgraph::graph;
+namespace pg = pgraph::pgas;
+namespace m = pgraph::machine;
+
+namespace {
+
+pg::Runtime cluster() {
+  return pg::Runtime(pg::Topology::cluster(2, 2),
+                     m::CostParams::hps_cluster());
+}
+
+/// A deterministic random tree: vertex i>0 attaches to a random earlier
+/// vertex, then the whole tree is relabeled to kill index structure.
+g::EdgeList random_tree(std::size_t n, std::uint64_t seed) {
+  g::EdgeList el;
+  el.n = n;
+  g::Xoshiro256 rng(seed);
+  for (std::size_t i = 1; i < n; ++i)
+    el.edges.push_back({rng.next_below(i), i});
+  const auto perm = g::random_permutation(n, seed + 1);
+  return g::relabel(el, perm);
+}
+
+void expect_metrics_equal(const core::TreeMetrics& got,
+                          const core::TreeMetrics& want, std::size_t n) {
+  for (std::size_t v = 0; v < n; ++v) {
+    EXPECT_EQ(got.depth[v], want.depth[v]) << "depth of " << v;
+    EXPECT_EQ(got.subtree_size[v], want.subtree_size[v])
+        << "subtree of " << v;
+    EXPECT_EQ(got.parent[v], want.parent[v]) << "parent of " << v;
+  }
+}
+
+/// The property Tarjan-Vishkin builds on: within each component, preorder
+/// is a bijection to [0, comp size) and subtree(v) is the contiguous
+/// interval [pre(v), pre(v) + size(v)).
+void expect_preorder_intervals(const core::TreeMetrics& m, std::size_t n) {
+  for (std::size_t v = 0; v < n; ++v) {
+    ASSERT_NE(m.preorder[v], UINT64_MAX) << v;
+    if (m.parent[v] == v) continue;  // component root
+    const auto p = m.parent[v];
+    // Child interval nested in parent interval, strictly after its start.
+    EXPECT_GT(m.preorder[v], m.preorder[p]);
+    EXPECT_LE(m.preorder[v] + m.subtree_size[v],
+              m.preorder[p] + m.subtree_size[p]);
+    EXPECT_EQ(m.depth[v], m.depth[p] + 1);
+  }
+}
+
+}  // namespace
+
+TEST(EulerTour, TourIsAPermutationCoveringAllArcs) {
+  const auto tree = random_tree(64, 3);
+  const auto t = core::build_euler_tour(tree, 0);
+  ASSERT_EQ(t.arcs(), 2 * tree.m());
+  // Walk from the root's first arc: must visit every arc exactly once.
+  std::vector<bool> seen(t.arcs(), false);
+  std::uint64_t a = t.first_arc[t.root];
+  std::size_t count = 0;
+  for (;;) {
+    ASSERT_FALSE(seen[a]);
+    seen[a] = true;
+    ++count;
+    if (t.succ[a] == a) break;
+    a = t.succ[a];
+  }
+  EXPECT_EQ(count, t.arcs());
+  // Consecutive arcs share a vertex (it is a walk).
+  a = t.first_arc[t.root];
+  while (t.succ[a] != a) {
+    EXPECT_EQ(t.arc_to[a], t.arc_from[t.succ[a]]);
+    a = t.succ[a];
+  }
+  // It starts and ends at the root.
+  EXPECT_EQ(t.arc_from[t.first_arc[t.root]], t.root);
+  EXPECT_EQ(t.arc_to[a], t.root);
+}
+
+TEST(EulerTour, RejectsCycles) {
+  EXPECT_THROW(core::build_euler_tour(g::cycle_graph(5), 0),
+               std::invalid_argument);
+}
+
+TEST(EulerTour, MetricsPathTree) {
+  auto rt = cluster();
+  const auto tree = g::path_graph(20);
+  const auto t = core::build_euler_tour(tree, 0);
+  const auto got = core::euler_tour_metrics(rt, t);
+  for (std::size_t v = 0; v < 20; ++v) {
+    EXPECT_EQ(got.depth[v], v);
+    EXPECT_EQ(got.subtree_size[v], 20 - v);
+    EXPECT_EQ(got.parent[v], v == 0 ? 0u : v - 1);
+  }
+}
+
+TEST(EulerTour, MetricsStarTree) {
+  auto rt = cluster();
+  const auto tree = g::star_graph(30);
+  const auto t = core::build_euler_tour(tree, 0);
+  const auto got = core::euler_tour_metrics(rt, t);
+  EXPECT_EQ(got.subtree_size[0], 30u);
+  for (std::size_t v = 1; v < 30; ++v) {
+    EXPECT_EQ(got.depth[v], 1u);
+    EXPECT_EQ(got.subtree_size[v], 1u);
+    EXPECT_EQ(got.parent[v], 0u);
+  }
+}
+
+class EulerTourP
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(EulerTourP, MetricsMatchSequentialDfs) {
+  const auto [n, seed] = GetParam();
+  const auto tree = random_tree(n, seed);
+  // Root somewhere arbitrary, not 0 (relabeled anyway).
+  const std::uint64_t root = seed % n;
+  const auto t = core::build_euler_tour(tree, root);
+  auto rt = cluster();
+  const auto got = core::euler_tour_metrics(rt, t);
+  const auto want = core::tree_metrics_sequential(tree, root);
+  expect_metrics_equal(got, want, n);
+  expect_preorder_intervals(got, n);
+  expect_preorder_intervals(want, n);
+  EXPECT_GT(got.costs.modeled_ns, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EulerTourP,
+                         ::testing::Values(std::tuple{2u, 1u},
+                                           std::tuple{17u, 2u},
+                                           std::tuple{100u, 3u},
+                                           std::tuple{500u, 4u},
+                                           std::tuple{2000u, 5u}));
+
+TEST(EulerTour, ForestToursEveryComponent) {
+  // Two trees (paths 0-1-2 and 3-4) plus an isolated vertex 5.
+  g::EdgeList forest;
+  forest.n = 6;
+  forest.edges = {{0, 1}, {1, 2}, {3, 4}};
+  const auto t = core::build_euler_tour(forest, 0);
+  EXPECT_EQ(t.comp_roots.size(), 3u);
+  auto rt = cluster();
+  const auto got = core::euler_tour_metrics(rt, t);
+  EXPECT_EQ(got.depth[2], 2u);
+  EXPECT_EQ(got.subtree_size[0], 3u);
+  // The second component is rooted at its minimum vertex.
+  EXPECT_EQ(got.depth[3], 0u);
+  EXPECT_EQ(got.parent[3], 3u);
+  EXPECT_EQ(got.depth[4], 1u);
+  EXPECT_EQ(got.subtree_size[3], 2u);
+  // Isolated vertex: a degenerate root.
+  EXPECT_EQ(got.depth[5], 0u);
+  EXPECT_EQ(got.subtree_size[5], 1u);
+  expect_preorder_intervals(got, 6);
+}
+
+TEST(EulerTour, FullPipelineFromSpanningTree) {
+  // graph -> spanning_tree_pgas -> euler tour -> metrics; depths must
+  // equal a DFS over the same spanning tree, and subtree sizes of the
+  // root must equal its component size.
+  const auto el = g::random_graph(600, 1800, 9);
+  auto rt = cluster();
+  const auto st = core::spanning_tree_pgas(rt, el);
+  g::EdgeList tree;
+  tree.n = el.n;
+  for (const auto id : st.edges)
+    tree.edges.push_back(el.edges[id]);
+  const auto cc = core::cc_dsu(el);
+
+  const std::uint64_t root = 0;
+  const auto t = core::build_euler_tour(tree, root);
+  const auto got = core::euler_tour_metrics(rt, t);
+  const auto want = core::tree_metrics_sequential(tree, root);
+  expect_metrics_equal(got, want, el.n);
+
+  std::size_t comp_size = 0;
+  for (std::size_t v = 0; v < el.n; ++v)
+    if (cc.labels[v] == cc.labels[root]) ++comp_size;
+  EXPECT_EQ(got.subtree_size[root], comp_size);
+}
+
+TEST(EulerTour, IsolatedRoot) {
+  g::EdgeList forest;
+  forest.n = 3;
+  forest.edges = {{1, 2}};
+  const auto t = core::build_euler_tour(forest, 0);
+  auto rt = cluster();
+  const auto got = core::euler_tour_metrics(rt, t);
+  EXPECT_EQ(got.depth[0], 0u);
+  EXPECT_EQ(got.subtree_size[0], 1u);
+  EXPECT_EQ(got.parent[0], 0u);
+  EXPECT_EQ(got.preorder[0], 0u);
+  // The other component still gets metrics (rooted at 1).
+  EXPECT_EQ(got.subtree_size[1], 2u);
+}
+
+TEST(EulerTour, PreorderMatchesTourOrderOnAPath) {
+  const auto tree = g::path_graph(10);
+  const auto t = core::build_euler_tour(tree, 0);
+  auto rt = cluster();
+  const auto got = core::euler_tour_metrics(rt, t);
+  for (std::size_t v = 0; v < 10; ++v) EXPECT_EQ(got.preorder[v], v);
+}

@@ -1,0 +1,155 @@
+// Graph generators: the paper's random and hybrid families plus R-MAT and
+// the structured helpers.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "graph/generators.hpp"
+#include "graph/permute.hpp"
+#include "graph/rng.hpp"
+
+namespace g = pgraph::graph;
+
+namespace {
+std::uint64_t key(const g::Edge& e) {
+  const auto u = std::min(e.u, e.v), v = std::max(e.u, e.v);
+  return (u << 32) | v;
+}
+}  // namespace
+
+TEST(Rng, Deterministic) {
+  g::Xoshiro256 a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  bool differs = false;
+  g::Xoshiro256 a2(123);
+  for (int i = 0; i < 100; ++i) differs |= (a2.next() != c.next());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, NextBelowInRange) {
+  g::Xoshiro256 r(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  g::Xoshiro256 r(9);
+  std::array<int, 8> hist{};
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++hist[r.next_below(8)];
+  for (const int h : hist) EXPECT_NEAR(h, n / 8, n / 8 * 0.1);
+}
+
+TEST(RandomGraph, ExactEdgeCountUniqueNoSelfLoops) {
+  const auto el = g::random_graph(1000, 5000, 1);
+  EXPECT_EQ(el.n, 1000u);
+  EXPECT_EQ(el.m(), 5000u);
+  std::unordered_set<std::uint64_t> seen;
+  for (const auto& e : el.edges) {
+    EXPECT_NE(e.u, e.v);
+    EXPECT_LT(e.u, 1000u);
+    EXPECT_LT(e.v, 1000u);
+    EXPECT_TRUE(seen.insert(key(e)).second) << "duplicate edge";
+  }
+}
+
+TEST(RandomGraph, DeterministicAcrossCalls) {
+  const auto a = g::random_graph(500, 2000, 77);
+  const auto b = g::random_graph(500, 2000, 77);
+  EXPECT_EQ(a.edges, b.edges);
+  const auto c = g::random_graph(500, 2000, 78);
+  EXPECT_NE(a.edges, c.edges);
+}
+
+TEST(RandomGraph, RejectsImpossibleDensity) {
+  EXPECT_THROW(g::random_graph(4, 100, 1), std::invalid_argument);
+  EXPECT_THROW(g::random_graph(1, 0, 1), std::invalid_argument);
+}
+
+TEST(RandomGraph, DenseNearCompleteStillTerminates) {
+  const auto el = g::random_graph(32, 32 * 31 / 2, 5);  // complete graph
+  EXPECT_EQ(el.m(), 32u * 31 / 2);
+}
+
+TEST(Rmat, PowerOfTwoRoundingAndCount) {
+  const auto el = g::rmat_graph(1000, 4000, 3);
+  EXPECT_EQ(el.n, 1024u);
+  EXPECT_EQ(el.m(), 4000u);
+  for (const auto& e : el.edges) {
+    EXPECT_NE(e.u, e.v);
+    EXPECT_LT(e.u, 1024u);
+  }
+}
+
+TEST(Rmat, SkewProducesHubs) {
+  const auto skewed = g::rmat_graph(4096, 40000, 11, {0.7, 0.1, 0.1, false});
+  const auto uniform = g::random_graph(4096, 40000, 11);
+  EXPECT_GT(g::max_degree(skewed), 2 * g::max_degree(uniform));
+}
+
+TEST(Hybrid, CountAndHubs) {
+  const std::size_t n = 10000, m = 40000;
+  const auto el = g::hybrid_graph(n, m, 21);
+  EXPECT_EQ(el.n, n);
+  EXPECT_EQ(el.m(), m);
+  std::unordered_set<std::uint64_t> seen;
+  for (const auto& e : el.edges) {
+    EXPECT_NE(e.u, e.v);
+    EXPECT_TRUE(seen.insert(key(e)).second);
+  }
+  // Scale-free core on 2*sqrt(n) vertices: hubs well above the random
+  // graph's max degree (~ m/n + tail).
+  EXPECT_GT(g::max_degree(el), 3 * g::max_degree(g::random_graph(n, m, 21)));
+}
+
+TEST(Hybrid, Deterministic) {
+  EXPECT_EQ(g::hybrid_graph(2000, 8000, 5).edges,
+            g::hybrid_graph(2000, 8000, 5).edges);
+}
+
+TEST(Weights, DeterministicAndBounded) {
+  const auto el = g::random_graph(100, 300, 9);
+  const auto wa = g::with_random_weights(el, 123);
+  const auto wb = g::with_random_weights(el, 123);
+  EXPECT_EQ(wa.edges, wb.edges);
+  for (const auto& e : wa.edges) EXPECT_LT(e.w, 1ULL << 31);
+  const auto wc = g::with_random_weights(el, 124);
+  EXPECT_NE(wa.edges, wc.edges);
+}
+
+TEST(Structured, PathCycleStarGridCliques) {
+  EXPECT_EQ(g::path_graph(5).m(), 4u);
+  EXPECT_EQ(g::cycle_graph(5).m(), 5u);
+  EXPECT_EQ(g::star_graph(5).m(), 4u);
+  EXPECT_EQ(g::max_degree(g::star_graph(100)), 99u);
+  const auto grid = g::grid_graph(3, 4);
+  EXPECT_EQ(grid.n, 12u);
+  EXPECT_EQ(grid.m(), 3u * 3 + 2 * 4);  // 9 horizontal + 8 vertical = 17
+  const auto cl = g::disjoint_cliques(3, 4);
+  EXPECT_EQ(cl.n, 12u);
+  EXPECT_EQ(cl.m(), 3u * 6);
+}
+
+TEST(Structured, EmptyAndTinyGraphs) {
+  EXPECT_EQ(g::path_graph(0).m(), 0u);
+  EXPECT_EQ(g::path_graph(1).m(), 0u);
+  EXPECT_EQ(g::cycle_graph(2).m(), 1u);  // no duplicate closing edge
+}
+
+TEST(Permute, IsPermutationAndDeterministic) {
+  const auto p = g::random_permutation(1000, 3);
+  EXPECT_TRUE(g::is_permutation_of_iota(p));
+  EXPECT_EQ(p, g::random_permutation(1000, 3));
+  EXPECT_NE(p, g::random_permutation(1000, 4));
+}
+
+TEST(Permute, RelabelPreservesStructure) {
+  const auto el = g::random_graph(200, 600, 8);
+  const auto p = g::random_permutation(200, 15);
+  const auto rel = g::relabel(el, p);
+  EXPECT_EQ(rel.m(), el.m());
+  for (std::size_t i = 0; i < el.m(); ++i) {
+    EXPECT_EQ(rel.edges[i].u, p[el.edges[i].u]);
+    EXPECT_EQ(rel.edges[i].v, p[el.edges[i].v]);
+  }
+  EXPECT_EQ(g::max_degree(rel), g::max_degree(el));
+}

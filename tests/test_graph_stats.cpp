@@ -1,0 +1,72 @@
+// Degree statistics / hygiene utilities, and the generator-shape claims
+// the paper relies on (hybrid hubs, random concentration).
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+
+namespace g = pgraph::graph;
+
+TEST(DegreeStats, KnownStructures) {
+  const auto star = g::degree_stats(g::star_graph(10));
+  EXPECT_EQ(star.max_degree, 9u);
+  EXPECT_EQ(star.min_degree, 1u);
+  EXPECT_DOUBLE_EQ(star.mean_degree, 18.0 / 10.0);
+  EXPECT_EQ(star.isolated, 0u);
+
+  const auto cyc = g::degree_stats(g::cycle_graph(8));
+  EXPECT_EQ(cyc.max_degree, 2u);
+  EXPECT_EQ(cyc.min_degree, 2u);
+  EXPECT_DOUBLE_EQ(cyc.variance, 0.0);
+
+  g::EdgeList iso;
+  iso.n = 5;
+  const auto s = g::degree_stats(iso);
+  EXPECT_EQ(s.isolated, 5u);
+  EXPECT_EQ(s.max_degree, 0u);
+}
+
+TEST(DegreeStats, HistogramPartitionsVertices) {
+  const auto el = g::hybrid_graph(5000, 20000, 3);
+  const auto s = g::degree_stats(el);
+  std::size_t total = 0;
+  for (const auto b : s.log2_histogram) total += b;
+  EXPECT_EQ(total, el.n);
+}
+
+TEST(DegreeGini, OrdersFamiliesBySkew) {
+  // Regular < random < scale-free-ish hybrid.
+  EXPECT_NEAR(g::degree_gini(g::cycle_graph(1000)), 0.0, 1e-9);
+  const double rnd = g::degree_gini(g::random_graph(4000, 16000, 1));
+  const double hyb = g::degree_gini(g::hybrid_graph(4000, 16000, 1));
+  const double star = g::degree_gini(g::star_graph(4000));
+  EXPECT_GT(rnd, 0.05);
+  EXPECT_LT(rnd, 0.45);
+  EXPECT_GT(hyb, rnd);
+  // Star: the hub holds exactly half the degree mass -> Gini ~ 0.5.
+  EXPECT_NEAR(star, 0.5, 0.01);
+  EXPECT_GT(star, hyb);
+}
+
+TEST(EdgeHygiene, CountsDuplicatesAndLoops) {
+  g::EdgeList el;
+  el.n = 4;
+  el.edges = {{0, 1}, {1, 0}, {0, 1}, {2, 2}, {2, 3}};
+  const auto h = g::edge_hygiene(el);
+  EXPECT_EQ(h.distinct, 2u);    // {0,1}, {2,3}
+  EXPECT_EQ(h.duplicates, 2u);  // the two repeats of {0,1}
+  EXPECT_EQ(h.self_loops, 1u);
+}
+
+TEST(EdgeHygiene, GeneratorsAreClean) {
+  for (const auto& el : {g::random_graph(2000, 8000, 2),
+                         g::hybrid_graph(2000, 8000, 2)}) {
+    const auto h = g::edge_hygiene(el);
+    EXPECT_EQ(h.duplicates, 0u);
+    EXPECT_EQ(h.self_loops, 0u);
+    EXPECT_EQ(h.distinct, el.m());
+  }
+  // R-MAT without dedupe may produce duplicates, never self loops.
+  const auto rmat = g::edge_hygiene(g::rmat_graph(1024, 8000, 2));
+  EXPECT_EQ(rmat.self_loops, 0u);
+}

@@ -1,0 +1,71 @@
+// Table/CSV reporters and the bench CLI parser.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/args.hpp"
+#include "harness/table.hpp"
+
+namespace h = pgraph::harness;
+
+TEST(Table, AlignedOutput) {
+  h::Table t({"a", "long-header"});
+  t.add_row({"x", "1"});
+  t.add_row({"yyyy", "22"});
+  std::stringstream ss;
+  t.print(ss);
+  const std::string out = ss.str();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("| a    | long-header | "), std::string::npos);
+  EXPECT_NE(out.find("| yyyy | 22          | "), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  h::Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  std::stringstream ss;
+  t.print_csv(ss);
+  EXPECT_EQ(ss.str(), "a,b,c\n1,,\n");
+}
+
+TEST(Table, EngineeringUnits) {
+  EXPECT_EQ(h::Table::eng(12.0), "12 ns");
+  EXPECT_EQ(h::Table::eng(1500.0), "1.500 us");
+  EXPECT_EQ(h::Table::eng(2.5e6), "2.500 ms");
+  EXPECT_EQ(h::Table::eng(3.25e9), "3.250 s");
+}
+
+TEST(Table, NumPrecision) {
+  EXPECT_EQ(h::Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(h::Table::num(2.0, 0), "2");
+}
+
+TEST(BenchArgs, ParsesAllFlags) {
+  const char* argv[] = {"prog", "--n",     "1000", "--m",      "4000",
+                        "--nodes", "8",    "--threads", "2",
+                        "--tprime", "16",  "--seed",    "7",
+                        "--scale",  "2.5", "--csv"};
+  const auto a =
+      h::BenchArgs::parse(static_cast<int>(std::size(argv)),
+                          const_cast<char**>(argv));
+  EXPECT_EQ(a.n, 1000u);
+  EXPECT_EQ(a.m, 4000u);
+  EXPECT_EQ(a.nodes, 8);
+  EXPECT_EQ(a.threads, 2);
+  EXPECT_EQ(a.tprime, 16);
+  EXPECT_EQ(a.seed, 7u);
+  EXPECT_DOUBLE_EQ(a.scale, 2.5);
+  EXPECT_TRUE(a.csv);
+  EXPECT_EQ(a.scaled(100), 250u);
+}
+
+TEST(BenchArgs, Defaults) {
+  const char* argv[] = {"prog"};
+  const auto a = h::BenchArgs::parse(1, const_cast<char**>(argv));
+  EXPECT_EQ(a.n, 0u);
+  EXPECT_EQ(a.nodes, 0);
+  EXPECT_DOUBLE_EQ(a.scale, 1.0);
+  EXPECT_FALSE(a.csv);
+  EXPECT_EQ(a.scaled(64), 64u);
+}

@@ -1,0 +1,175 @@
+// Cross-algorithm integration: all the library's answers to related
+// questions must cohere on the same input — the kind of end-to-end
+// consistency a downstream user relies on.
+#include <gtest/gtest.h>
+
+#include "core/bfs_pgas.hpp"
+#include "core/cc_coalesced.hpp"
+#include "core/cc_fine.hpp"
+#include "core/cc_seq.hpp"
+#include "core/cgm_cc.hpp"
+#include "core/dsu.hpp"
+#include "core/mst_pgas.hpp"
+#include "core/mst_seq.hpp"
+#include "core/mst_smp.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/permute.hpp"
+#include "graph/rng.hpp"
+
+#include <sstream>
+
+namespace core = pgraph::core;
+namespace g = pgraph::graph;
+namespace pg = pgraph::pgas;
+namespace m = pgraph::machine;
+
+namespace {
+pg::Runtime cluster() {
+  return pg::Runtime(pg::Topology::cluster(4, 2),
+                     m::CostParams::hps_cluster());
+}
+}  // namespace
+
+TEST(Integration, EveryCcVariantAgreesOnOnePartition) {
+  const auto el = g::hybrid_graph(1200, 4000, 11);
+  const auto truth = core::cc_dsu(el);
+  auto rt = cluster();
+
+  const auto fine = core::cc_fine_grained(rt, el);
+  const auto coal = core::cc_coalesced(rt, el);
+  const auto sv = core::sv_coalesced(rt, el);
+  const auto cgm = core::cgm_cc(rt, el);
+  const auto bfs_labels = core::cc_bfs(el);
+
+  for (const auto* r : {&fine, &coal, &sv, &cgm}) {
+    EXPECT_TRUE(core::same_partition(truth.labels, r->labels));
+    EXPECT_EQ(r->num_components, truth.num_components);
+  }
+  EXPECT_TRUE(core::same_partition(truth.labels, bfs_labels.labels));
+}
+
+TEST(Integration, SpanningTreeAndMstAndCcCohere) {
+  const auto el = g::random_graph(800, 2400, 13);
+  const auto wel = g::with_random_weights(el, 14);
+  auto rt = cluster();
+
+  const auto cc = core::cc_coalesced(rt, el);
+  const auto st = core::spanning_tree_pgas(rt, el);
+  const auto mst = core::mst_pgas(rt, wel);
+  const auto kruskal = core::mst_kruskal(wel);
+
+  // Forest sizes: n - #components, identical for ST and MST.
+  EXPECT_EQ(st.edges.size(), el.n - cc.num_components);
+  EXPECT_EQ(mst.edges.size(), st.edges.size());
+  EXPECT_EQ(mst.total_weight, kruskal.total_weight);
+
+  // The MST edges, viewed as a graph, have the same components as el.
+  g::EdgeList forest;
+  forest.n = el.n;
+  for (const auto id : mst.edges)
+    forest.edges.push_back({wel.edges[id].u, wel.edges[id].v});
+  EXPECT_TRUE(core::same_partition(core::cc_dsu(forest).labels, cc.labels));
+}
+
+TEST(Integration, BfsReachabilityMatchesCcComponent) {
+  const auto el = g::disjoint_cliques(3, 50);
+  auto rt = cluster();
+  const auto cc = core::cc_coalesced(rt, el);
+  const auto bfs = core::bfs_pgas(rt, el, 60);  // inside the 2nd clique
+  for (std::size_t v = 0; v < el.n; ++v) {
+    const bool reachable = bfs.dist[v] != core::kBfsUnreached;
+    EXPECT_EQ(reachable, cc.labels[v] == cc.labels[60]) << "vertex " << v;
+  }
+}
+
+TEST(Integration, RelabelingPreservesEveryAnswer) {
+  // Vertex renaming must not change component count, forest weight, or
+  // eccentricities — a sanity property of the whole pipeline.
+  const auto el = g::random_graph(600, 1800, 17);
+  const auto perm = g::random_permutation(el.n, 18);
+  const auto rel = g::relabel(el, perm);
+  auto rt = cluster();
+
+  EXPECT_EQ(core::cc_coalesced(rt, el).num_components,
+            core::cc_coalesced(rt, rel).num_components);
+
+  const auto wel = g::with_random_weights(el, 19);
+  g::WEdgeList wrel;
+  wrel.n = rel.n;
+  for (std::size_t i = 0; i < wel.edges.size(); ++i)
+    wrel.edges.push_back(
+        {rel.edges[i].u, rel.edges[i].v, wel.edges[i].w});
+  EXPECT_EQ(core::mst_pgas(rt, wel).total_weight,
+            core::mst_pgas(rt, wrel).total_weight);
+
+  const auto b1 = core::bfs_pgas(rt, el, 5);
+  const auto b2 = core::bfs_pgas(rt, rel, perm[5]);
+  for (std::size_t v = 0; v < el.n; ++v)
+    EXPECT_EQ(b1.dist[v], b2.dist[perm[v]]);
+}
+
+TEST(Integration, DimacsRoundTripThenSolve) {
+  // Save -> load -> solve must equal solve directly.
+  const auto wel = g::with_random_weights(g::random_graph(300, 900, 21), 22);
+  std::stringstream ss;
+  g::write_dimacs(ss, wel);
+  const auto back = g::read_dimacs_weighted(ss);
+  auto rt = cluster();
+  EXPECT_EQ(core::mst_pgas(rt, wel).total_weight,
+            core::mst_pgas(rt, back).total_weight);
+}
+
+TEST(Integration, SmpTopologyGivesSameAnswersAsCluster) {
+  const auto el = g::random_graph(500, 1500, 23);
+  pg::Runtime smp(pg::Topology::single_node(8), m::CostParams::smp_node());
+  auto clu = cluster();
+  const auto a = core::cc_coalesced(smp, el);
+  const auto b = core::cc_coalesced(clu, el);
+  EXPECT_TRUE(core::same_partition(a.labels, b.labels));
+  const auto wel = g::with_random_weights(el, 24);
+  EXPECT_EQ(core::mst_smp(smp, wel).total_weight,
+            core::mst_pgas(clu, wel).total_weight);
+}
+
+TEST(Integration, HierarchicalCollectivesGiveIdenticalResults) {
+  const auto el = g::random_graph(700, 2100, 25);
+  auto rt = cluster();
+  core::CcOptions flat = core::CcOptions::optimized();
+  core::CcOptions hier = core::CcOptions::optimized();
+  hier.coll.hierarchical = true;
+  const auto a = core::cc_coalesced(rt, el, flat);
+  const auto b = core::cc_coalesced(rt, el, hier);
+  EXPECT_EQ(a.labels, b.labels);  // bit-identical, not just isomorphic
+
+  const auto wel = g::with_random_weights(el, 26);
+  core::MstOptions mflat = core::MstOptions::optimized();
+  core::MstOptions mhier = core::MstOptions::optimized();
+  mhier.coll.hierarchical = true;
+  EXPECT_EQ(core::mst_pgas(rt, wel, mflat).total_weight,
+            core::mst_pgas(rt, wel, mhier).total_weight);
+}
+
+class SeedFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedFuzz, RandomGraphsAllAlgorithmsConsistent) {
+  const std::uint64_t seed = GetParam();
+  pgraph::graph::Xoshiro256 rng(seed);
+  const std::size_t n = 64 + rng.next_below(600);
+  const std::size_t mmax = n * (n - 1) / 2;
+  const std::size_t medges = std::min<std::size_t>(
+      mmax, 1 + rng.next_below(4 * n));
+  const auto el = g::random_graph(n, medges, seed * 7 + 1);
+  const auto truth = core::cc_dsu(el);
+  pg::Runtime rt(pg::Topology::cluster(1 + static_cast<int>(seed % 4),
+                                       1 + static_cast<int>(seed % 3)),
+                 m::CostParams::hps_cluster());
+  EXPECT_TRUE(
+      core::same_partition(truth.labels, core::cc_coalesced(rt, el).labels));
+  const auto wel = g::with_random_weights(el, seed + 2);
+  EXPECT_EQ(core::mst_pgas(rt, wel).total_weight,
+            core::mst_kruskal(wel).total_weight);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));

@@ -1,0 +1,134 @@
+// List ranking: Wyllie-with-collectives and the contract-to-one-node
+// baseline against the sequential chase.
+#include <gtest/gtest.h>
+
+#include "core/list_ranking.hpp"
+
+namespace core = pgraph::core;
+namespace pg = pgraph::pgas;
+namespace m = pgraph::machine;
+
+TEST(MakeRandomList, SingleChainCoversAllElements) {
+  std::uint64_t head = 0;
+  const auto succ = core::make_random_list(100, 5, &head);
+  ASSERT_EQ(succ.size(), 100u);
+  // Walk from the head: must visit every element exactly once.
+  std::vector<bool> seen(100, false);
+  std::uint64_t cur = head;
+  std::size_t steps = 0;
+  for (;;) {
+    ASSERT_FALSE(seen[cur]);
+    seen[cur] = true;
+    ++steps;
+    if (succ[cur] == cur) break;
+    cur = succ[cur];
+  }
+  EXPECT_EQ(steps, 100u);
+}
+
+TEST(MakeRandomList, Deterministic) {
+  EXPECT_EQ(core::make_random_list(500, 3), core::make_random_list(500, 3));
+  EXPECT_NE(core::make_random_list(500, 3), core::make_random_list(500, 4));
+}
+
+TEST(RankSequential, SingleList) {
+  std::uint64_t head = 0;
+  const auto succ = core::make_random_list(64, 1, &head);
+  const auto ranks = core::rank_sequential(succ);
+  EXPECT_EQ(ranks[head], 63u);
+  // The tail has rank 0, and ranks along the chain decrease by 1.
+  std::uint64_t cur = head;
+  std::uint64_t expect = 63;
+  while (succ[cur] != cur) {
+    EXPECT_EQ(ranks[cur], expect--);
+    cur = succ[cur];
+  }
+  EXPECT_EQ(ranks[cur], 0u);
+}
+
+TEST(RankSequential, MultipleListsAndSingletons) {
+  // Two chains: 0->1->2 (tail 2), 3 alone, 4->5 (tail 5).
+  const std::vector<std::uint64_t> succ = {1, 2, 2, 3, 5, 5};
+  const auto ranks = core::rank_sequential(succ);
+  EXPECT_EQ(ranks, (std::vector<std::uint64_t>{2, 1, 0, 0, 1, 0}));
+}
+
+class ListRankP
+    : public ::testing::TestWithParam<std::tuple<int, int, std::size_t>> {};
+
+TEST_P(ListRankP, PgasMatchesSequential) {
+  const auto [nodes, threads, n] = GetParam();
+  const auto succ = core::make_random_list(n, 7);
+  const auto expect = core::rank_sequential(succ);
+  pg::Runtime rt(pg::Topology::cluster(nodes, threads),
+                 m::CostParams::hps_cluster());
+  const auto got = core::list_ranking_pgas(rt, succ);
+  EXPECT_EQ(got.ranks, expect);
+  // Wyllie: ~log2(n) rounds.
+  EXPECT_LE(got.rounds, 2 * 64);
+  EXPECT_GT(got.costs.modeled_ns, 0.0);
+}
+
+TEST_P(ListRankP, ContractMatchesSequential) {
+  const auto [nodes, threads, n] = GetParam();
+  const auto succ = core::make_random_list(n, 8);
+  const auto expect = core::rank_sequential(succ);
+  pg::Runtime rt(pg::Topology::cluster(nodes, threads),
+                 m::CostParams::hps_cluster());
+  const auto got = core::list_ranking_contract(rt, succ);
+  EXPECT_EQ(got.ranks, expect);
+  EXPECT_EQ(got.rounds, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ListRankP,
+    ::testing::Values(std::tuple{1, 1, 256u}, std::tuple{1, 4, 1000u},
+                      std::tuple{2, 2, 1000u}, std::tuple{4, 2, 5000u},
+                      std::tuple{4, 1, 37u}));
+
+TEST(ListRanking, PgasLogRoundsVsContractTwoRounds) {
+  // The paper's claim is about inputs much larger than the cache ("as n/p
+  // can be large when n >> p, the performance gain from reduced
+  // communication rounds may be offset by poor cache performance in the
+  // sequential processing step") — scale the modeled cache with n the way
+  // the benches do.
+  const std::size_t n = 1 << 18;
+  m::CostParams p = m::CostParams::hps_cluster();
+  p.cache_bytes = n * 8 / 420;
+  const auto succ = core::make_random_list(n, 9);
+
+  const auto run_both = [&](int nodes, int threads) {
+    pg::Runtime rt1(pg::Topology::cluster(nodes, threads), p);
+    const auto wy = core::list_ranking_pgas(rt1, succ);
+    pg::Runtime rt2(pg::Topology::cluster(nodes, threads), p);
+    const auto ct = core::list_ranking_contract(rt2, succ);
+    EXPECT_EQ(wy.ranks, ct.ranks);
+    EXPECT_GT(wy.rounds, 14);  // ~log2(256K) = 18
+    EXPECT_EQ(ct.rounds, 2);
+    return std::pair{wy.costs.modeled_ns, ct.costs.modeled_ns};
+  };
+
+  // The paper's point is about *scaling*: the contract variant's
+  // sequential chase ("all but one processor remain idle") gains nothing
+  // from more processors, while the coordinated Wyllie keeps improving —
+  // despite running 9x more communication rounds.
+  const auto [wy4, ct4] = run_both(4, 1);
+  const auto [wy16, ct16] = run_both(16, 1);
+  EXPECT_LT(wy16, 0.55 * wy4);  // the coordinated approach scales
+  EXPECT_GT(ct16, 0.85 * ct4);  // the contraction's sequential step doesn't
+  // Despite Wyllie's O(n log n) work handicap and 9x more communication
+  // rounds, the scaling brings it to parity with the round-optimal
+  // contraction at p=16 (for CC, where the coordinated algorithm is
+  // work-efficient, it wins outright — see bench/abl01).
+  EXPECT_LT(wy16, 1.6 * ct16);
+}
+
+TEST(ListRanking, EmptyAndTinyLists) {
+  pg::Runtime rt(pg::Topology::cluster(2, 1), m::CostParams::hps_cluster());
+  const std::vector<std::uint64_t> one = {0};
+  EXPECT_EQ(core::list_ranking_pgas(rt, one).ranks,
+            (std::vector<std::uint64_t>{0}));
+  const std::vector<std::uint64_t> two = {1, 1};
+  EXPECT_EQ(core::list_ranking_pgas(rt, two).ranks,
+            (std::vector<std::uint64_t>{1, 0}));
+}

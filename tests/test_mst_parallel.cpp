@@ -1,0 +1,136 @@
+// Parallel MST variants (SetDMin-based PGAS Boruvka, lock-based MST-SMP)
+// against Kruskal.
+#include <gtest/gtest.h>
+
+#include "core/mst_pgas.hpp"
+#include "core/mst_seq.hpp"
+#include "core/mst_smp.hpp"
+#include "graph/generators.hpp"
+
+namespace g = pgraph::graph;
+namespace pg = pgraph::pgas;
+namespace m = pgraph::machine;
+namespace core = pgraph::core;
+
+namespace {
+
+std::vector<g::WEdgeList> test_graphs() {
+  std::vector<g::WEdgeList> out;
+  out.push_back(g::with_random_weights(g::path_graph(50), 1));
+  out.push_back(g::with_random_weights(g::cycle_graph(51), 2));
+  out.push_back(g::with_random_weights(g::disjoint_cliques(5, 6), 3));
+  out.push_back(g::with_random_weights(g::random_graph(300, 900, 4), 5));
+  out.push_back(g::with_random_weights(g::random_graph(400, 500, 6), 7));
+  out.push_back(g::with_random_weights(g::hybrid_graph(400, 1600, 8), 9));
+  out.push_back(g::with_random_weights(g::grid_graph(16, 16), 10));
+  // Heavy ties: few distinct weights.
+  auto ties = g::with_random_weights(g::random_graph(200, 800, 11), 12);
+  for (auto& e : ties.edges) e.w %= 3;
+  out.push_back(std::move(ties));
+  // Edgeless.
+  g::WEdgeList empty;
+  empty.n = 13;
+  out.push_back(std::move(empty));
+  return out;
+}
+
+struct Topo {
+  int nodes, threads;
+};
+
+void check(const g::WEdgeList& el, const core::ParMstResult& got,
+           const core::MstResult& truth, const std::string& what) {
+  EXPECT_EQ(got.total_weight, truth.total_weight) << what;
+  EXPECT_EQ(got.edges.size(), truth.edges.size()) << what;
+  core::MstResult as_seq;
+  as_seq.edges = got.edges;
+  as_seq.total_weight = got.total_weight;
+  EXPECT_TRUE(core::is_spanning_forest(el, as_seq)) << what;
+}
+
+}  // namespace
+
+TEST(MstPgas, MatchesKruskalAcrossTopologiesAndGraphs) {
+  const auto graphs = test_graphs();
+  for (const auto& [nodes, threads] :
+       {Topo{1, 1}, Topo{1, 4}, Topo{2, 2}, Topo{4, 2}}) {
+    pg::Runtime rt(pg::Topology::cluster(nodes, threads),
+                   m::CostParams::hps_cluster());
+    for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+      const auto truth = core::mst_kruskal(graphs[gi]);
+      const auto got = core::mst_pgas(rt, graphs[gi]);
+      check(graphs[gi], got, truth,
+            "pgas " + std::to_string(nodes) + "x" + std::to_string(threads) +
+                " graph " + std::to_string(gi));
+    }
+  }
+}
+
+TEST(MstPgas, OptionConfigs) {
+  pg::Runtime rt(pg::Topology::cluster(2, 3),
+                 m::CostParams::hps_cluster());
+  const auto el = g::with_random_weights(g::random_graph(500, 2000, 13), 14);
+  const auto truth = core::mst_kruskal(el);
+  for (const auto& opt :
+       {core::MstOptions::base(), core::MstOptions::optimized(1),
+        core::MstOptions::optimized(8)}) {
+    const auto got = core::mst_pgas(rt, el, opt);
+    check(el, got, truth, "option config");
+  }
+}
+
+TEST(MstSmp, MatchesKruskalAcrossThreadCountsAndGraphs) {
+  const auto graphs = test_graphs();
+  for (const int threads : {1, 2, 4, 8}) {
+    pg::Runtime rt(pg::Topology::single_node(threads),
+                   m::CostParams::smp_node());
+    for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+      const auto truth = core::mst_kruskal(graphs[gi]);
+      const auto got = core::mst_smp(rt, graphs[gi]);
+      check(graphs[gi], got, truth,
+            "smp t=" + std::to_string(threads) + " graph " +
+                std::to_string(gi));
+    }
+  }
+}
+
+TEST(MstPgas, DeterministicAcrossRuns) {
+  pg::Runtime rt(pg::Topology::cluster(2, 2),
+                 m::CostParams::hps_cluster());
+  const auto el = g::with_random_weights(g::random_graph(300, 1200, 15), 16);
+  auto a = core::mst_pgas(rt, el);
+  auto b = core::mst_pgas(rt, el);
+  std::sort(a.edges.begin(), a.edges.end());
+  std::sort(b.edges.begin(), b.edges.end());
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(MstPgas, RejectsOversizedWeights) {
+  g::WEdgeList el;
+  el.n = 2;
+  el.edges = {{0, 1, 1ULL << 33}};
+  pg::Runtime rt(pg::Topology::single_node(1),
+                 m::CostParams::hps_cluster());
+  EXPECT_THROW(core::mst_pgas(rt, el), std::invalid_argument);
+}
+
+TEST(MstPgas, CostTelemetryPopulated) {
+  pg::Runtime rt(pg::Topology::cluster(2, 2),
+                 m::CostParams::hps_cluster());
+  const auto el = g::with_random_weights(g::random_graph(300, 1200, 17), 18);
+  const auto r = core::mst_pgas(rt, el);
+  EXPECT_GT(r.costs.modeled_ns, 0.0);
+  EXPECT_GT(r.costs.messages, 0u);
+  EXPECT_GT(r.iterations, 0);
+}
+
+TEST(MstParallel, LocksChargedOnSmpOnly) {
+  const auto el = g::with_random_weights(g::random_graph(300, 1200, 19), 20);
+  pg::Runtime rt1(pg::Topology::single_node(4), m::CostParams::smp_node());
+  const auto smp = core::mst_smp(rt1, el);
+  EXPECT_EQ(smp.costs.messages, 0u);  // single node: no network at all
+  pg::Runtime rt2(pg::Topology::cluster(4, 1),
+                  m::CostParams::hps_cluster());
+  const auto pgas = core::mst_pgas(rt2, el);
+  EXPECT_GT(pgas.costs.messages, 0u);
+}

@@ -1,0 +1,121 @@
+// Sequential MST baselines: Kruskal (merge sort), Prim, Boruvka must agree
+// on the minimum forest weight, and every output must be a valid forest.
+#include <gtest/gtest.h>
+
+#include "core/mst_seq.hpp"
+#include "graph/generators.hpp"
+
+namespace g = pgraph::graph;
+namespace core = pgraph::core;
+
+namespace {
+g::WEdgeList weighted(const g::EdgeList& el, std::uint64_t seed = 11) {
+  return g::with_random_weights(el, seed);
+}
+}  // namespace
+
+TEST(MstSeq, TinyKnownAnswer) {
+  // Triangle with weights 1,2,3: MST = {1,2}, weight 3.
+  g::WEdgeList el;
+  el.n = 3;
+  el.edges = {{0, 1, 1}, {1, 2, 2}, {0, 2, 3}};
+  const core::MstResult results[] = {core::mst_kruskal(el),
+                                     core::mst_prim(el),
+                                     core::mst_boruvka(el)};
+  for (const auto& r : results) {
+    EXPECT_EQ(r.total_weight, 3u);
+    EXPECT_EQ(r.edges.size(), 2u);
+  }
+}
+
+TEST(MstSeq, TieBreakingStillMinimal) {
+  // All weights equal: any spanning tree has weight (n-1)*w.
+  const auto el = weighted(g::cycle_graph(8));
+  g::WEdgeList eq = el;
+  for (auto& e : eq.edges) e.w = 5;
+  const auto k = core::mst_kruskal(eq);
+  EXPECT_EQ(k.total_weight, 7u * 5);
+  EXPECT_TRUE(core::is_spanning_forest(eq, k));
+  const auto b = core::mst_boruvka(eq);
+  EXPECT_EQ(b.total_weight, k.total_weight);
+}
+
+TEST(MstSeq, DisconnectedForest) {
+  const auto el = weighted(g::disjoint_cliques(4, 5));  // 4 comps of 5
+  const auto k = core::mst_kruskal(el);
+  EXPECT_EQ(k.edges.size(), 4u * 4);  // (5-1) per clique
+  EXPECT_TRUE(core::is_spanning_forest(el, k));
+  EXPECT_EQ(core::mst_prim(el).total_weight, k.total_weight);
+  EXPECT_EQ(core::mst_boruvka(el).total_weight, k.total_weight);
+}
+
+TEST(MstSeq, EmptyAndSingleVertex) {
+  g::WEdgeList el;
+  el.n = 1;
+  const auto k = core::mst_kruskal(el);
+  EXPECT_EQ(k.edges.size(), 0u);
+  EXPECT_EQ(k.total_weight, 0u);
+  EXPECT_TRUE(core::is_spanning_forest(el, k));
+}
+
+class MstSeqSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 std::uint64_t>> {};
+
+TEST_P(MstSeqSweep, AllThreeAlgorithmsAgree) {
+  const auto [n, m, seed] = GetParam();
+  const auto el = weighted(g::random_graph(n, m, seed), seed + 1);
+  const auto k = core::mst_kruskal(el);
+  const auto p = core::mst_prim(el);
+  const auto b = core::mst_boruvka(el);
+  EXPECT_EQ(k.total_weight, p.total_weight);
+  EXPECT_EQ(k.total_weight, b.total_weight);
+  EXPECT_EQ(k.edges.size(), p.edges.size());
+  EXPECT_EQ(k.edges.size(), b.edges.size());
+  EXPECT_TRUE(core::is_spanning_forest(el, k));
+  EXPECT_TRUE(core::is_spanning_forest(el, p));
+  EXPECT_TRUE(core::is_spanning_forest(el, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MstSeqSweep,
+    ::testing::Values(std::tuple{20u, 30u, 1u}, std::tuple{100u, 150u, 2u},
+                      std::tuple{500u, 2000u, 3u},
+                      std::tuple{1000u, 1200u, 4u},   // barely connected
+                      std::tuple{2000u, 10000u, 5u},  // denser
+                      std::tuple{3000u, 3000u, 6u}));
+
+TEST(MstSeq, HybridGraph) {
+  const auto el = weighted(g::hybrid_graph(1500, 6000, 7), 8);
+  const auto k = core::mst_kruskal(el);
+  const auto b = core::mst_boruvka(el);
+  EXPECT_EQ(k.total_weight, b.total_weight);
+  EXPECT_TRUE(core::is_spanning_forest(el, b));
+}
+
+TEST(MstSeq, ValidatorRejectsBadForests) {
+  const auto el = weighted(g::cycle_graph(4));
+  auto r = core::mst_kruskal(el);
+  // Duplicate edge id -> reject.
+  auto bad = r;
+  bad.edges.push_back(bad.edges[0]);
+  EXPECT_FALSE(core::is_spanning_forest(el, bad));
+  // Wrong weight -> reject.
+  bad = r;
+  bad.total_weight += 1;
+  EXPECT_FALSE(core::is_spanning_forest(el, bad));
+  // Missing edge (not spanning) -> reject.
+  bad = r;
+  bad.total_weight -= el.edges[bad.edges.back()].w;
+  bad.edges.pop_back();
+  EXPECT_FALSE(core::is_spanning_forest(el, bad));
+}
+
+TEST(MstSeq, ModeledCostsPopulated) {
+  const pgraph::machine::MemoryModel mm(
+      pgraph::machine::CostParams::hps_cluster());
+  const auto el = weighted(g::random_graph(1000, 4000, 9));
+  EXPECT_GT(core::mst_kruskal(el, &mm).modeled_ns, 0.0);
+  EXPECT_GT(core::mst_prim(el, &mm).modeled_ns, 0.0);
+  EXPECT_GT(core::mst_boruvka(el, &mm).modeled_ns, 0.0);
+}

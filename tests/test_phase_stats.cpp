@@ -1,0 +1,49 @@
+// PhaseStats accumulation/merging (the Fig. 5/6 breakdown plumbing).
+#include <gtest/gtest.h>
+
+#include "machine/phase_stats.hpp"
+
+namespace m = pgraph::machine;
+
+TEST(PhaseStats, AddAndTotal) {
+  m::PhaseStats s;
+  s.add(m::Cat::Comm, 10);
+  s.add(m::Cat::Comm, 5);
+  s.add(m::Cat::Sort, 3);
+  EXPECT_DOUBLE_EQ(s.get(m::Cat::Comm), 15.0);
+  EXPECT_DOUBLE_EQ(s.get(m::Cat::Sort), 3.0);
+  EXPECT_DOUBLE_EQ(s.get(m::Cat::Work), 0.0);
+  EXPECT_DOUBLE_EQ(s.total(), 18.0);
+}
+
+TEST(PhaseStats, MergeMaxIsElementwise) {
+  m::PhaseStats a, b;
+  a.add(m::Cat::Comm, 10);
+  a.add(m::Cat::Copy, 1);
+  b.add(m::Cat::Comm, 4);
+  b.add(m::Cat::Copy, 7);
+  a.merge_max(b);
+  EXPECT_DOUBLE_EQ(a.get(m::Cat::Comm), 10.0);
+  EXPECT_DOUBLE_EQ(a.get(m::Cat::Copy), 7.0);
+}
+
+TEST(PhaseStats, MergeSumAndReset) {
+  m::PhaseStats a, b;
+  a.add(m::Cat::Setup, 2);
+  b.add(m::Cat::Setup, 3);
+  b.add(m::Cat::Irregular, 1);
+  a.merge_sum(b);
+  EXPECT_DOUBLE_EQ(a.get(m::Cat::Setup), 5.0);
+  EXPECT_DOUBLE_EQ(a.get(m::Cat::Irregular), 1.0);
+  a.reset();
+  EXPECT_DOUBLE_EQ(a.total(), 0.0);
+}
+
+TEST(PhaseStats, CategoryNamesMatchThePaper) {
+  EXPECT_EQ(m::cat_name(m::Cat::Comm), "Comm");
+  EXPECT_EQ(m::cat_name(m::Cat::Sort), "Sort");
+  EXPECT_EQ(m::cat_name(m::Cat::Copy), "Copy");
+  EXPECT_EQ(m::cat_name(m::Cat::Irregular), "Irregular");
+  EXPECT_EQ(m::cat_name(m::Cat::Setup), "Setup");
+  EXPECT_EQ(m::cat_name(m::Cat::Work), "Work");
+}

@@ -1,0 +1,180 @@
+// SPMD runtime: spawn/join, cost-aligned barriers, registry, exchange
+// pricing, value collectives.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "pgas/coll.hpp"
+#include "pgas/runtime.hpp"
+
+namespace pg = pgraph::pgas;
+namespace m = pgraph::machine;
+
+namespace {
+pg::Runtime make_rt(int nodes, int threads) {
+  return pg::Runtime(pg::Topology::cluster(nodes, threads),
+                     m::CostParams::hps_cluster());
+}
+}  // namespace
+
+TEST(Topology, Mapping) {
+  const pg::Topology t = pg::Topology::cluster(4, 3);
+  EXPECT_EQ(t.total_threads(), 12);
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(2), 0);
+  EXPECT_EQ(t.node_of(3), 1);
+  EXPECT_EQ(t.node_of(11), 3);
+  EXPECT_TRUE(t.same_node(3, 5));
+  EXPECT_FALSE(t.same_node(2, 3));
+  const auto map = t.thread_node_map();
+  EXPECT_EQ(map.size(), 12u);
+  EXPECT_EQ(map[7], 2);
+}
+
+TEST(Runtime, RunsAllThreadsWithDistinctIds) {
+  auto rt = make_rt(2, 3);
+  std::vector<std::atomic<int>> seen(6);
+  rt.run([&](pg::ThreadCtx& ctx) {
+    seen[static_cast<std::size_t>(ctx.id())].fetch_add(1);
+    EXPECT_EQ(ctx.node(), ctx.id() / 3);
+    EXPECT_EQ(ctx.nthreads(), 6);
+    EXPECT_EQ(ctx.nnodes(), 2);
+  });
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(Runtime, BarrierAlignsClocksToCriticalThread) {
+  auto rt = make_rt(1, 4);
+  std::vector<double> after(4);
+  rt.run([&](pg::ThreadCtx& ctx) {
+    if (ctx.id() == 2) ctx.charge(m::Cat::Work, 1e6);  // 1 ms on one thread
+    ctx.barrier();
+    after[static_cast<std::size_t>(ctx.id())] = ctx.now_ns();
+  });
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_GE(after[static_cast<std::size_t>(i)], 1e6);
+    EXPECT_DOUBLE_EQ(after[static_cast<std::size_t>(i)], after[0]);
+  }
+  EXPECT_GE(rt.modeled_time_ns(), 1e6);
+}
+
+TEST(Runtime, FineTrafficDrainRaisesSuperstepFloor) {
+  // Enough messages that the hot receiver's NIC (with burst congestion)
+  // binds the superstep, not the senders' own clocks.
+  constexpr int kPuts = 2000;
+  auto rt = make_rt(4, 2);
+  rt.run([&](pg::ThreadCtx& ctx) {
+    // Everyone hammers node 3 with fine-grained puts.
+    if (ctx.node() != 3)
+      for (int i = 0; i < kPuts; ++i) ctx.remote_put_cost(7, 8);
+    ctx.barrier();
+  });
+  const double hot_ns = rt.modeled_time_ns();
+  auto rt2 = make_rt(4, 2);
+  rt2.run([&](pg::ThreadCtx& ctx) {
+    // Balanced: each thread sends to its "mirror" node.
+    const int target = ((ctx.node() + 2) % 4) * 2;
+    for (int i = 0; i < kPuts; ++i) ctx.remote_put_cost(target, 8);
+    ctx.barrier();
+  });
+  EXPECT_GT(hot_ns, 1.3 * rt2.modeled_time_ns());
+}
+
+TEST(Runtime, ExchangeBarrierPricesPostedMessages) {
+  auto rt = make_rt(2, 1);
+  rt.run([&](pg::ThreadCtx& ctx) {
+    ctx.post_exchange_msg(1 - ctx.id(), 1 << 20);  // 1 MiB each way
+    ctx.exchange_barrier();
+  });
+  const auto& p = rt.params();
+  const double min_expected = (1 << 20) * p.net_inv_bw_ns_per_byte;
+  EXPECT_GT(rt.modeled_time_ns(), min_expected);
+  EXPECT_EQ(rt.net().total_messages(), 2u);
+}
+
+TEST(Runtime, SameNodeExchangeMessagesAreMemoryCopies) {
+  auto rt = make_rt(1, 2);
+  rt.run([&](pg::ThreadCtx& ctx) {
+    ctx.post_exchange_msg(1 - ctx.id(), 1 << 20);
+    ctx.exchange_barrier();
+  });
+  EXPECT_EQ(rt.net().total_messages(), 0u);  // no network crossing
+}
+
+TEST(Runtime, ResetCostsZeroesEverything) {
+  auto rt = make_rt(2, 1);
+  rt.run([&](pg::ThreadCtx& ctx) {
+    ctx.charge(m::Cat::Work, 1e6);
+    ctx.remote_put_cost(1 - ctx.id(), 8);
+    ctx.barrier();
+  });
+  EXPECT_GT(rt.modeled_time_ns(), 0.0);
+  rt.reset_costs();
+  EXPECT_DOUBLE_EQ(rt.modeled_time_ns(), 0.0);
+  EXPECT_EQ(rt.net().total_messages(), 0u);
+  EXPECT_DOUBLE_EQ(rt.critical_stats().total(), 0.0);
+}
+
+TEST(Runtime, StatsPersistAcrossRunsUntilReset) {
+  auto rt = make_rt(1, 2);
+  rt.run([&](pg::ThreadCtx& ctx) { ctx.charge(m::Cat::Sort, 100.0); });
+  rt.run([&](pg::ThreadCtx& ctx) { ctx.charge(m::Cat::Sort, 50.0); });
+  EXPECT_DOUBLE_EQ(rt.critical_stats().get(m::Cat::Sort), 150.0);
+}
+
+TEST(Runtime, RegistryPublishAndPeer) {
+  auto rt = make_rt(2, 2);
+  rt.run([&](pg::ThreadCtx& ctx) {
+    int mine = 100 + ctx.id();
+    ctx.publish(0, &mine);
+    ctx.barrier();
+    const int peer = (ctx.id() + 1) % ctx.nthreads();
+    EXPECT_EQ(*ctx.peer_as<int>(peer, 0), 100 + peer);
+    ctx.barrier();
+  });
+}
+
+TEST(Coll, AllreduceSumAndMax) {
+  auto rt = make_rt(2, 3);
+  rt.run([&](pg::ThreadCtx& ctx) {
+    const long long sum = pg::allreduce_sum(ctx, ctx.id() + 1);
+    EXPECT_EQ(sum, 1 + 2 + 3 + 4 + 5 + 6);
+    const long long mx = pg::allreduce_max(ctx, 100 - ctx.id());
+    EXPECT_EQ(mx, 100);
+  });
+}
+
+TEST(Coll, AllreduceOr) {
+  auto rt = make_rt(1, 4);
+  rt.run([&](pg::ThreadCtx& ctx) {
+    EXPECT_FALSE(pg::allreduce_or(ctx, false));
+    EXPECT_TRUE(pg::allreduce_or(ctx, ctx.id() == 2));
+    EXPECT_TRUE(pg::allreduce_or(ctx, true));
+  });
+}
+
+TEST(Coll, Broadcast) {
+  auto rt = make_rt(2, 2);
+  rt.run([&](pg::ThreadCtx& ctx) {
+    const std::uint64_t v =
+        pg::broadcast<std::uint64_t>(ctx, 2, ctx.id() == 2 ? 777 : 0);
+    EXPECT_EQ(v, 777u);
+  });
+}
+
+TEST(Coll, ExscanSum) {
+  auto rt = make_rt(1, 4);
+  rt.run([&](pg::ThreadCtx& ctx) {
+    long long total = 0;
+    const long long pre = pg::exscan_sum<long long>(ctx, 10, &total);
+    EXPECT_EQ(pre, 10 * ctx.id());
+    EXPECT_EQ(total, 40);
+  });
+}
+
+TEST(Coll, AllreduceChargesCommTime) {
+  auto rt = make_rt(4, 1);
+  rt.run([&](pg::ThreadCtx& ctx) { pg::allreduce_sum(ctx, 1); });
+  EXPECT_GT(rt.critical_stats().get(m::Cat::Comm), 0.0);
+}

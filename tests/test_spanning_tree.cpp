@@ -1,0 +1,81 @@
+// Unweighted spanning forest (Boruvka with unit weights + SetDMin).
+#include <gtest/gtest.h>
+
+#include "core/cc_seq.hpp"
+#include "core/dsu.hpp"
+#include "core/mst_pgas.hpp"
+#include "graph/generators.hpp"
+
+namespace core = pgraph::core;
+namespace g = pgraph::graph;
+namespace pg = pgraph::pgas;
+namespace m = pgraph::machine;
+
+namespace {
+
+/// Validate that the edge ids form a spanning forest of el.
+void check_forest(const g::EdgeList& el, const core::ParMstResult& r) {
+  core::Dsu forest(el.n);
+  std::vector<bool> used(el.m(), false);
+  for (const auto id : r.edges) {
+    ASSERT_LT(id, el.m());
+    ASSERT_FALSE(used[id]) << "duplicate edge in forest";
+    used[id] = true;
+    ASSERT_TRUE(forest.unite(el.edges[id].u, el.edges[id].v))
+        << "cycle in forest";
+  }
+  // Edge count == n - #components, i.e. it spans.
+  const auto cc = core::cc_dsu(el);
+  EXPECT_EQ(r.edges.size(), el.n - cc.num_components);
+  // The forest induces the same partition.
+  std::vector<std::uint64_t> flabels(el.n);
+  for (std::size_t i = 0; i < el.n; ++i) flabels[i] = forest.find(i);
+  EXPECT_TRUE(core::same_partition(flabels, cc.labels));
+}
+
+}  // namespace
+
+TEST(SpanningTree, StructuredGraphs) {
+  pg::Runtime rt(pg::Topology::cluster(2, 2), m::CostParams::hps_cluster());
+  for (const auto& el :
+       {g::path_graph(40), g::cycle_graph(33), g::star_graph(25),
+        g::grid_graph(8, 9), g::disjoint_cliques(4, 5)}) {
+    const auto r = core::spanning_tree_pgas(rt, el);
+    check_forest(el, r);
+    EXPECT_EQ(r.total_weight, 0u);  // unit weights are zero
+  }
+}
+
+TEST(SpanningTree, RandomAndHybridAcrossTopologies) {
+  for (const auto& [nodes, threads] :
+       {std::pair{1, 1}, {1, 4}, {4, 2}}) {
+    pg::Runtime rt(pg::Topology::cluster(nodes, threads),
+                   m::CostParams::hps_cluster());
+    check_forest(g::random_graph(500, 1500, 1),
+                 core::spanning_tree_pgas(
+                     rt, g::random_graph(500, 1500, 1)));
+    check_forest(g::hybrid_graph(400, 1200, 2),
+                 core::spanning_tree_pgas(
+                     rt, g::hybrid_graph(400, 1200, 2)));
+  }
+}
+
+TEST(SpanningTree, DeterministicSmallestIdEdges) {
+  // With unit weights the SetDMin tie-break is the edge id, so the forest
+  // is the id-lexicographically determined one; two runs agree exactly.
+  pg::Runtime rt(pg::Topology::cluster(2, 3), m::CostParams::hps_cluster());
+  const auto el = g::random_graph(300, 900, 5);
+  auto a = core::spanning_tree_pgas(rt, el);
+  auto b = core::spanning_tree_pgas(rt, el);
+  std::sort(a.edges.begin(), a.edges.end());
+  std::sort(b.edges.begin(), b.edges.end());
+  EXPECT_EQ(a.edges, b.edges);
+}
+
+TEST(SpanningTree, EdgelessGraph) {
+  pg::Runtime rt(pg::Topology::cluster(2, 1), m::CostParams::hps_cluster());
+  g::EdgeList el;
+  el.n = 9;
+  const auto r = core::spanning_tree_pgas(rt, el);
+  EXPECT_TRUE(r.edges.empty());
+}

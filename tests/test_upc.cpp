@@ -1,0 +1,80 @@
+// The UPC veneer: affinity semantics of upc_forall, element access, bulk
+// transfers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "pgas/upc.hpp"
+
+namespace pg = pgraph::pgas;
+namespace m = pgraph::machine;
+
+TEST(UpcForall, PointerAffinityCoversEachIndexOnce) {
+  pg::Runtime rt(pg::Topology::cluster(2, 3), m::CostParams::hps_cluster());
+  pg::GlobalArray<std::uint64_t> a(rt, 100);
+  std::vector<std::atomic<int>> hits(100);
+  rt.run([&](pg::ThreadCtx& ctx) {
+    pg::upc::Env upc(ctx);
+    upc.forall(0, 100, a, [&](std::size_t i) {
+      // Affinity: the executing thread must own A[i].
+      EXPECT_EQ(a.owner(i), ctx.id());
+      hits[i].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(UpcForall, IntegerAffinityIsCyclic) {
+  pg::Runtime rt(pg::Topology::cluster(1, 4), m::CostParams::hps_cluster());
+  std::vector<std::atomic<int>> owner(40);
+  rt.run([&](pg::ThreadCtx& ctx) {
+    pg::upc::Env upc(ctx);
+    upc.forall(0, 40, [&](std::size_t i) {
+      owner[i].store(ctx.id());
+    });
+  });
+  for (std::size_t i = 0; i < 40; ++i)
+    EXPECT_EQ(owner[i].load(), static_cast<int>(i % 4));
+}
+
+TEST(UpcEnv, ReadWriteAndBulk) {
+  pg::Runtime rt(pg::Topology::cluster(2, 2), m::CostParams::hps_cluster());
+  pg::GlobalArray<std::uint64_t> a(rt, 16);
+  rt.run([&](pg::ThreadCtx& ctx) {
+    pg::upc::Env upc(ctx);
+    EXPECT_EQ(upc.threads(), 4);
+    EXPECT_EQ(upc.mythread(), ctx.id());
+    upc.forall(0, 16, a, [&](std::size_t i) {
+      upc.write<std::uint64_t>(a, i, i * 2);
+    });
+    upc.barrier();
+    // Cross-thread fine-grained reads.
+    EXPECT_EQ(upc.read(a, 15), 30u);
+    // Bulk get of thread 0's block.
+    std::uint64_t buf[4];
+    upc.memget(buf, a, 0, 4);
+    EXPECT_EQ(buf[3], 6u);
+    upc.barrier();
+    // Bulk put back.
+    if (ctx.id() == 1) {
+      const std::uint64_t vals[4] = {9, 9, 9, 9};
+      upc.memput(a, 0, vals, 4);
+    }
+    upc.barrier();
+    EXPECT_EQ(upc.read(a, 2), 9u);
+    upc.barrier();
+  });
+}
+
+TEST(UpcEnv, FineAccessesAreChargedAsCommunication) {
+  pg::Runtime rt(pg::Topology::cluster(4, 1), m::CostParams::hps_cluster());
+  pg::GlobalArray<std::uint64_t> a(rt, 64);
+  rt.run([&](pg::ThreadCtx& ctx) {
+    pg::upc::Env upc(ctx);
+    // Everyone reads a remote element repeatedly.
+    const std::size_t remote = (ctx.id() + 1) % 4 * 16;
+    for (int i = 0; i < 10; ++i) upc.read(a, remote);
+    ctx.barrier();
+  });
+  EXPECT_GE(rt.net().fine_messages(), 4u * 10 * 2);  // round trips
+}
