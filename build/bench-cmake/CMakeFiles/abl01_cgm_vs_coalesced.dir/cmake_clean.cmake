@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl01_cgm_vs_coalesced"
+  "../bench/abl01_cgm_vs_coalesced.pdb"
+  "CMakeFiles/abl01_cgm_vs_coalesced.dir/abl01_cgm_vs_coalesced.cpp.o"
+  "CMakeFiles/abl01_cgm_vs_coalesced.dir/abl01_cgm_vs_coalesced.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl01_cgm_vs_coalesced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl01_cgm_vs_coalesced.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl02_congestion_schedule"
+  "../bench/abl02_congestion_schedule.pdb"
+  "CMakeFiles/abl02_congestion_schedule.dir/abl02_congestion_schedule.cpp.o"
+  "CMakeFiles/abl02_congestion_schedule.dir/abl02_congestion_schedule.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl02_congestion_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

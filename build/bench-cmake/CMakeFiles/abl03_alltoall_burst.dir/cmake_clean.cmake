@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl03_alltoall_burst"
+  "../bench/abl03_alltoall_burst.pdb"
+  "CMakeFiles/abl03_alltoall_burst.dir/abl03_alltoall_burst.cpp.o"
+  "CMakeFiles/abl03_alltoall_burst.dir/abl03_alltoall_burst.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl03_alltoall_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl03_alltoall_burst.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl04_cache_model_validation"
+  "../bench/abl04_cache_model_validation.pdb"
+  "CMakeFiles/abl04_cache_model_validation.dir/abl04_cache_model_validation.cpp.o"
+  "CMakeFiles/abl04_cache_model_validation.dir/abl04_cache_model_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl04_cache_model_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

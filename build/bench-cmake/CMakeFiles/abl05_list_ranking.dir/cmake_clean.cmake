@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl05_list_ranking"
+  "../bench/abl05_list_ranking.pdb"
+  "CMakeFiles/abl05_list_ranking.dir/abl05_list_ranking.cpp.o"
+  "CMakeFiles/abl05_list_ranking.dir/abl05_list_ranking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl05_list_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

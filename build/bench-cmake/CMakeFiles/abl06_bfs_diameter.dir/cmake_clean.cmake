@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl06_bfs_diameter"
+  "../bench/abl06_bfs_diameter.pdb"
+  "CMakeFiles/abl06_bfs_diameter.dir/abl06_bfs_diameter.cpp.o"
+  "CMakeFiles/abl06_bfs_diameter.dir/abl06_bfs_diameter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl06_bfs_diameter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

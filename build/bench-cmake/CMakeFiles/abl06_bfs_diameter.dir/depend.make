@@ -1,0 +1,2 @@
+# Empty dependencies file for abl06_bfs_diameter.
+# This may be replaced when dependencies are built.

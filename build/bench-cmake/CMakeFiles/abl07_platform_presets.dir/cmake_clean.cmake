@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl07_platform_presets"
+  "../bench/abl07_platform_presets.pdb"
+  "CMakeFiles/abl07_platform_presets.dir/abl07_platform_presets.cpp.o"
+  "CMakeFiles/abl07_platform_presets.dir/abl07_platform_presets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl07_platform_presets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl07_platform_presets.
+# This may be replaced when dependencies are built.

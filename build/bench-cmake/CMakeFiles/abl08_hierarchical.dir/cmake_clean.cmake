@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl08_hierarchical"
+  "../bench/abl08_hierarchical.pdb"
+  "CMakeFiles/abl08_hierarchical.dir/abl08_hierarchical.cpp.o"
+  "CMakeFiles/abl08_hierarchical.dir/abl08_hierarchical.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl08_hierarchical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext01_weak_scaling"
+  "../bench/ext01_weak_scaling.pdb"
+  "CMakeFiles/ext01_weak_scaling.dir/ext01_weak_scaling.cpp.o"
+  "CMakeFiles/ext01_weak_scaling.dir/ext01_weak_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext01_weak_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

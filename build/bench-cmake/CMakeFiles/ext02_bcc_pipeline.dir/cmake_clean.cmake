@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext02_bcc_pipeline"
+  "../bench/ext02_bcc_pipeline.pdb"
+  "CMakeFiles/ext02_bcc_pipeline.dir/ext02_bcc_pipeline.cpp.o"
+  "CMakeFiles/ext02_bcc_pipeline.dir/ext02_bcc_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext02_bcc_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_naive_vs_smp"
+  "../bench/fig02_naive_vs_smp.pdb"
+  "CMakeFiles/fig02_naive_vs_smp.dir/fig02_naive_vs_smp.cpp.o"
+  "CMakeFiles/fig02_naive_vs_smp.dir/fig02_naive_vs_smp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_naive_vs_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

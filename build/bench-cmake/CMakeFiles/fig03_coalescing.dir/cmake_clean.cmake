@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_coalescing"
+  "../bench/fig03_coalescing.pdb"
+  "CMakeFiles/fig03_coalescing.dir/fig03_coalescing.cpp.o"
+  "CMakeFiles/fig03_coalescing.dir/fig03_coalescing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_coalescing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

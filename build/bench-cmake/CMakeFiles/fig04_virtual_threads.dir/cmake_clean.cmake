@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_virtual_threads"
+  "../bench/fig04_virtual_threads.pdb"
+  "CMakeFiles/fig04_virtual_threads.dir/fig04_virtual_threads.cpp.o"
+  "CMakeFiles/fig04_virtual_threads.dir/fig04_virtual_threads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_virtual_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

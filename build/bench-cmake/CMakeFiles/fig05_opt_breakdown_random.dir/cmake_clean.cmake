@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_opt_breakdown_random"
+  "../bench/fig05_opt_breakdown_random.pdb"
+  "CMakeFiles/fig05_opt_breakdown_random.dir/fig05_opt_breakdown_random.cpp.o"
+  "CMakeFiles/fig05_opt_breakdown_random.dir/fig05_opt_breakdown_random.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_opt_breakdown_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

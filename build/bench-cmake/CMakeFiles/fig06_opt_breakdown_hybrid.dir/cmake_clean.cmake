@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_opt_breakdown_hybrid"
+  "../bench/fig06_opt_breakdown_hybrid.pdb"
+  "CMakeFiles/fig06_opt_breakdown_hybrid.dir/fig06_opt_breakdown_hybrid.cpp.o"
+  "CMakeFiles/fig06_opt_breakdown_hybrid.dir/fig06_opt_breakdown_hybrid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_opt_breakdown_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

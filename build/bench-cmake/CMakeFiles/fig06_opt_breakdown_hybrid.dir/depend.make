@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_opt_breakdown_hybrid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_cc_scaling_mn4"
+  "../bench/fig07_cc_scaling_mn4.pdb"
+  "CMakeFiles/fig07_cc_scaling_mn4.dir/fig07_cc_scaling_mn4.cpp.o"
+  "CMakeFiles/fig07_cc_scaling_mn4.dir/fig07_cc_scaling_mn4.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_cc_scaling_mn4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_cc_scaling_mn10.
+# This may be replaced when dependencies are built.

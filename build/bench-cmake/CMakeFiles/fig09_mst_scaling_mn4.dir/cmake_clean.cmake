@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_mst_scaling_mn4"
+  "../bench/fig09_mst_scaling_mn4.pdb"
+  "CMakeFiles/fig09_mst_scaling_mn4.dir/fig09_mst_scaling_mn4.cpp.o"
+  "CMakeFiles/fig09_mst_scaling_mn4.dir/fig09_mst_scaling_mn4.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_mst_scaling_mn4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_mst_scaling_mn4.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_mst_scaling_mn10"
+  "../bench/fig10_mst_scaling_mn10.pdb"
+  "CMakeFiles/fig10_mst_scaling_mn10.dir/fig10_mst_scaling_mn10.cpp.o"
+  "CMakeFiles/fig10_mst_scaling_mn10.dir/fig10_mst_scaling_mn10.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mst_scaling_mn10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

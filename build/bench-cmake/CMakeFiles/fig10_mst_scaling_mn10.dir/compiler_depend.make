@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_mst_scaling_mn10.
+# This may be replaced when dependencies are built.

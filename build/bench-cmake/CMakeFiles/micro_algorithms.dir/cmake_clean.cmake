@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_algorithms"
+  "../bench/micro_algorithms.pdb"
+  "CMakeFiles/micro_algorithms.dir/micro_algorithms.cpp.o"
+  "CMakeFiles/micro_algorithms.dir/micro_algorithms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab01_headline_speedups"
+  "../bench/tab01_headline_speedups.pdb"
+  "CMakeFiles/tab01_headline_speedups.dir/tab01_headline_speedups.cpp.o"
+  "CMakeFiles/tab01_headline_speedups.dir/tab01_headline_speedups.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_headline_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

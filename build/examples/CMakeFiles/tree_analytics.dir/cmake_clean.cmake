@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_analytics.dir/tree_analytics.cpp.o"
+  "CMakeFiles/tree_analytics.dir/tree_analytics.cpp.o.d"
+  "tree_analytics"
+  "tree_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

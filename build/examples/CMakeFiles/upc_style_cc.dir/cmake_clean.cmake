@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upc_style_cc.dir/upc_style_cc.cpp.o"
+  "CMakeFiles/upc_style_cc.dir/upc_style_cc.cpp.o.d"
+  "upc_style_cc"
+  "upc_style_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upc_style_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

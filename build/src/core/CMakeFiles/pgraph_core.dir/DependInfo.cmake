@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bcc.cpp" "src/core/CMakeFiles/pgraph_core.dir/bcc.cpp.o" "gcc" "src/core/CMakeFiles/pgraph_core.dir/bcc.cpp.o.d"
+  "/root/repo/src/core/bfs_pgas.cpp" "src/core/CMakeFiles/pgraph_core.dir/bfs_pgas.cpp.o" "gcc" "src/core/CMakeFiles/pgraph_core.dir/bfs_pgas.cpp.o.d"
+  "/root/repo/src/core/cc_coalesced.cpp" "src/core/CMakeFiles/pgraph_core.dir/cc_coalesced.cpp.o" "gcc" "src/core/CMakeFiles/pgraph_core.dir/cc_coalesced.cpp.o.d"
+  "/root/repo/src/core/cc_fine.cpp" "src/core/CMakeFiles/pgraph_core.dir/cc_fine.cpp.o" "gcc" "src/core/CMakeFiles/pgraph_core.dir/cc_fine.cpp.o.d"
+  "/root/repo/src/core/cc_seq.cpp" "src/core/CMakeFiles/pgraph_core.dir/cc_seq.cpp.o" "gcc" "src/core/CMakeFiles/pgraph_core.dir/cc_seq.cpp.o.d"
+  "/root/repo/src/core/cgm_cc.cpp" "src/core/CMakeFiles/pgraph_core.dir/cgm_cc.cpp.o" "gcc" "src/core/CMakeFiles/pgraph_core.dir/cgm_cc.cpp.o.d"
+  "/root/repo/src/core/ears.cpp" "src/core/CMakeFiles/pgraph_core.dir/ears.cpp.o" "gcc" "src/core/CMakeFiles/pgraph_core.dir/ears.cpp.o.d"
+  "/root/repo/src/core/euler_tour.cpp" "src/core/CMakeFiles/pgraph_core.dir/euler_tour.cpp.o" "gcc" "src/core/CMakeFiles/pgraph_core.dir/euler_tour.cpp.o.d"
+  "/root/repo/src/core/list_ranking.cpp" "src/core/CMakeFiles/pgraph_core.dir/list_ranking.cpp.o" "gcc" "src/core/CMakeFiles/pgraph_core.dir/list_ranking.cpp.o.d"
+  "/root/repo/src/core/mst_pgas.cpp" "src/core/CMakeFiles/pgraph_core.dir/mst_pgas.cpp.o" "gcc" "src/core/CMakeFiles/pgraph_core.dir/mst_pgas.cpp.o.d"
+  "/root/repo/src/core/mst_seq.cpp" "src/core/CMakeFiles/pgraph_core.dir/mst_seq.cpp.o" "gcc" "src/core/CMakeFiles/pgraph_core.dir/mst_seq.cpp.o.d"
+  "/root/repo/src/core/mst_smp.cpp" "src/core/CMakeFiles/pgraph_core.dir/mst_smp.cpp.o" "gcc" "src/core/CMakeFiles/pgraph_core.dir/mst_smp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pgas/CMakeFiles/pgraph_pgas.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/pgraph_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pgraph_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

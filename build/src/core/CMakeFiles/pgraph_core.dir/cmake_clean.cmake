@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgraph_core.dir/bcc.cpp.o"
+  "CMakeFiles/pgraph_core.dir/bcc.cpp.o.d"
+  "CMakeFiles/pgraph_core.dir/bfs_pgas.cpp.o"
+  "CMakeFiles/pgraph_core.dir/bfs_pgas.cpp.o.d"
+  "CMakeFiles/pgraph_core.dir/cc_coalesced.cpp.o"
+  "CMakeFiles/pgraph_core.dir/cc_coalesced.cpp.o.d"
+  "CMakeFiles/pgraph_core.dir/cc_fine.cpp.o"
+  "CMakeFiles/pgraph_core.dir/cc_fine.cpp.o.d"
+  "CMakeFiles/pgraph_core.dir/cc_seq.cpp.o"
+  "CMakeFiles/pgraph_core.dir/cc_seq.cpp.o.d"
+  "CMakeFiles/pgraph_core.dir/cgm_cc.cpp.o"
+  "CMakeFiles/pgraph_core.dir/cgm_cc.cpp.o.d"
+  "CMakeFiles/pgraph_core.dir/ears.cpp.o"
+  "CMakeFiles/pgraph_core.dir/ears.cpp.o.d"
+  "CMakeFiles/pgraph_core.dir/euler_tour.cpp.o"
+  "CMakeFiles/pgraph_core.dir/euler_tour.cpp.o.d"
+  "CMakeFiles/pgraph_core.dir/list_ranking.cpp.o"
+  "CMakeFiles/pgraph_core.dir/list_ranking.cpp.o.d"
+  "CMakeFiles/pgraph_core.dir/mst_pgas.cpp.o"
+  "CMakeFiles/pgraph_core.dir/mst_pgas.cpp.o.d"
+  "CMakeFiles/pgraph_core.dir/mst_seq.cpp.o"
+  "CMakeFiles/pgraph_core.dir/mst_seq.cpp.o.d"
+  "CMakeFiles/pgraph_core.dir/mst_smp.cpp.o"
+  "CMakeFiles/pgraph_core.dir/mst_smp.cpp.o.d"
+  "libpgraph_core.a"
+  "libpgraph_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgraph_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

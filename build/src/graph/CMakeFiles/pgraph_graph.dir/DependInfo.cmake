@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr.cpp" "src/graph/CMakeFiles/pgraph_graph.dir/csr.cpp.o" "gcc" "src/graph/CMakeFiles/pgraph_graph.dir/csr.cpp.o.d"
+  "/root/repo/src/graph/edge_list.cpp" "src/graph/CMakeFiles/pgraph_graph.dir/edge_list.cpp.o" "gcc" "src/graph/CMakeFiles/pgraph_graph.dir/edge_list.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/pgraph_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/pgraph_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/pgraph_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/pgraph_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/permute.cpp" "src/graph/CMakeFiles/pgraph_graph.dir/permute.cpp.o" "gcc" "src/graph/CMakeFiles/pgraph_graph.dir/permute.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/graph/CMakeFiles/pgraph_graph.dir/stats.cpp.o" "gcc" "src/graph/CMakeFiles/pgraph_graph.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgraph_graph.dir/csr.cpp.o"
+  "CMakeFiles/pgraph_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/pgraph_graph.dir/edge_list.cpp.o"
+  "CMakeFiles/pgraph_graph.dir/edge_list.cpp.o.d"
+  "CMakeFiles/pgraph_graph.dir/generators.cpp.o"
+  "CMakeFiles/pgraph_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/pgraph_graph.dir/io.cpp.o"
+  "CMakeFiles/pgraph_graph.dir/io.cpp.o.d"
+  "CMakeFiles/pgraph_graph.dir/permute.cpp.o"
+  "CMakeFiles/pgraph_graph.dir/permute.cpp.o.d"
+  "CMakeFiles/pgraph_graph.dir/stats.cpp.o"
+  "CMakeFiles/pgraph_graph.dir/stats.cpp.o.d"
+  "libpgraph_graph.a"
+  "libpgraph_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgraph_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

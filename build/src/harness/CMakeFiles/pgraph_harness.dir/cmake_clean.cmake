@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgraph_harness.dir/args.cpp.o"
+  "CMakeFiles/pgraph_harness.dir/args.cpp.o.d"
+  "CMakeFiles/pgraph_harness.dir/table.cpp.o"
+  "CMakeFiles/pgraph_harness.dir/table.cpp.o.d"
+  "libpgraph_harness.a"
+  "libpgraph_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgraph_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/cache_sim.cpp" "src/machine/CMakeFiles/pgraph_machine.dir/cache_sim.cpp.o" "gcc" "src/machine/CMakeFiles/pgraph_machine.dir/cache_sim.cpp.o.d"
+  "/root/repo/src/machine/cost_params.cpp" "src/machine/CMakeFiles/pgraph_machine.dir/cost_params.cpp.o" "gcc" "src/machine/CMakeFiles/pgraph_machine.dir/cost_params.cpp.o.d"
+  "/root/repo/src/machine/exchange_sim.cpp" "src/machine/CMakeFiles/pgraph_machine.dir/exchange_sim.cpp.o" "gcc" "src/machine/CMakeFiles/pgraph_machine.dir/exchange_sim.cpp.o.d"
+  "/root/repo/src/machine/network_model.cpp" "src/machine/CMakeFiles/pgraph_machine.dir/network_model.cpp.o" "gcc" "src/machine/CMakeFiles/pgraph_machine.dir/network_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgraph_machine.dir/cache_sim.cpp.o"
+  "CMakeFiles/pgraph_machine.dir/cache_sim.cpp.o.d"
+  "CMakeFiles/pgraph_machine.dir/cost_params.cpp.o"
+  "CMakeFiles/pgraph_machine.dir/cost_params.cpp.o.d"
+  "CMakeFiles/pgraph_machine.dir/exchange_sim.cpp.o"
+  "CMakeFiles/pgraph_machine.dir/exchange_sim.cpp.o.d"
+  "CMakeFiles/pgraph_machine.dir/network_model.cpp.o"
+  "CMakeFiles/pgraph_machine.dir/network_model.cpp.o.d"
+  "libpgraph_machine.a"
+  "libpgraph_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgraph_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgraph_pgas.dir/runtime.cpp.o"
+  "CMakeFiles/pgraph_pgas.dir/runtime.cpp.o.d"
+  "libpgraph_pgas.a"
+  "libpgraph_pgas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgraph_pgas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpgraph_pgas.a"
+)

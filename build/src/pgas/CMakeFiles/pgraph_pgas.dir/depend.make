@@ -1,0 +1,2 @@
+# Empty dependencies file for pgraph_pgas.
+# This may be replaced when dependencies are built.

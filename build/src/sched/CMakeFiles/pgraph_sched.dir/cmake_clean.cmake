@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgraph_sched.dir/access_sched.cpp.o"
+  "CMakeFiles/pgraph_sched.dir/access_sched.cpp.o.d"
+  "libpgraph_sched.a"
+  "libpgraph_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgraph_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

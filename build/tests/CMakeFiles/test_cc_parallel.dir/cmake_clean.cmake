@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cc_parallel.dir/test_cc_parallel.cpp.o"
+  "CMakeFiles/test_cc_parallel.dir/test_cc_parallel.cpp.o.d"
+  "test_cc_parallel"
+  "test_cc_parallel.pdb"
+  "test_cc_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cc_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

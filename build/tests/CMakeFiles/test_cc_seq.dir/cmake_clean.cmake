@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cc_seq.dir/test_cc_seq.cpp.o"
+  "CMakeFiles/test_cc_seq.dir/test_cc_seq.cpp.o.d"
+  "test_cc_seq"
+  "test_cc_seq.pdb"
+  "test_cc_seq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cc_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

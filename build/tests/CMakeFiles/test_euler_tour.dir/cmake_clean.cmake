@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_euler_tour.dir/test_euler_tour.cpp.o"
+  "CMakeFiles/test_euler_tour.dir/test_euler_tour.cpp.o.d"
+  "test_euler_tour"
+  "test_euler_tour.pdb"
+  "test_euler_tour[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_euler_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exchange_sim.dir/test_exchange_sim.cpp.o"
+  "CMakeFiles/test_exchange_sim.dir/test_exchange_sim.cpp.o.d"
+  "test_exchange_sim"
+  "test_exchange_sim.pdb"
+  "test_exchange_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exchange_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_global_array.dir/test_global_array.cpp.o"
+  "CMakeFiles/test_global_array.dir/test_global_array.cpp.o.d"
+  "test_global_array"
+  "test_global_array.pdb"
+  "test_global_array[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_global_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

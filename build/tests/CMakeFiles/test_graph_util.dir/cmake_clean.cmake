@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_util.dir/test_graph_util.cpp.o"
+  "CMakeFiles/test_graph_util.dir/test_graph_util.cpp.o.d"
+  "test_graph_util"
+  "test_graph_util.pdb"
+  "test_graph_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

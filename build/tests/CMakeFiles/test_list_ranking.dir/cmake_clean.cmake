@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_list_ranking.dir/test_list_ranking.cpp.o"
+  "CMakeFiles/test_list_ranking.dir/test_list_ranking.cpp.o.d"
+  "test_list_ranking"
+  "test_list_ranking.pdb"
+  "test_list_ranking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_list_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mst_parallel.dir/test_mst_parallel.cpp.o"
+  "CMakeFiles/test_mst_parallel.dir/test_mst_parallel.cpp.o.d"
+  "test_mst_parallel"
+  "test_mst_parallel.pdb"
+  "test_mst_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mst_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

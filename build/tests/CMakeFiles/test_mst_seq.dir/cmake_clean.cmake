@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mst_seq.dir/test_mst_seq.cpp.o"
+  "CMakeFiles/test_mst_seq.dir/test_mst_seq.cpp.o.d"
+  "test_mst_seq"
+  "test_mst_seq.pdb"
+  "test_mst_seq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mst_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

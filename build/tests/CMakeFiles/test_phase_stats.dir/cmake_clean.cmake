@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase_stats.dir/test_phase_stats.cpp.o"
+  "CMakeFiles/test_phase_stats.dir/test_phase_stats.cpp.o.d"
+  "test_phase_stats"
+  "test_phase_stats.pdb"
+  "test_phase_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

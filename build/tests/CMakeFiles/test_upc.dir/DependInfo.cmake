@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_upc.cpp" "tests/CMakeFiles/test_upc.dir/test_upc.cpp.o" "gcc" "tests/CMakeFiles/test_upc.dir/test_upc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pgraph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/pgraph_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/pgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/pgas/CMakeFiles/pgraph_pgas.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/pgraph_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/pgraph_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_upc.dir/test_upc.cpp.o"
+  "CMakeFiles/test_upc.dir/test_upc.cpp.o.d"
+  "test_upc"
+  "test_upc.pdb"
+  "test_upc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_upc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

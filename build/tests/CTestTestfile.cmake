@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_cache_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_exchange_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_global_array[1]_include.cmake")
+include("/root/repo/build/tests/test_generators[1]_include.cmake")
+include("/root/repo/build/tests/test_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_collectives[1]_include.cmake")
+include("/root/repo/build/tests/test_cc_seq[1]_include.cmake")
+include("/root/repo/build/tests/test_mst_seq[1]_include.cmake")
+include("/root/repo/build/tests/test_cc_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_mst_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_graph_util[1]_include.cmake")
+include("/root/repo/build/tests/test_list_ranking[1]_include.cmake")
+include("/root/repo/build/tests/test_bfs_pgas[1]_include.cmake")
+include("/root/repo/build/tests/test_spanning_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_upc[1]_include.cmake")
+include("/root/repo/build/tests/test_cache_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_graph_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_euler_tour[1]_include.cmake")
+include("/root/repo/build/tests/test_phase_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_bcc[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_ears[1]_include.cmake")
