@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Build-and-test driver for the verification matrix (see docs/ANALYSIS.md).
+#
+#   scripts/run_checks.sh                 # all stages
+#   scripts/run_checks.sh default check   # just these stages
+#
+# Stages (each maps to a CMakePresets.json preset):
+#   default  plain RelWithDebInfo build + ctest
+#   check    PGRAPH_CHECK_ACCESS=ON build + ctest (access-discipline checker)
+#   tsan     -fsanitize=thread build + ctest
+#   asan     -fsanitize=address,undefined build + ctest
+#   lint     clang-tidy over src/tests/examples (skipped if not installed)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+STAGES=("$@")
+if [ ${#STAGES[@]} -eq 0 ]; then
+  STAGES=(default check tsan asan lint)
+fi
+
+run_preset() {
+  local preset="$1"
+  echo "==== [$preset] configure + build + test ===="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$JOBS"
+  ctest --preset "$preset" -j "$JOBS"
+}
+
+for stage in "${STAGES[@]}"; do
+  case "$stage" in
+    default|check|tsan|asan)
+      run_preset "$stage"
+      ;;
+    lint)
+      if command -v clang-tidy > /dev/null 2>&1; then
+        echo "==== [lint] clang-tidy ===="
+        cmake --preset default
+        cmake --build --preset default --target lint
+      else
+        echo "==== [lint] clang-tidy not found on PATH; skipping ===="
+      fi
+      ;;
+    *)
+      echo "unknown stage: $stage (want: default check tsan asan lint)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "==== all requested stages passed ===="

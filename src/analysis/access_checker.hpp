@@ -1,0 +1,122 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pgraph::analysis {
+
+/// The three violation classes of the PGAS access discipline (see
+/// docs/ANALYSIS.md).  The discipline is the paper's: every D[R[i]] access
+/// is either a charged fine-grained operation, a charged coalesced
+/// transfer, or an owner-local touch — and concurrent same-element writes
+/// are legal only under a declared CRCW combine rule.
+enum class ViolationClass : std::uint8_t {
+  PhaseRace,     ///< conflicting same-element access, same barrier epoch
+  Affinity,      ///< direct dereference of another node's block
+  CostMismatch,  ///< bytes moved with no corresponding cost charge
+};
+
+const char* to_string(ViolationClass c);
+
+/// How an instrumented access may combine with concurrent accesses.
+enum class AccessKind : std::uint8_t {
+  Read,
+  Write,             ///< plain write: conflicts with any other-thread access
+  CombineMin,        ///< priority CRCW (SetDMin / put_min): min wins
+  CombineOverwrite,  ///< arbitrary CRCW (SetD): one concurrent writer wins
+};
+
+const char* to_string(AccessKind k);
+
+/// One detected violation.  `index` is the element index for PhaseRace and
+/// Affinity, and the uncovered byte count for CostMismatch.
+struct Violation {
+  ViolationClass cls = ViolationClass::PhaseRace;
+  std::string array;        ///< debug name of the array ("" for cost)
+  std::size_t index = 0;
+  int thread = -1;          ///< offending thread
+  int other_thread = -1;    ///< prior conflicting accessor / span owner
+  std::uint64_t epoch = 0;  ///< barrier epoch of the access
+  std::string detail;       ///< formatted one-line diagnostic
+};
+
+/// Per-array shadow state (last reader/writer per element, CRCW window).
+/// Opaque to clients; owned via shared_ptr handed out by register_array.
+class ArrayShadow;
+
+/// Process-wide access checker the simulated PGAS runtime reports into
+/// when built with PGRAPH_CHECK_ACCESS.  All hooks are no-ops while
+/// disabled; record_access/record_affinity are additionally skipped by the
+/// callers when the calling OS thread has no ThreadCtx (single-threaded
+/// verification code outside Runtime::run is exempt from the discipline).
+///
+/// Thread safety: hooks may be called concurrently from all SPMD threads;
+/// end_epoch must only be called from a barrier completion step (all
+/// threads parked), which is where the per-thread cost tallies are
+/// compared and reset.
+class AccessChecker {
+ public:
+  static AccessChecker& instance();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// When true (the default), the first violation prints its diagnostic to
+  /// stderr and aborts the process — this is how the CI check build turns
+  /// a silent model bug into a hard test failure.  Tests that inject
+  /// violations turn this off and inspect violations() instead.
+  bool abort_on_violation() const {
+    return abort_on_violation_.load(std::memory_order_relaxed);
+  }
+  void set_abort_on_violation(bool on) {
+    abort_on_violation_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Register a shadow for an n-element array.  Returns null while the
+  /// checker is disabled (arrays created then are never tracked).
+  std::shared_ptr<ArrayShadow> register_array(std::size_t n,
+                                              std::size_t elem_bytes);
+
+  /// --- per-element access hooks ---------------------------------------
+  void record_access(ArrayShadow* a, std::size_t i, AccessKind k, int thread,
+                     std::uint64_t epoch);
+  /// Declare / retract a CRCW combine window on `a` (refcounted; every
+  /// SPMD thread opens its own).  Plain writes inside the window are
+  /// treated as `combine_kind`.
+  void begin_crcw(ArrayShadow* a, AccessKind combine_kind);
+  void end_crcw(ArrayShadow* a);
+
+  /// --- affinity hook ---------------------------------------------------
+  void record_affinity(ArrayShadow* a, std::size_t index, int thread,
+                       int caller_node, int owner_node, std::uint64_t epoch,
+                       const char* what);
+
+  /// --- cost coverage ---------------------------------------------------
+  /// Bytes moved through an instrumented data path vs. bytes covered by a
+  /// ThreadCtx cost charge, tallied per thread within the current epoch.
+  void add_moved(int thread, std::size_t bytes);
+  void add_charged(int thread, std::size_t bytes);
+  /// Barrier completion: flag any thread whose moved bytes exceed its
+  /// charged bytes this epoch, then zero both tallies.
+  void end_epoch(std::uint64_t epoch, int nthreads);
+
+  /// --- reporting --------------------------------------------------------
+  /// Total violations detected since the last clear (including ones beyond
+  /// the stored-detail cap).
+  std::size_t violation_count() const;
+  std::vector<Violation> violations() const;
+  void clear_violations();
+
+ private:
+  AccessChecker();
+  void report(Violation v);
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<bool> abort_on_violation_{true};
+};
+
+}  // namespace pgraph::analysis

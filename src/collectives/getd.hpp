@@ -129,6 +129,9 @@ void getd(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
         ++first_touches;
       }
       rbuf[k] = myblock[ridx[k] - base];
+      // Owner-side read through the raw block pointer: make it visible to
+      // the race detector (a stray same-epoch write would corrupt replies).
+      D.note_read(ctx, ridx[k]);
     }
     distinct_lines += first_touches;
     // Streamed read of the incoming index list; compulsory line fills for

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <span>
 
+#include "collectives/crcw.hpp"
 #include "collectives/detail.hpp"
 
 namespace pgraph::coll {
@@ -15,6 +16,7 @@ namespace detail_combine {
 /// configuration.
 template <class T>
 struct Overwrite {
+  static constexpr CrcwMode kMode = CrcwMode::Overwrite;
   void operator()(T& dst, T v) const { dst = v; }
 };
 
@@ -24,6 +26,7 @@ struct Overwrite {
 /// smallest value wins").
 template <class T>
 struct Min {
+  static constexpr CrcwMode kMode = CrcwMode::Min;
   void operator()(T& dst, T v) const {
     if (v < dst) dst = v;
   }
@@ -80,6 +83,11 @@ void setd_combine(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
   ctx.exchange_barrier();
 
   // --- apply (owner side) ---------------------------------------------------
+  // Declare the CRCW combine window: concurrent writes to D are resolved
+  // by `combine`'s rule from here to the end of the collective, and each
+  // applied element is noted so the race detector can see collisions with
+  // stray same-epoch fine-grained traffic.
+  CrcwRegion<T> crcw(D, Combine::kMode);
   const auto srow = cc.smatrix.local_span(me);
   const auto prow = cc.pmatrix.local_span(me);
   ctx.mem_seq(2 * static_cast<std::size_t>(s) * sizeof(std::uint64_t),
@@ -123,6 +131,7 @@ void setd_combine(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
         ++first_touches;
       }
       combine(myblock[ridx[k] - base], rval[k]);
+      crcw.note(ctx, ridx[k]);
     }
     distinct_lines += first_touches;
     ctx.mem_seq(cnt * (sizeof(std::uint64_t) + sizeof(T)), Cat::Copy);

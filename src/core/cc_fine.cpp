@@ -5,6 +5,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "collectives/crcw.hpp"
 #include "machine/phase_stats.hpp"
 #include "pgas/coll.hpp"
 #include "pgas/global_array.hpp"
@@ -29,6 +30,12 @@ ParCCResult cc_fine_grained(pgas::Runtime& rt, const graph::EdgeList& el,
   rt.run([&](pgas::ThreadCtx& ctx) {
     const int s = ctx.nthreads();
     const int me = ctx.id();
+
+    // Labels only ever shrink: both the grafts (put_min) and the shortcut
+    // sweeps (store of D[D[i]] <= D[i]) are priority-CRCW writes, so the
+    // whole kernel runs under one declared min-combine window — the
+    // "benign races" of Figure 1, made explicit for the access checker.
+    coll::CrcwRegion<std::uint64_t> crcw(d, coll::CrcwMode::Min);
 
     // D[i] = i  (parallel over blocks).
     {

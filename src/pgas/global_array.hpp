@@ -4,10 +4,12 @@
 #include <cassert>
 #include <cstddef>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <type_traits>
 #include <vector>
 
+#include "analysis/access_checker.hpp"
 #include "machine/phase_stats.hpp"
 #include "pgas/runtime.hpp"
 
@@ -41,7 +43,11 @@ class GlobalArray {
         n_(n),
         nthreads_(static_cast<std::size_t>(rt.topo().total_threads())),
         blk_((n + nthreads_ - 1) / nthreads_),
-        data_(n) {}
+        data_(n) {
+#ifdef PGRAPH_CHECK_ACCESS
+    shadow_ = analysis::AccessChecker::instance().register_array(n, sizeof(T));
+#endif
+  }
 
   std::size_t size() const { return n_; }
   std::size_t block_size() const { return blk_; }
@@ -71,26 +77,18 @@ class GlobalArray {
   T get(ThreadCtx& ctx, std::size_t i,
         machine::Cat c = machine::Cat::Comm) {
     static_assert(sizeof(T) <= 8, "fine-grained access requires small T");
-    const int own = owner(i);
-    if (ctx.topo().same_node(own, ctx.id())) {
-      ctx.mem_random(1, node_slice_bytes(), sizeof(T), c);
-    } else {
-      ctx.remote_get_cost(own, sizeof(T), c);
-    }
-    return load_relaxed(i);
+    charge_fine(ctx, i, c, /*is_write=*/false);
+    chk_elem(&ctx, i, analysis::AccessKind::Read);
+    return load_raw(i);
   }
 
   /// Fine-grained write of element i.
   void put(ThreadCtx& ctx, std::size_t i, T v,
            machine::Cat c = machine::Cat::Comm) {
     static_assert(sizeof(T) <= 8, "fine-grained access requires small T");
-    const int own = owner(i);
-    if (ctx.topo().same_node(own, ctx.id())) {
-      ctx.mem_random(1, node_slice_bytes(), sizeof(T), c);
-    } else {
-      ctx.remote_put_cost(own, sizeof(T), c);
-    }
-    store_relaxed(i, v);
+    charge_fine(ctx, i, c, /*is_write=*/true);
+    chk_elem(&ctx, i, analysis::AccessKind::Write);
+    store_raw(i, v);
   }
 
   /// Fine-grained write charged exactly like put(), but stored as a
@@ -101,13 +99,9 @@ class GlobalArray {
                machine::Cat c = machine::Cat::Comm)
     requires(sizeof(T) <= 8)
   {
-    const int own = owner(i);
-    if (ctx.topo().same_node(own, ctx.id())) {
-      ctx.mem_random(1, node_slice_bytes(), sizeof(T), c);
-    } else {
-      ctx.remote_put_cost(own, sizeof(T), c);
-    }
-    fetch_min_relaxed(i, v);
+    charge_fine(ctx, i, c, /*is_write=*/true);
+    chk_elem(&ctx, i, analysis::AccessKind::CombineMin);
+    fetch_min_raw(i, v);
   }
 
   /// Coalesced bulk read of [start, start+count), which must lie within one
@@ -118,6 +112,7 @@ class GlobalArray {
     const int own = owner(start);
     assert(owner(start + count - 1) == own && "memget must not span blocks");
     ctx.bulk_get_cost(own, count * sizeof(T), c);
+    chk_range(ctx, start, count, analysis::AccessKind::Read);
     std::memcpy(dst, data_.data() + start, count * sizeof(T));
   }
 
@@ -128,44 +123,56 @@ class GlobalArray {
     const int own = owner(start);
     assert(owner(start + count - 1) == own && "memput must not span blocks");
     ctx.bulk_put_cost(own, count * sizeof(T), c);
+    chk_range(ctx, start, count, analysis::AccessKind::Write);
     std::memcpy(data_.data() + start, src, count * sizeof(T));
   }
 
-  /// The calling thread's own block (or any thread's, for owner-side
+  /// The calling thread's own block (or a same-node peer's, for owner-side
   /// phases).  Uninstrumented: cost is charged by the caller, which is how
   /// the `localcpy` optimization (private-pointer arithmetic) is modeled.
+  /// Taking a span of another NODE's block from inside an SPMD region is
+  /// an affinity violation — the private-pointer cast that would be UB in
+  /// real UPC — and is flagged under PGRAPH_CHECK_ACCESS.
   std::span<T> local_span(int thr) {
+    chk_span(thr, "local_span of a remote node's block");
     return std::span<T>(data_.data() + block_begin(thr), local_size(thr));
   }
   std::span<const T> local_span(int thr) const {
+    chk_span(thr, "local_span of a remote node's block");
     return std::span<const T>(data_.data() + block_begin(thr),
                               local_size(thr));
   }
 
   /// Uninstrumented whole-array view for single-threaded verification.
-  T& raw(std::size_t i) { return data_[i]; }
-  const T& raw(std::size_t i) const { return data_[i]; }
-  std::span<T> raw_all() { return std::span<T>(data_); }
-  std::span<const T> raw_all() const { return std::span<const T>(data_); }
+  /// Inside an SPMD region these are affinity-checked like local_span.
+  T& raw(std::size_t i) {
+    chk_raw(i);
+    return data_[i];
+  }
+  const T& raw(std::size_t i) const {
+    chk_raw(i);
+    return data_[i];
+  }
+  std::span<T> raw_all() {
+    chk_raw_all();
+    return std::span<T>(data_);
+  }
+  std::span<const T> raw_all() const {
+    chk_raw_all();
+    return std::span<const T>(data_);
+  }
 
   /// Relaxed element access without cost charging (used inside collectives
-  /// where the cost is accounted at batch granularity).
+  /// where the cost is accounted at batch granularity).  Under
+  /// PGRAPH_CHECK_ACCESS the bytes still count as data motion, so an epoch
+  /// that moves more than its threads charge is flagged.
   T load_relaxed(std::size_t i) const {
-    if constexpr (sizeof(T) <= 8) {
-      // atomic_ref<const T> is not available in C++20; the cast is safe
-      // because the underlying storage is always mutable.
-      return std::atomic_ref<T>(const_cast<T&>(data_[i]))
-          .load(std::memory_order_relaxed);
-    } else {
-      return data_[i];
-    }
+    chk_elem(nullptr, i, analysis::AccessKind::Read);
+    return load_raw(i);
   }
   void store_relaxed(std::size_t i, T v) {
-    if constexpr (sizeof(T) <= 8) {
-      std::atomic_ref<T>(data_[i]).store(v, std::memory_order_relaxed);
-    } else {
-      data_[i] = v;
-    }
+    chk_elem(nullptr, i, analysis::AccessKind::Write);
+    store_raw(i, v);
   }
 
   /// Atomically shrink element i to min(current, v).  Used where PRAM
@@ -175,14 +182,39 @@ class GlobalArray {
   void fetch_min_relaxed(std::size_t i, T v)
     requires(sizeof(T) <= 8)
   {
-    std::atomic_ref<T> ref(data_[i]);
-    T cur = ref.load(std::memory_order_relaxed);
-    while (v < cur &&
-           !ref.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
-    }
+    chk_elem(nullptr, i, analysis::AccessKind::CombineMin);
+    fetch_min_raw(i, v);
   }
 
   Runtime& runtime() { return *rt_; }
+
+  /// --- access-discipline annotations (no-ops unless PGRAPH_CHECK_ACCESS)
+  /// Declare that writes to this array are resolved by a CRCW combine rule
+  /// until the matching end (refcounted; see coll::CrcwRegion).
+  void checker_begin_crcw(analysis::AccessKind combine_kind) {
+#ifdef PGRAPH_CHECK_ACCESS
+    analysis::AccessChecker::instance().begin_crcw(shadow_.get(),
+                                                   combine_kind);
+#else
+    (void)combine_kind;
+#endif
+  }
+  void checker_end_crcw() {
+#ifdef PGRAPH_CHECK_ACCESS
+    analysis::AccessChecker::instance().end_crcw(shadow_.get());
+#endif
+  }
+  /// Record an owner-side combining write / read applied through a raw
+  /// local pointer (the collectives' serve and apply loops), so the
+  /// checker can see collisions between collectives and stray fine-grained
+  /// traffic in the same epoch.
+  void note_combine(ThreadCtx& ctx, std::size_t i,
+                    analysis::AccessKind combine_kind) {
+    chk_elem(&ctx, i, combine_kind);
+  }
+  void note_read(ThreadCtx& ctx, std::size_t i) {
+    chk_elem(&ctx, i, analysis::AccessKind::Read);
+  }
 
   /// Bytes of this array with affinity to one node (the fine-grained
   /// working set of node-local irregular access).
@@ -192,11 +224,148 @@ class GlobalArray {
   }
 
  private:
+  /// Shared cost path of all fine-grained single-element operations
+  /// (get/put/put_min): a node-local access is one random probe over the
+  /// node's slice of the array; a cross-node access is a network round
+  /// trip.  Keeping this in ONE place guarantees the working-set
+  /// computation cannot drift between the read and write paths.
+  void charge_fine(ThreadCtx& ctx, std::size_t i, machine::Cat c,
+                   bool is_write) {
+    const int own = owner(i);
+    if (ctx.topo().same_node(own, ctx.id())) {
+      ctx.mem_random(1, node_slice_bytes(), sizeof(T), c);
+    } else if (is_write) {
+      ctx.remote_put_cost(own, sizeof(T), c);
+    } else {
+      ctx.remote_get_cost(own, sizeof(T), c);
+    }
+  }
+
+  /// --- uninstrumented element primitives --------------------------------
+  T load_raw(std::size_t i) const {
+    if constexpr (sizeof(T) <= 8) {
+      // atomic_ref<const T> is not available in C++20; the cast is safe
+      // because the underlying storage is always mutable.
+      return std::atomic_ref<T>(const_cast<T&>(data_[i]))
+          .load(std::memory_order_relaxed);
+    } else {
+      return data_[i];
+    }
+  }
+  void store_raw(std::size_t i, T v) {
+    if constexpr (sizeof(T) <= 8) {
+      std::atomic_ref<T>(data_[i]).store(v, std::memory_order_relaxed);
+    } else {
+      data_[i] = v;
+    }
+  }
+  void fetch_min_raw(std::size_t i, T v)
+    requires(sizeof(T) <= 8)
+  {
+    std::atomic_ref<T> ref(data_[i]);
+    T cur = ref.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !ref.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// --- access-checker plumbing (all empty unless PGRAPH_CHECK_ACCESS) ---
+  /// Record one element access.  `ctx` may be null for paths without a
+  /// ThreadCtx parameter (the relaxed accessors); the calling thread's
+  /// context is then looked up, and accesses from outside any SPMD region
+  /// (verification code) are exempt.
+  void chk_elem(ThreadCtx* ctx, std::size_t i, analysis::AccessKind k) const {
+#ifdef PGRAPH_CHECK_ACCESS
+    if (shadow_ == nullptr) return;
+    auto& ck = analysis::AccessChecker::instance();
+    if (!ck.enabled()) return;
+    if (ctx == nullptr) ctx = current_ctx();
+    if (ctx == nullptr) return;
+    ck.record_access(shadow_.get(), i, k, ctx->id(), ctx->epoch());
+    ck.add_moved(ctx->id(), sizeof(T));
+#else
+    (void)ctx;
+    (void)i;
+    (void)k;
+#endif
+  }
+
+  void chk_range(ThreadCtx& ctx, std::size_t start, std::size_t count,
+                 analysis::AccessKind k) const {
+#ifdef PGRAPH_CHECK_ACCESS
+    if (shadow_ == nullptr) return;
+    auto& ck = analysis::AccessChecker::instance();
+    if (!ck.enabled()) return;
+    for (std::size_t j = 0; j < count; ++j)
+      ck.record_access(shadow_.get(), start + j, k, ctx.id(), ctx.epoch());
+    ck.add_moved(ctx.id(), count * sizeof(T));
+#else
+    (void)ctx;
+    (void)start;
+    (void)count;
+    (void)k;
+#endif
+  }
+
+  /// Affinity check for block-span views: flagged when an SPMD thread
+  /// takes a direct span of a block that lives on another node.
+  void chk_span(int thr, const char* what) const {
+#ifdef PGRAPH_CHECK_ACCESS
+    auto& ck = analysis::AccessChecker::instance();
+    if (!ck.enabled()) return;
+    ThreadCtx* ctx = current_ctx();
+    if (ctx == nullptr) return;
+    const int owner_node = rt_->topo().node_of(thr);
+    if (owner_node != ctx->node())
+      ck.record_affinity(shadow_.get(), block_begin(thr), ctx->id(),
+                         ctx->node(), owner_node, ctx->epoch(), what);
+#else
+    (void)thr;
+    (void)what;
+#endif
+  }
+
+  void chk_raw(std::size_t i) const {
+#ifdef PGRAPH_CHECK_ACCESS
+    auto& ck = analysis::AccessChecker::instance();
+    if (!ck.enabled()) return;
+    ThreadCtx* ctx = current_ctx();
+    if (ctx == nullptr) return;
+    const int owner_node = rt_->topo().node_of(owner(i));
+    if (owner_node != ctx->node())
+      ck.record_affinity(shadow_.get(), i, ctx->id(), ctx->node(),
+                         owner_node, ctx->epoch(),
+                         "raw element reference to a remote node's block");
+#else
+    (void)i;
+#endif
+  }
+
+  void chk_raw_all() const {
+#ifdef PGRAPH_CHECK_ACCESS
+    auto& ck = analysis::AccessChecker::instance();
+    if (!ck.enabled()) return;
+    ThreadCtx* ctx = current_ctx();
+    if (ctx == nullptr || rt_->topo().nodes <= 1) return;
+    // Report a representative remote element: the first block owned by a
+    // thread on some other node.
+    const int remote_thr =
+        ctx->node() == 0 ? rt_->topo().threads_per_node : 0;
+    ck.record_affinity(shadow_.get(), block_begin(remote_thr), ctx->id(),
+                       ctx->node(), rt_->topo().node_of(remote_thr),
+                       ctx->epoch(),
+                       "raw_all whole-array view inside an SPMD region");
+#endif
+  }
+
   Runtime* rt_;
   std::size_t n_;
   std::size_t nthreads_;
   std::size_t blk_;
   std::vector<T> data_;
+#ifdef PGRAPH_CHECK_ACCESS
+  std::shared_ptr<analysis::ArrayShadow> shadow_;
+#endif
 };
 
 }  // namespace pgraph::pgas

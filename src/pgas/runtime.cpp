@@ -4,7 +4,28 @@
 #include <cassert>
 #include <thread>
 
+#include "analysis/access_checker.hpp"
+
 namespace pgraph::pgas {
+
+namespace {
+
+thread_local ThreadCtx* t_current_ctx = nullptr;
+
+/// Credit `bytes` of data motion against this thread's cost clock in the
+/// access checker's per-epoch ledger (no-op unless PGRAPH_CHECK_ACCESS).
+inline void checker_charged(int thread, std::size_t bytes) {
+#ifdef PGRAPH_CHECK_ACCESS
+  analysis::AccessChecker::instance().add_charged(thread, bytes);
+#else
+  (void)thread;
+  (void)bytes;
+#endif
+}
+
+}  // namespace
+
+ThreadCtx* current_ctx() noexcept { return t_current_ctx; }
 
 // ---------------------------------------------------------------------------
 // ThreadCtx
@@ -15,6 +36,8 @@ ThreadCtx::ThreadCtx(Runtime& rt, int id)
   clock_ = rt.saved_clocks_[static_cast<std::size_t>(id)];
   stats_ = rt.saved_stats_[static_cast<std::size_t>(id)];
 }
+
+std::uint64_t ThreadCtx::epoch() const { return rt_->epoch_; }
 
 int ThreadCtx::nthreads() const { return rt_->topo().total_threads(); }
 int ThreadCtx::nnodes() const { return rt_->topo().nodes; }
@@ -30,6 +53,7 @@ void ThreadCtx::mem_seq(std::size_t bytes, machine::Cat c) {
   charge(c, rt_->mem().seq_ns(bytes));
   rt_->accrue_bus(node_, static_cast<double>(bytes) *
                              rt_->params().mem_bus_inv_bw_ns_per_byte);
+  checker_charged(id_, bytes);
 }
 
 void ThreadCtx::mem_random(std::size_t count, std::size_t working_set_bytes,
@@ -39,6 +63,7 @@ void ThreadCtx::mem_random(std::size_t count, std::size_t working_set_bytes,
       node_, rt_->mem().random_traffic_bytes(count, working_set_bytes,
                                              elem_bytes) *
                  rt_->params().mem_bus_inv_bw_ns_per_byte);
+  checker_charged(id_, count * elem_bytes);
 }
 
 void ThreadCtx::mem_random_write(std::size_t count,
@@ -49,6 +74,7 @@ void ThreadCtx::mem_random_write(std::size_t count,
       node_, rt_->mem().random_traffic_bytes(count, working_set_bytes,
                                              elem_bytes) *
                  rt_->params().mem_bus_inv_bw_ns_per_byte);
+  checker_charged(id_, count * elem_bytes);
 }
 
 void ThreadCtx::mem_compulsory(std::size_t count, std::size_t elem_bytes,
@@ -61,6 +87,7 @@ void ThreadCtx::mem_compulsory(std::size_t count, std::size_t elem_bytes,
                              static_cast<double>(p.cache_line_bytes) *
                              p.dram_random_penalty *
                              p.mem_bus_inv_bw_ns_per_byte);
+  checker_charged(id_, count * elem_bytes);
 }
 
 void ThreadCtx::locks(std::size_t n, machine::Cat c) {
@@ -76,6 +103,7 @@ void ThreadCtx::remote_get_cost(int owner_thread, std::size_t bytes,
     return;
   }
   charge(c, rt_->net().fine_get_ns(node_, dst, bytes));
+  checker_charged(id_, bytes);
 }
 
 void ThreadCtx::remote_put_cost(int owner_thread, std::size_t bytes,
@@ -86,10 +114,12 @@ void ThreadCtx::remote_put_cost(int owner_thread, std::size_t bytes,
     return;
   }
   charge(c, rt_->net().fine_put_ns(node_, dst, bytes));
+  checker_charged(id_, bytes);
 }
 
 void ThreadCtx::bulk_get_cost(int owner_thread, std::size_t bytes,
                               machine::Cat c) {
+  checker_charged(id_, bytes);
   const int dst = rt_->topo().node_of(owner_thread);
   if (dst == node_) {
     charge(c, rt_->mem().seq_ns(bytes));
@@ -100,6 +130,7 @@ void ThreadCtx::bulk_get_cost(int owner_thread, std::size_t bytes,
 
 void ThreadCtx::bulk_put_cost(int owner_thread, std::size_t bytes,
                               machine::Cat c) {
+  checker_charged(id_, bytes);
   const int dst = rt_->topo().node_of(owner_thread);
   if (dst == node_) {
     charge(c, rt_->mem().seq_ns(bytes));
@@ -119,6 +150,7 @@ void ThreadCtx::post_exchange_msg(int dst_thread, std::size_t bytes) {
   pending_.push_back({static_cast<std::int32_t>(dst_node),
                       rt_->net().msg_service_ns(wire)});
   rt_->net().count_message(wire);
+  checker_charged(id_, bytes);
 }
 
 void ThreadCtx::exchange_barrier() { rt_->barrier_sync(*this, true); }
@@ -163,6 +195,7 @@ void Runtime::run(const std::function<void(ThreadCtx&)>& f) {
     threads.emplace_back([this, &f, i] {
       ThreadCtx ctx(*this, i);
       slots_[static_cast<std::size_t>(i)].ctx = &ctx;
+      t_current_ctx = &ctx;
       // Initial sync: every slot registered before anyone proceeds.
       barrier_sync(ctx, false);
       f(ctx);
@@ -171,6 +204,7 @@ void Runtime::run(const std::function<void(ThreadCtx&)>& f) {
       saved_clocks_[static_cast<std::size_t>(i)] = ctx.clock_;
       saved_stats_[static_cast<std::size_t>(i)] = ctx.stats_;
       slots_[static_cast<std::size_t>(i)].ctx = nullptr;
+      t_current_ctx = nullptr;
     });
   }
   for (auto& t : threads) t.join();
@@ -262,7 +296,14 @@ void Runtime::on_barrier() {
     c->clock_ = t_final;
   }
   last_barrier_ns_ = t_final;
+#ifdef PGRAPH_CHECK_ACCESS
+  // Close the access-checker epoch that the threads just finished: compare
+  // per-thread moved vs. charged bytes while everyone is parked in the
+  // barrier (the completion step is ordered against all of them).
+  analysis::AccessChecker::instance().end_epoch(epoch_, s);
+#endif
   ++barriers_;
+  ++epoch_;
 }
 
 }  // namespace pgraph::pgas

@@ -36,6 +36,13 @@ class ThreadCtx {
   const machine::MemoryModel& mem() const;
   machine::NetworkModel& net();
 
+  /// Barrier epoch this thread is executing in: the number of barrier
+  /// completions this Runtime has performed, never reset (reset_costs
+  /// zeroes clocks but not the epoch, so access-checker shadow state can
+  /// never alias across runs).  Two accesses are "concurrent" for the
+  /// access discipline iff they happen in the same epoch.
+  std::uint64_t epoch() const;
+
   /// --- cost charging ---------------------------------------------------
   double now_ns() const { return clock_; }
   void charge(machine::Cat c, double ns) {
@@ -152,6 +159,10 @@ class Runtime {
   machine::PhaseStats total_stats() const;
 
   std::uint64_t barriers_executed() const { return barriers_; }
+  /// Monotone barrier-epoch counter (like barriers_executed, but never
+  /// reset by reset_costs — the access checker keys its shadow state on
+  /// it, so epochs must not repeat within a Runtime's lifetime).
+  std::uint64_t epoch() const { return epoch_; }
 
  private:
   friend class ThreadCtx;
@@ -181,9 +192,17 @@ class Runtime {
   double last_barrier_ns_ = 0.0;
   double finish_ns_ = 0.0;
   std::uint64_t barriers_ = 0;
+  std::uint64_t epoch_ = 0;
   // Saved stats from threads of completed run() calls.
   std::vector<machine::PhaseStats> saved_stats_;
   std::vector<double> saved_clocks_;
 };
+
+/// The ThreadCtx of the calling OS thread while inside Runtime::run, or
+/// null outside any SPMD region.  The access checker uses this to identify
+/// the accessor on paths that do not take a ThreadCtx parameter
+/// (local_span, raw, the relaxed element accessors); null means
+/// single-threaded verification code, which is exempt from the discipline.
+ThreadCtx* current_ctx() noexcept;
 
 }  // namespace pgraph::pgas

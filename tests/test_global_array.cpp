@@ -93,12 +93,12 @@ TEST(GlobalArray, PutMinIsMonotone) {
                  m::CostParams::hps_cluster());
   pg::GlobalArray<std::uint64_t> a(rt, 4);
   rt.run([&](pg::ThreadCtx& ctx) {
-    a.store_relaxed(0, 1000);
+    if (ctx.id() == 0) a.put(ctx, 0, 1000);
     ctx.barrier();
     // All threads race min-writes; the smallest must win.
     a.put_min(ctx, 0, static_cast<std::uint64_t>(100 - ctx.id()));
     ctx.barrier();
-    EXPECT_EQ(a.load_relaxed(0), 97u);
+    EXPECT_EQ(a.get(ctx, 0), 97u);
     ctx.barrier();
   });
 }
