@@ -30,18 +30,30 @@ int main(int argc, char** argv) {
   const pgas::Topology topo = pgas::Topology::cluster(nodes, threads);
   Table t({"graph", "CC coalesced", "CGM contraction", "CGM/CC",
            "CGM msgs", "CC msgs"});
+  Report rep(a, "abl01_cgm_vs_coalesced");
+  rep.set_param("n", static_cast<double>(n));
+  rep.set_param("nodes", nodes);
+  rep.set_param("threads", threads);
+  rep.set_param("seed", static_cast<double>(a.seed));
   for (const std::uint64_t density : {2ull, 4ull, 10ull}) {
     for (const char* family : {"random", "hybrid"}) {
       const std::uint64_t m = n * density;
       const auto el = std::string(family) == "hybrid"
                           ? graph::hybrid_graph(n, m, a.seed)
                           : graph::random_graph(n, m, a.seed);
+      const std::string label =
+          std::string(family) + " m/n=" + std::to_string(density);
       pgas::Runtime rt1(topo, params_for(n));
+      rep.attach(rt1);
       const auto cc =
           core::cc_coalesced(rt1, el, core::CcOptions::optimized(2));
+      rep.row("cc " + label, cc.costs);
       pgas::Runtime rt2(topo, params_for(n));
+      rep.attach(rt2);
       const auto cgm = core::cgm_cc(rt2, el);
-      t.add_row({std::string(family) + " m/n=" + std::to_string(density),
+      rep.row("cgm " + label, cgm.costs,
+              {{"vs_cc", cgm.costs.modeled_ns / cc.costs.modeled_ns}});
+      t.add_row({label,
                  Table::eng(cc.costs.modeled_ns),
                  Table::eng(cgm.costs.modeled_ns),
                  ratio(cgm.costs.modeled_ns, cc.costs.modeled_ns),
@@ -52,5 +64,5 @@ int main(int argc, char** argv) {
   emit(a, t);
   std::cout << "(n=" << n << ", " << nodes << "x" << threads
             << "; note CGM's tiny message count vs its time)\n";
-  return 0;
+  return rep.finish();
 }

@@ -37,6 +37,9 @@ int main(int argc, char** argv) {
            "circular roughly halves the exchange phase; the gap grows with "
            "the thread count");
 
+  Report rep(a, "abl02_congestion_schedule");
+  rep.set_param("seed", static_cast<double>(a.seed));
+
   Table t({"nodes x threads", "identity", "circular", "identity/circular"});
   const double svc = params().net_overhead_ns + 8192 * 0.5;  // 8 KiB msgs
   for (const auto& [nodes, threads] :
@@ -47,8 +50,11 @@ int main(int argc, char** argv) {
         all_to_all(topo, svc, false), map, nodes, params().net_latency_ns);
     const double circ = machine::exchange_duration_ns(
         all_to_all(topo, svc, true), map, nodes, params().net_latency_ns);
-    t.add_row({std::to_string(nodes) + "x" + std::to_string(threads),
-               Table::eng(ident), Table::eng(circ), ratio(ident, circ)});
+    const std::string tag =
+        std::to_string(nodes) + "x" + std::to_string(threads);
+    t.add_row({tag, Table::eng(ident), Table::eng(circ), ratio(ident, circ)});
+    rep.row("identity " + tag, ident);
+    rep.row("circular " + tag, circ, {{"gain", ident / circ}});
   }
   emit(a, t);
 
@@ -60,11 +66,13 @@ int main(int argc, char** argv) {
     core::CcOptions o = core::CcOptions::optimized(2);
     o.coll.circular = circ;
     pgas::Runtime rt(pgas::Topology::cluster(16, 4), params_for(n));
+    rep.attach(rt);
     const auto r = core::cc_coalesced(rt, el, o);
     t2.add_row({circ ? "circular" : "identity",
                 Table::eng(r.costs.breakdown.get(machine::Cat::Comm)),
                 Table::eng(r.costs.modeled_ns)});
+    rep.row(std::string("cc ") + (circ ? "circular" : "identity"), r.costs);
   }
   emit(a, t2);
-  return 0;
+  return rep.finish();
 }

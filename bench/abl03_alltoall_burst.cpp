@@ -25,12 +25,19 @@ int main(int argc, char** argv) {
            "per-GetD time is flat or improving until the s^2 small-message "
            "burst dominates near t=16 (paper: ~10x degradation 8 -> 16)");
 
+  Report rep(a, "abl03_alltoall_burst");
+  rep.set_param("n", static_cast<double>(n));
+  rep.set_param("total_reqs", static_cast<double>(total_reqs));
+  rep.set_param("nodes", nodes);
+  rep.set_param("seed", static_cast<double>(a.seed));
+
   Table t({"threads/node", "s", "GetD modeled", "Setup category",
            "fine msgs / call"});
   for (const int th : {1, 2, 4, 8, 16}) {
     const pgas::Topology topo = pgas::Topology::cluster(nodes, th);
     const int s = topo.total_threads();
     pgas::Runtime rt(topo, params_for(n));
+    rep.attach(rt);
     pgas::GlobalArray<std::uint64_t> d(rt, n);
     coll::CollectiveContext cc(rt);
     const std::size_t per_thread = total_reqs / static_cast<std::size_t>(s);
@@ -48,9 +55,12 @@ int main(int argc, char** argv) {
                Table::eng(rt.modeled_time_ns() / reps),
                Table::eng(rt.critical_stats().get(machine::Cat::Setup) / reps),
                std::to_string(rt.net().fine_messages() / reps)});
+    rep.row("t=" + std::to_string(th), core::collect_costs(rt, 0.0),
+            {{"s", static_cast<double>(s)},
+             {"reps", static_cast<double>(reps)}});
   }
   emit(a, t);
   std::cout << "(total request volume fixed at " << total_reqs
             << " elements per call)\n";
-  return 0;
+  return rep.finish();
 }

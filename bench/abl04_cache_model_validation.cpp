@@ -28,6 +28,10 @@ int main(int argc, char** argv) {
   p.cache_line_bytes = 64;
   const machine::MemoryModel mm(p);
 
+  Report rep(a, "abl04_cache_model_validation");
+  rep.set_param("cache_bytes", static_cast<double>(cache_bytes));
+  rep.set_param("seed", static_cast<double>(a.seed));
+
   Table t1({"working set / cache", "simulated miss rate",
             "analytic miss rate"});
   graph::Xoshiro256 rng(a.seed);
@@ -44,6 +48,8 @@ int main(int argc, char** argv) {
         factor <= 1.0 ? 0.0 : 1.0 - 1.0 / factor;
     t1.add_row({Table::num(factor, 2), Table::num(sim.miss_rate(), 3),
                 Table::num(analytic, 3)});
+    rep.row("miss-rate ws/cache=" + Table::num(factor, 2), 0.0,
+            {{"simulated", sim.miss_rate()}, {"analytic", analytic}});
   }
   emit(a, t1);
 
@@ -64,6 +70,9 @@ int main(int argc, char** argv) {
     for (const std::uint64_t idx : trace) sim.access(idx * 8);
     t2.add_row({name, std::to_string(sim.misses()),
                 std::to_string(trace.size()), Table::eng(cost.access_ns)});
+    rep.row(name, cost.access_ns,
+            {{"misses", static_cast<double>(sim.misses())},
+             {"trace_len", static_cast<double>(trace.size())}});
   };
   run_one("direct (original)", {});
   const std::size_t one[] = {64};
@@ -73,5 +82,5 @@ int main(int argc, char** argv) {
   emit(a, t2);
   std::cout << "(n=" << n << " m=" << m << "; D is " << n * 8 / 1024
             << " KiB against a " << cache_bytes / 1024 << " KiB cache)\n";
-  return 0;
+  return rep.finish();
 }

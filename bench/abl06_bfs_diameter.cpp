@@ -52,14 +52,26 @@ int main(int argc, char** argv) {
            "~log n (the introduction's argument)");
 
   const pgas::Topology topo = pgas::Topology::cluster(nodes, threads);
+  Report rep(a, "abl06_bfs_diameter");
+  rep.set_param("n", static_cast<double>(n));
+  rep.set_param("m", static_cast<double>(m));
+  rep.set_param("nodes", nodes);
+  rep.set_param("threads", threads);
+  rep.set_param("seed", static_cast<double>(a.seed));
   Table t({"diameter knob", "BFS levels", "BFS time", "CC iterations",
            "CC time", "BFS/CC"});
   for (const std::size_t k : {2u, 8u, 32u, 128u}) {
     const auto el = chained_blobs(n, m, k, a.seed);
     pgas::Runtime rt1(topo, params_for(n));
+    rep.attach(rt1);
     const auto bfs = core::bfs_pgas(rt1, el, 0);
+    rep.row("bfs k=" + std::to_string(k), bfs.costs,
+            {{"levels", static_cast<double>(bfs.levels)}});
     pgas::Runtime rt2(topo, params_for(n));
+    rep.attach(rt2);
     const auto cc = core::cc_coalesced(rt2, el);
+    rep.row("cc k=" + std::to_string(k), cc.costs,
+            {{"iterations", static_cast<double>(cc.iterations)}});
     t.add_row({std::to_string(k), std::to_string(bfs.levels),
                Table::eng(bfs.costs.modeled_ns),
                std::to_string(cc.iterations),
@@ -69,5 +81,5 @@ int main(int argc, char** argv) {
   emit(a, t);
   std::cout << "(n=" << n << " m=" << m << ", " << nodes << "x" << threads
             << "; the BFS source is vertex 0, in the first blob)\n";
-  return 0;
+  return rep.finish();
 }

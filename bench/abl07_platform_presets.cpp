@@ -26,6 +26,12 @@ int main(int argc, char** argv) {
 
   const auto el = graph::random_graph(n, m, a.seed);
 
+  Report rep(a, "abl07_platform_presets");
+  rep.set_param("n", static_cast<double>(n));
+  rep.set_param("m", static_cast<double>(m));
+  rep.set_param("nodes", nodes);
+  rep.set_param("seed", static_cast<double>(a.seed));
+
   Table t({"preset", "naive CC-UPC", "coalesced CC", "CC-SMP(16)",
            "naive/SMP", "coalesced vs SMP"});
   for (const bool ib : {false, true}) {
@@ -34,13 +40,20 @@ int main(int argc, char** argv) {
     p.cache_bytes = params_for(n).cache_bytes;  // same scaled cache
 
     pgas::Runtime rt1(pgas::Topology::cluster(nodes, 8), p);
+    rep.attach(rt1);
     const auto naive = core::cc_naive_upc(rt1, el);
+    rep.row("naive " + p.preset, naive.costs);
     pgas::Runtime rt2(pgas::Topology::cluster(nodes, 8), p);
+    rep.attach(rt2);
     const auto coal = core::cc_coalesced(rt2, el);
     machine::CostParams ps = p;
     ps.preset = "smp";
     pgas::Runtime rt3(pgas::Topology::single_node(16), ps);
     const auto smp = core::cc_smp(rt3, el);
+    rep.row("coalesced " + p.preset, coal.costs,
+            {{"vs_smp", smp.costs.modeled_ns / coal.costs.modeled_ns},
+             {"naive_vs_smp",
+              naive.costs.modeled_ns / smp.costs.modeled_ns}});
 
     t.add_row({p.preset, Table::eng(naive.costs.modeled_ns),
                Table::eng(coal.costs.modeled_ns),
@@ -51,5 +64,5 @@ int main(int argc, char** argv) {
   emit(a, t);
   std::cout << "(n=" << n << " m=" << m << ", " << nodes
             << " nodes x 8 threads)\n";
-  return 0;
+  return rep.finish();
 }

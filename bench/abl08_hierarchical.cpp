@@ -25,21 +25,35 @@ int main(int argc, char** argv) {
            "longer collapses");
 
   const auto el = graph::random_graph(n, m, a.seed);
+
+  Report rep(a, "abl08_hierarchical");
+  rep.set_param("n", static_cast<double>(n));
+  rep.set_param("m", static_cast<double>(m));
+  rep.set_param("nodes", nodes);
+  rep.set_param("seed", static_cast<double>(a.seed));
+
   pgas::Runtime smp(pgas::Topology::single_node(16), smp_params_for(n));
+  rep.attach(smp);
   const auto smp_r = core::cc_smp(smp, el);
+  rep.row("CC-SMP(16)", smp_r.costs);
 
   Table t({"threads/node", "flat", "flat vs SMP", "hierarchical",
            "hier vs SMP", "flat fine msgs", "hier fine msgs"});
   for (const int th : {1, 4, 8, 16}) {
     pgas::Runtime rt1(pgas::Topology::cluster(nodes, th), params_for(n));
+    rep.attach(rt1);
     const auto flat = core::cc_coalesced(rt1, el);
     const auto flat_fine = rt1.net().fine_messages();
+    rep.row("flat t=" + std::to_string(th), flat.costs);
 
     core::CcOptions hopt = core::CcOptions::optimized();
     hopt.coll.hierarchical = true;
     pgas::Runtime rt2(pgas::Topology::cluster(nodes, th), params_for(n));
+    rep.attach(rt2);
     const auto hier = core::cc_coalesced(rt2, el, hopt);
     const auto hier_fine = rt2.net().fine_messages();
+    rep.row("hier t=" + std::to_string(th), hier.costs,
+            {{"vs_flat", flat.costs.modeled_ns / hier.costs.modeled_ns}});
 
     t.add_row({std::to_string(th), Table::eng(flat.costs.modeled_ns),
                ratio(smp_r.costs.modeled_ns, flat.costs.modeled_ns),
@@ -50,5 +64,5 @@ int main(int argc, char** argv) {
   emit(a, t);
   std::cout << "(graph: n=" << n << " m=" << m
             << "; both verified against union-find during tests)\n";
-  return 0;
+  return rep.finish();
 }

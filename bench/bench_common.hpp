@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/par_common.hpp"
 #include "graph/generators.hpp"
@@ -11,6 +14,8 @@
 #include "harness/table.hpp"
 #include "machine/cost_params.hpp"
 #include "pgas/runtime.hpp"
+#include "trace/bench_json.hpp"
+#include "trace/tracer.hpp"
 
 namespace pgraph::bench {
 
@@ -72,5 +77,96 @@ inline std::vector<std::string> breakdown_cells(
 inline std::string ratio(double num, double den) {
   return den > 0 ? Table::num(num / den, 2) + "x" : "-";
 }
+
+/// Machine-readable reporting for a bench run: collects one BenchRow per
+/// configuration, and — when --trace or --json is given — attaches a
+/// SuperstepTracer to every runtime so rows carry per-superstep bottleneck
+/// attribution and the whole run exports a Perfetto trace.
+///
+/// Usage per bench:
+///   Report rep(a, "fig05_opt_breakdown_random");
+///   rep.set_param("n", n); ...
+///   for each configuration { Runtime rt(...); rep.attach(rt); run;
+///                            rep.row(label, costs, {{"speedup", x}}); }
+///   return rep.finish();
+class Report {
+ public:
+  using Extra = std::vector<std::pair<std::string, double>>;
+
+  Report(const BenchArgs& a, std::string bench_name) : args_(a) {
+    rep_.bench = std::move(bench_name);
+    if (!args_.json_path.empty() || !args_.trace_path.empty())
+      tracer_ = std::make_unique<trace::SuperstepTracer>();
+  }
+
+  bool enabled() const { return tracer_ != nullptr; }
+  trace::SuperstepTracer* tracer() { return tracer_.get(); }
+
+  void set_param(const std::string& key, double v) { rep_.set_param(key, v); }
+
+  /// Start recording `rt` (no-op without --json/--trace, so benches call
+  /// this unconditionally after constructing each runtime).
+  void attach(pgas::Runtime& rt) {
+    if (rep_.preset.empty()) rep_.preset = rt.params().preset;
+    if (tracer_) tracer_->attach(rt);
+  }
+
+  void row(const std::string& label, const core::RunCosts& c,
+           Extra extra = {}) {
+    trace::BenchRow r;
+    r.label = label;
+    r.modeled_ns = c.modeled_ns;
+    r.wall_ms = c.wall_s * 1e3;
+    r.set_breakdown(c.breakdown);
+    r.messages = c.messages;
+    r.fine_messages = c.fine_messages;
+    r.bytes = c.bytes;
+    r.barriers = c.barriers;
+    r.extra = std::move(extra);
+    if (tracer_) r.attribution = tracer_->take_row_attribution();
+    rep_.rows.push_back(std::move(r));
+  }
+
+  /// Row without a full RunCosts (benches that only track modeled time).
+  void row(const std::string& label, double modeled_ns, Extra extra = {}) {
+    trace::BenchRow r;
+    r.label = label;
+    r.modeled_ns = modeled_ns;
+    r.extra = std::move(extra);
+    if (tracer_) r.attribution = tracer_->take_row_attribution();
+    rep_.rows.push_back(std::move(r));
+  }
+
+  /// Write the requested outputs; returns a main()-style exit code.
+  int finish() {
+    int rc = 0;
+    if (tracer_) rep_.attribution = tracer_->total_attribution();
+    if (!args_.json_path.empty()) {
+      if (rep_.write_file(args_.json_path)) {
+        std::cout << "bench json: " << args_.json_path << "\n";
+      } else {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     args_.json_path.c_str());
+        rc = 1;
+      }
+    }
+    if (!args_.trace_path.empty()) {
+      if (tracer_->write_chrome_trace_file(args_.trace_path)) {
+        std::cout << "trace: " << args_.trace_path
+                  << " (load in Perfetto / chrome://tracing)\n";
+      } else {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     args_.trace_path.c_str());
+        rc = 1;
+      }
+    }
+    return rc;
+  }
+
+ private:
+  const BenchArgs args_;
+  trace::BenchReport rep_;
+  std::unique_ptr<trace::SuperstepTracer> tracer_;
+};
 
 }  // namespace pgraph::bench

@@ -22,6 +22,11 @@ int main(int argc, char** argv) {
            "receive volume grows with p); hierarchical trims the flat "
            "variant's s^2 setup burst on top of that");
 
+  Report rep(a, "ext01_weak_scaling");
+  rep.set_param("per_node", static_cast<double>(per_node));
+  rep.set_param("threads", threads);
+  rep.set_param("seed", static_cast<double>(a.seed));
+
   Table t({"nodes", "n", "flat", "hierarchical", "flat msgs",
            "hier msgs"});
   for (const int nodes : {2, 4, 8, 16, 32, 64}) {
@@ -30,13 +35,17 @@ int main(int argc, char** argv) {
 
     pgas::Runtime rt1(pgas::Topology::cluster(nodes, threads),
                       params_for(n));
+    rep.attach(rt1);
     const auto flat = core::cc_coalesced(rt1, el);
+    rep.row("flat p=" + std::to_string(nodes), flat.costs);
 
     core::CcOptions hopt = core::CcOptions::optimized();
     hopt.coll.hierarchical = true;
     pgas::Runtime rt2(pgas::Topology::cluster(nodes, threads),
                       params_for(n));
+    rep.attach(rt2);
     const auto hier = core::cc_coalesced(rt2, el, hopt);
+    rep.row("hier p=" + std::to_string(nodes), hier.costs);
 
     t.add_row({std::to_string(nodes), std::to_string(n),
                Table::eng(flat.costs.modeled_ns),
@@ -47,5 +56,5 @@ int main(int argc, char** argv) {
   emit(a, t);
   std::cout << "(" << per_node << " vertices per node, m/n = 4, " << threads
             << " threads/node)\n";
-  return 0;
+  return rep.finish();
 }

@@ -31,10 +31,17 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
+  Report rep(a, "ext02_bcc_pipeline");
+  rep.set_param("n", static_cast<double>(n));
+  rep.set_param("m", static_cast<double>(m));
+  rep.set_param("nodes", nodes);
+  rep.set_param("seed", static_cast<double>(a.seed));
+
   Table t({"threads/node", "modeled", "blocks", "articulations",
            "matches seq", "msgs"});
   for (const int th : {1, 2, 4, 8}) {
     pgas::Runtime rt(pgas::Topology::cluster(nodes, th), params_for(n));
+    rep.attach(rt);
     const auto r = core::bcc_pgas(rt, el);
     std::uint64_t arts = 0;
     for (const auto x : r.is_articulation) arts += x;
@@ -42,10 +49,13 @@ int main(int argc, char** argv) {
                std::to_string(r.num_blocks), std::to_string(arts),
                core::same_blocks(r, seq) ? "yes" : "NO",
                std::to_string(r.costs.messages)});
+    rep.row("t=" + std::to_string(th), r.costs,
+            {{"blocks", static_cast<double>(r.num_blocks)},
+             {"articulations", static_cast<double>(arts)}});
   }
   emit(a, t);
   std::cout << "(n=" << n << " m=" << m << "; sequential Hopcroft-Tarjan "
             << "host wall time " << seq_wall * 1e3 << " ms, "
             << seq.num_blocks << " blocks)\n";
-  return 0;
+  return rep.finish();
 }

@@ -26,15 +26,29 @@ int main(int argc, char** argv) {
   const auto el = graph::random_graph(n, m, a.seed);
   const pgas::Topology topo = pgas::Topology::cluster(nodes, 1);
 
+  Report rep(a, "fig03_coalescing");
+  rep.set_param("n", static_cast<double>(n));
+  rep.set_param("m", static_cast<double>(m));
+  rep.set_param("nodes", nodes);
+  rep.set_param("seed", static_cast<double>(a.seed));
+
   pgas::Runtime rt1(topo, params_for(n));
+  rep.attach(rt1);
   const auto orig = core::cc_naive_upc(rt1, el);
+  rep.row("Orig (naive)", orig.costs);
 
   // The Figure-3 collectives are explicitly *unoptimized* (base config).
   pgas::Runtime rt2(topo, params_for(n));
+  rep.attach(rt2);
   const auto cc = core::cc_coalesced(rt2, el, core::CcOptions::base());
+  rep.row("CC (collectives)", cc.costs,
+          {{"speedup", orig.costs.modeled_ns / cc.costs.modeled_ns}});
 
   pgas::Runtime rt3(topo, params_for(n));
+  rep.attach(rt3);
   const auto sv = core::sv_coalesced(rt3, el, core::CcOptions::base());
+  rep.row("SV (collectives)", sv.costs,
+          {{"speedup", orig.costs.modeled_ns / sv.costs.modeled_ns}});
 
   Table t({"variant", "modeled time", "speedup vs Orig", "iterations",
            "messages", "fine msgs"});
@@ -50,5 +64,5 @@ int main(int argc, char** argv) {
   emit(a, t);
   std::cout << "(graph: n=" << n << " m=" << m << ", " << nodes
             << " nodes x 1 thread)\n";
-  return 0;
+  return rep.finish();
 }

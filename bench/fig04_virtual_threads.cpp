@@ -34,13 +34,20 @@ int main(int argc, char** argv) {
   for (const G& c : cases) header.push_back(std::string(c.label) + " (SMP/t')");
   Table t(header);
 
+  Report rep(a, "fig04_virtual_threads");
+  rep.set_param("threads", threads);
+  rep.set_param("seed", static_cast<double>(a.seed));
+
   std::vector<double> smp_ns;
   for (const G& c : cases) {
     const auto el =
         graph::random_graph(a.scaled(c.n), a.scaled(c.m), a.seed);
     pgas::Runtime smp(pgas::Topology::single_node(threads),
                       smp_params_for(a.scaled(c.n)));
-    smp_ns.push_back(core::cc_smp(smp, el).costs.modeled_ns);
+    rep.attach(smp);
+    const auto r = core::cc_smp(smp, el);
+    smp_ns.push_back(r.costs.modeled_ns);
+    rep.row(std::string("smp ") + c.label, r.costs);
   }
 
   for (const int tp : tprimes) {
@@ -51,14 +58,17 @@ int main(int argc, char** argv) {
           graph::random_graph(a.scaled(c.n), a.scaled(c.m), a.seed);
       pgas::Runtime rt(pgas::Topology::single_node(threads),
                        smp_params_for(a.scaled(c.n)));
+      rep.attach(rt);
       auto opt = core::CcOptions::optimized(tp);
       const auto r = core::cc_coalesced(rt, el, opt);
       row.push_back(ratio(smp_ns[ci], r.costs.modeled_ns));
+      rep.row("t'=" + std::to_string(tp) + " " + c.label, r.costs,
+              {{"speedup_vs_smp", smp_ns[ci] / r.costs.modeled_ns}});
     }
     t.add_row(std::move(row));
   }
   emit(a, t);
   std::cout << "(values > 1 mean CC-with-collectives beats CC-SMP; one "
             << "node, " << threads << " threads)\n";
-  return 0;
+  return rep.finish();
 }

@@ -45,6 +45,14 @@ int run_breakdown(int argc, char** argv, const char* figure,
   const int threads = a.threads > 0 ? a.threads : 8;
   const std::uint64_t n = a.n ? a.n : a.scaled(1u << 18);
   const std::uint64_t m = a.m ? a.m : 4 * n;
+  Report rep(a, std::string("fig0") + (std::string(family) == "hybrid"
+                                           ? "6_opt_breakdown_hybrid"
+                                           : "5_opt_breakdown_random"));
+  rep.set_param("n", static_cast<double>(n));
+  rep.set_param("m", static_cast<double>(m));
+  rep.set_param("nodes", nodes);
+  rep.set_param("threads", threads);
+  rep.set_param("seed", static_cast<double>(a.seed));
   preamble(a, figure,
            std::string("CC optimization breakdown, ") + family +
                " graph, 16 nodes x 8 threads",
@@ -64,16 +72,20 @@ int run_breakdown(int argc, char** argv, const char* figure,
   const pgas::Topology topo = pgas::Topology::cluster(nodes, threads);
   for (const Step& s : cumulative_steps(a.tprime > 0 ? a.tprime : 2)) {
     pgas::Runtime rt(topo, params_for(n));
+    rep.attach(rt);
     const auto r = core::cc_coalesced(rt, el, s.opt);
     auto cells = breakdown_cells(r.costs.breakdown);
     cells.insert(cells.begin(), s.name);
     cells.push_back(Table::eng(r.costs.modeled_ns));
     t.add_row(std::move(cells));
+    rep.row(s.name, r.costs,
+            {{"iterations", static_cast<double>(r.iterations)},
+             {"components", static_cast<double>(r.num_components)}});
   }
   emit(a, t);
   std::cout << "(graph: n=" << n << " m=" << m << ", " << nodes << "x"
             << threads << " threads; categories as in the paper's Fig. 5)\n";
-  return 0;
+  return rep.finish();
 }
 
 #ifndef PGRAPH_BREAKDOWN_NO_MAIN

@@ -27,8 +27,16 @@ int run_cc_scaling(int argc, char** argv, const char* figure,
 
   const auto el = graph::random_graph(n, m, a.seed);
 
+  Report rep(a, density == 4 ? "fig07_cc_scaling_mn4" : "fig08_cc_scaling_mn10");
+  rep.set_param("n", static_cast<double>(n));
+  rep.set_param("m", static_cast<double>(m));
+  rep.set_param("nodes", nodes);
+  rep.set_param("seed", static_cast<double>(a.seed));
+
   pgas::Runtime smp(pgas::Topology::single_node(16), smp_params_for(n));
+  rep.attach(smp);
   const auto smp_r = core::cc_smp(smp, el);
+  rep.row("CC-SMP(16)", smp_r.costs);
   const machine::MemoryModel mm(params_for(n));
   const auto seq = core::cc_bfs(el, &mm);
 
@@ -36,6 +44,7 @@ int run_cc_scaling(int argc, char** argv, const char* figure,
            "iterations", "msgs", "wall(s)"});
   for (const int th : {1, 2, 4, 8, 16}) {
     pgas::Runtime rt(pgas::Topology::cluster(nodes, th), params_for(n));
+    rep.attach(rt);
     const auto r =
         core::cc_coalesced(rt, el, core::CcOptions::optimized());
     t.add_row({std::to_string(th), Table::eng(r.costs.modeled_ns),
@@ -43,6 +52,9 @@ int run_cc_scaling(int argc, char** argv, const char* figure,
                ratio(seq.modeled_ns, r.costs.modeled_ns),
                std::to_string(r.iterations), std::to_string(r.costs.messages),
                Table::num(r.costs.wall_s, 2)});
+    rep.row("t=" + std::to_string(th), r.costs,
+            {{"speedup_vs_smp", smp_r.costs.modeled_ns / r.costs.modeled_ns},
+             {"speedup_vs_seq", seq.modeled_ns / r.costs.modeled_ns}});
   }
   t.add_row({"CC-SMP(16)", Table::eng(smp_r.costs.modeled_ns), "1.00x",
              ratio(seq.modeled_ns, smp_r.costs.modeled_ns),
@@ -53,7 +65,7 @@ int run_cc_scaling(int argc, char** argv, const char* figure,
   emit(a, t);
   std::cout << "(graph: n=" << n << " m=" << m
             << "; t' auto-sized so one sub-block fits the cache (Section IV))\n";
-  return 0;
+  return rep.finish();
 }
 
 #ifndef PGRAPH_CC_SCALING_NO_MAIN

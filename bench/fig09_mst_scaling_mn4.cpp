@@ -28,8 +28,17 @@ int run_mst_scaling(int argc, char** argv, const char* figure,
   const auto el =
       graph::with_random_weights(graph::random_graph(n, m, a.seed), a.seed);
 
+  Report rep(a, density == 4 ? "fig09_mst_scaling_mn4"
+                             : "fig10_mst_scaling_mn10");
+  rep.set_param("n", static_cast<double>(n));
+  rep.set_param("m", static_cast<double>(m));
+  rep.set_param("nodes", nodes);
+  rep.set_param("seed", static_cast<double>(a.seed));
+
   pgas::Runtime smp(pgas::Topology::single_node(16), smp_params_for(n));
+  rep.attach(smp);
   const auto smp_r = core::mst_smp(smp, el);
+  rep.row("MST-SMP(16)", smp_r.costs);
   const machine::MemoryModel mm(params_for(n));
   const auto kruskal = core::mst_kruskal(el, &mm);
 
@@ -37,6 +46,7 @@ int run_mst_scaling(int argc, char** argv, const char* figure,
            "iterations", "forest weight"});
   for (const int th : {1, 2, 4, 8, 16}) {
     pgas::Runtime rt(pgas::Topology::cluster(nodes, th), params_for(n));
+    rep.attach(rt);
     const auto r =
         core::mst_pgas(rt, el, core::MstOptions::optimized());
     if (r.total_weight != kruskal.total_weight) {
@@ -48,6 +58,9 @@ int run_mst_scaling(int argc, char** argv, const char* figure,
                ratio(kruskal.modeled_ns, r.costs.modeled_ns),
                std::to_string(r.iterations),
                std::to_string(r.total_weight)});
+    rep.row("t=" + std::to_string(th), r.costs,
+            {{"speedup_vs_smp", smp_r.costs.modeled_ns / r.costs.modeled_ns},
+             {"speedup_vs_kruskal", kruskal.modeled_ns / r.costs.modeled_ns}});
   }
   t.add_row({"MST-SMP(16)", Table::eng(smp_r.costs.modeled_ns), "1.00x",
              ratio(kruskal.modeled_ns, smp_r.costs.modeled_ns),
@@ -59,7 +72,7 @@ int run_mst_scaling(int argc, char** argv, const char* figure,
   emit(a, t);
   std::cout << "(graph: n=" << n << " m=" << m
             << ", weights uniform in [0, 2^31))\n";
-  return 0;
+  return rep.finish();
 }
 
 #ifndef PGRAPH_MST_SCALING_NO_MAIN

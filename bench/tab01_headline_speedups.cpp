@@ -31,6 +31,12 @@ int main(int argc, char** argv) {
   Table t({"problem", "graph", "PGAS", "SMP(16)", "sequential", "vs SMP",
            "vs seq"});
 
+  Report rep(a, "tab01_headline_speedups");
+  rep.set_param("n", static_cast<double>(n));
+  rep.set_param("nodes", nodes);
+  rep.set_param("threads", threads);
+  rep.set_param("seed", static_cast<double>(a.seed));
+
   for (const auto& [family, density] :
        {std::pair{"random", 4}, {"random", 10}, {"hybrid", 4},
         {"hybrid", 10}}) {
@@ -43,6 +49,7 @@ int main(int argc, char** argv) {
 
     {  // CC
       pgas::Runtime rt(topo, params_for(n));
+      rep.attach(rt);
       const auto r =
           core::cc_coalesced(rt, el, core::CcOptions::optimized());
       pgas::Runtime smp(pgas::Topology::single_node(16), smp_params_for(n));
@@ -52,10 +59,14 @@ int main(int argc, char** argv) {
                  Table::eng(s.costs.modeled_ns), Table::eng(q.modeled_ns),
                  ratio(s.costs.modeled_ns, r.costs.modeled_ns),
                  ratio(q.modeled_ns, r.costs.modeled_ns)});
+      rep.row("CC " + label, r.costs,
+              {{"speedup_vs_smp", s.costs.modeled_ns / r.costs.modeled_ns},
+               {"speedup_vs_seq", q.modeled_ns / r.costs.modeled_ns}});
     }
     {  // MST
       const auto wel = graph::with_random_weights(el, a.seed + 1);
       pgas::Runtime rt(topo, params_for(n));
+      rep.attach(rt);
       const auto r =
           core::mst_pgas(rt, wel, core::MstOptions::optimized());
       pgas::Runtime smp(pgas::Topology::single_node(16), smp_params_for(n));
@@ -67,8 +78,11 @@ int main(int argc, char** argv) {
                  Table::eng(s.costs.modeled_ns), Table::eng(q.modeled_ns),
                  ratio(s.costs.modeled_ns, r.costs.modeled_ns),
                  ratio(q.modeled_ns, r.costs.modeled_ns)});
+      rep.row("MST " + label, r.costs,
+              {{"speedup_vs_smp", s.costs.modeled_ns / r.costs.modeled_ns},
+               {"speedup_vs_seq", q.modeled_ns / r.costs.modeled_ns}});
     }
   }
   emit(a, t);
-  return 0;
+  return rep.finish();
 }

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json files and fail on modeled-time regressions.
+
+Usage:
+    scripts/bench_diff.py BASELINE.json CANDIDATE.json [--threshold PCT]
+
+Both files must be `pgraph-bench` schema version 1 documents, as written
+by any harness bench via `--json <path>` (src/trace/bench_json.*).  Rows
+are matched by label; a candidate row whose modeled_ns exceeds the
+baseline's by more than --threshold percent is a regression, and a
+baseline row missing from the candidate is an error (renamed or dropped
+configurations must regenerate the baseline deliberately).
+
+Exit codes: 0 ok, 1 regression/missing rows, 2 malformed input.
+Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "pgraph-bench"
+VERSION = 1
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_diff: cannot read {path}: {e}")
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+        sys.exit(f"bench_diff: {path}: not a {SCHEMA} document")
+    if doc.get("version") != VERSION:
+        sys.exit(
+            f"bench_diff: {path}: schema version {doc.get('version')!r}, "
+            f"expected {VERSION}"
+        )
+    rows = doc.get("rows")
+    if not isinstance(rows, list):
+        sys.exit(f"bench_diff: {path}: missing rows array")
+    by_label = {}
+    for i, row in enumerate(rows):
+        label = row.get("label")
+        t = row.get("modeled_ns")
+        if not isinstance(label, str) or not isinstance(t, (int, float)):
+            sys.exit(f"bench_diff: {path}: row {i} lacks label/modeled_ns")
+        if label in by_label:
+            sys.exit(f"bench_diff: {path}: duplicate row label {label!r}")
+        by_label[label] = float(t)
+    return doc, by_label
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="fail when modeled times regress vs a baseline"
+    )
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=5.0,
+        metavar="PCT",
+        help="allowed modeled-time growth per row, percent (default 5)",
+    )
+    args = ap.parse_args()
+
+    base_doc, base = load(args.baseline)
+    cand_doc, cand = load(args.candidate)
+    if base_doc.get("bench") != cand_doc.get("bench"):
+        print(
+            f"bench_diff: comparing different benches: "
+            f"{base_doc.get('bench')!r} vs {cand_doc.get('bench')!r}",
+            file=sys.stderr,
+        )
+        return 1
+
+    failures = 0
+    for label, t_base in base.items():
+        if label not in cand:
+            print(f"MISSING  {label!r}: row absent from candidate")
+            failures += 1
+            continue
+        t_cand = cand[label]
+        if t_base <= 0.0:
+            # Rows without a modeled time (informational extras) can't
+            # regress; only report if one appears from nowhere.
+            continue
+        pct = 100.0 * (t_cand - t_base) / t_base
+        if pct > args.threshold:
+            print(
+                f"REGRESSION  {label!r}: {t_base:.6g} ns -> {t_cand:.6g} ns "
+                f"(+{pct:.2f}% > {args.threshold:g}%)"
+            )
+            failures += 1
+        else:
+            print(f"ok  {label!r}: {pct:+.2f}%")
+    extra = [label for label in cand if label not in base]
+    if extra:
+        print(f"note: {len(extra)} new row(s) not in baseline: {extra}")
+
+    if failures:
+        print(f"bench_diff: {failures} failure(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

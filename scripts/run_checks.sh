@@ -10,6 +10,8 @@
 #   tsan     -fsanitize=thread build + ctest
 #   asan     -fsanitize=address,undefined build + ctest
 #   lint     clang-tidy over src/tests/examples (skipped if not installed)
+#   perf     traced smoke bench + bench_diff.py vs the committed baseline
+#            (scripts/baselines/BENCH_smoke.json; skipped without python3)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,7 +19,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(default check tsan asan lint)
+  STAGES=(default check tsan asan lint perf)
 fi
 
 run_preset() {
@@ -42,8 +44,43 @@ for stage in "${STAGES[@]}"; do
         echo "==== [lint] clang-tidy not found on PATH; skipping ===="
       fi
       ;;
+    perf)
+      if command -v python3 > /dev/null 2>&1; then
+        echo "==== [perf] smoke bench + modeled-time regression gate ===="
+        cmake --preset default
+        cmake --build --preset default -j "$JOBS" \
+          --target fig05_opt_breakdown_random
+        out=build/BENCH_smoke.json
+        # Same fixed configuration the committed baseline was generated
+        # with (regenerate it with this exact command after intentional
+        # model changes).
+        build/bench/fig05_opt_breakdown_random \
+          --n 2048 --m 8192 --nodes 4 --threads 4 --seed 1 \
+          --json "$out" --trace build/smoke_trace.json > /dev/null
+        # Gate sanity: identical files diff clean, a perturbed copy fails.
+        python3 scripts/bench_diff.py "$out" "$out" > /dev/null
+        if python3 - "$out" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+doc["rows"][0]["modeled_ns"] *= 1.5
+json.dump(doc, open("build/BENCH_smoke_perturbed.json", "w"))
+EOF
+        then
+          if python3 scripts/bench_diff.py "$out" \
+              build/BENCH_smoke_perturbed.json > /dev/null 2>&1; then
+            echo "perf: bench_diff.py failed to flag a 50% regression" >&2
+            exit 1
+          fi
+        fi
+        # The actual gate: this build vs the committed baseline.
+        python3 scripts/bench_diff.py \
+          scripts/baselines/BENCH_smoke.json "$out"
+      else
+        echo "==== [perf] python3 not found on PATH; skipping ===="
+      fi
+      ;;
     *)
-      echo "unknown stage: $stage (want: default check tsan asan lint)" >&2
+      echo "unknown stage: $stage (want: default check tsan asan lint perf)" >&2
       exit 2
       ;;
   esac

@@ -2,6 +2,7 @@
 
 #include "analysis/access_checker.hpp"
 #include "pgas/global_array.hpp"
+#include "pgas/runtime.hpp"
 
 namespace pgraph::coll {
 
@@ -17,6 +18,10 @@ inline analysis::AccessKind to_access_kind(CrcwMode m) {
                             : analysis::AccessKind::CombineOverwrite;
 }
 
+inline const char* crcw_trace_label(CrcwMode m) {
+  return m == CrcwMode::Min ? "crcw.min" : "crcw.overwrite";
+}
+
 /// RAII annotation telling the access checker that writes to `a` are
 /// resolved by `mode` until the region closes — the declared-benign CRCW
 /// window of the access discipline.  Every SPMD thread opens its own
@@ -29,15 +34,25 @@ inline analysis::AccessKind to_access_kind(CrcwMode m) {
 ///  - note(i) records an owner-side combine applied through a raw local
 ///    pointer, making it visible to the race detector.
 ///
-/// Everything is a no-op unless the build defines PGRAPH_CHECK_ACCESS.
+/// The checker side is a no-op unless the build defines
+/// PGRAPH_CHECK_ACCESS.  The window boundaries are additionally reported
+/// to an attached trace sink (in any build), so traces show exactly where
+/// declared-benign CRCW windows opened and closed on each thread's
+/// modeled clock.
 template <class T>
 class CrcwRegion {
  public:
   CrcwRegion(pgas::GlobalArray<T>& a, CrcwMode mode)
-      : a_(&a), kind_(to_access_kind(mode)) {
+      : a_(&a), kind_(to_access_kind(mode)), label_(crcw_trace_label(mode)) {
     a_->checker_begin_crcw(kind_);
+    if (pgas::ThreadCtx* c = pgas::current_ctx())
+      c->runtime().trace_crcw(label_, true);
   }
-  ~CrcwRegion() { a_->checker_end_crcw(); }
+  ~CrcwRegion() {
+    if (pgas::ThreadCtx* c = pgas::current_ctx())
+      c->runtime().trace_crcw(label_, false);
+    a_->checker_end_crcw();
+  }
 
   CrcwRegion(const CrcwRegion&) = delete;
   CrcwRegion& operator=(const CrcwRegion&) = delete;
@@ -50,6 +65,7 @@ class CrcwRegion {
  private:
   pgas::GlobalArray<T>* a_;
   analysis::AccessKind kind_;
+  const char* label_;
 };
 
 }  // namespace pgraph::coll

@@ -5,6 +5,7 @@
 #include <span>
 
 #include "collectives/detail.hpp"
+#include "pgas/trace_hook.hpp"
 
 namespace pgraph::coll {
 
@@ -50,50 +51,60 @@ void getd(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
   const bool offload = opt.offload && known.has_value();
 
   // --- group ------------------------------------------------------------
-  detail::compute_keys(ctx, vb, indices, opt, ws.keys, ws.keys_valid);
-
-  ws.bucket_off.assign(w + 1, 0);
-  for (std::size_t i = 0; i < m; ++i) {
-    if (offload && indices[i] == known->index) continue;
-    ++ws.bucket_off[ws.keys[i] + 1];
-  }
-  for (std::size_t k = 0; k < w; ++k) ws.bucket_off[k + 1] += ws.bucket_off[k];
-  const std::size_t kept = ws.bucket_off[w];
-
-  ws.sorted.resize(kept);
-  ws.rank.resize(kept);
+  std::size_t kept = 0;
   {
-    std::vector<std::size_t> cursor(ws.bucket_off.begin(),
-                                    ws.bucket_off.end() - 1);
-    for (std::size_t i = 0; i < m; ++i) {
-      if (offload && indices[i] == known->index) {
-        out[i] = static_cast<T>(known->value);
-        continue;
-      }
-      const std::size_t pos = cursor[ws.keys[i]]++;
-      ws.sorted[pos] = indices[i];
-      ws.rank[pos] = static_cast<std::uint32_t>(i);
-    }
-  }
-  detail::charge_group_sort(ctx, m, w, sizeof(std::uint64_t) + 4);
+    pgas::TraceScope ts(ctx, "getd.group");
+    detail::compute_keys(ctx, vb, indices, opt, ws.keys, ws.keys_valid);
 
-  detail::derive_thread_offsets(vb, ws.bucket_off, kept, ws.thr_off);
+    ws.bucket_off.assign(w + 1, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (offload && indices[i] == known->index) continue;
+      ++ws.bucket_off[ws.keys[i] + 1];
+    }
+    for (std::size_t k = 0; k < w; ++k)
+      ws.bucket_off[k + 1] += ws.bucket_off[k];
+    kept = ws.bucket_off[w];
+
+    ws.sorted.resize(kept);
+    ws.rank.resize(kept);
+    {
+      std::vector<std::size_t> cursor(ws.bucket_off.begin(),
+                                      ws.bucket_off.end() - 1);
+      for (std::size_t i = 0; i < m; ++i) {
+        if (offload && indices[i] == known->index) {
+          out[i] = static_cast<T>(known->value);
+          continue;
+        }
+        const std::size_t pos = cursor[ws.keys[i]]++;
+        ws.sorted[pos] = indices[i];
+        ws.rank[pos] = static_cast<std::uint32_t>(i);
+      }
+    }
+    detail::charge_group_sort(ctx, m, w, sizeof(std::uint64_t) + 4);
+
+    detail::derive_thread_offsets(vb, ws.bucket_off, kept, ws.thr_off);
+  }
 
   // --- setup -------------------------------------------------------------
   ws.reply.resize(kept);
-  ctx.publish(kSlotIdx, ws.sorted.data());
-  ctx.publish(kSlotData, ws.reply.data());
-  detail::write_matrices(ctx, cc, ws.thr_off, opt);
+  {
+    pgas::TraceScope ts(ctx, "getd.setup");
+    ctx.publish(kSlotIdx, ws.sorted.data());
+    ctx.publish(kSlotData, ws.reply.data());
+    detail::write_matrices(ctx, cc, ws.thr_off, opt);
+  }
   ctx.exchange_barrier();  // step 4 of Algorithm 2
 
   // --- serve (owner side) -------------------------------------------------
+  const std::size_t touch_ops = detail::local_touch_ops(opt);
+  {
+  pgas::TraceScope ts(ctx, "getd.serve");
   const auto srow = cc.smatrix.local_span(me);
   const auto prow = cc.pmatrix.local_span(me);
   ctx.mem_seq(2 * static_cast<std::size_t>(s) * sizeof(std::uint64_t),
               Cat::Setup);
   const auto myblock = D.local_span(me);
   const std::uint64_t base = D.block_begin(me);
-  const std::size_t touch_ops = detail::local_touch_ops(opt);
   const std::size_t line_bytes = ctx.mem().params().cache_line_bytes;
   const std::size_t line_elems = std::max<std::size_t>(1, line_bytes / sizeof(T));
   const std::size_t nlines = myblock.size() / line_elems + 1;
@@ -156,9 +167,11 @@ void getd(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
                               node_bytes[static_cast<std::size_t>(nd)]);
     }
   }
+  }  // getd.serve
   ctx.exchange_barrier();
 
   // --- permute (requester side) -------------------------------------------
+  pgas::TraceScope ts_permute(ctx, "getd.permute");
   // With virtual threads enabled the permute is output-blocked (one more
   // level of Algorithm 1, matching the paper's eq. 5 which pays ~n misses
   // instead of m): group the (rank, value) pairs by cache-sized output

@@ -5,6 +5,7 @@
 
 #include "collectives/crcw.hpp"
 #include "collectives/detail.hpp"
+#include "pgas/trace_hook.hpp"
 
 namespace pgraph::coll {
 
@@ -55,31 +56,38 @@ void setd_combine(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
   const std::size_t w = vb.nbuckets();
 
   // --- group: stable sort (index, value) pairs by virtual block ----------
-  detail::compute_keys(ctx, vb, indices, opt, ws.keys, ws.keys_valid);
-
-  ws.bucket_off.assign(w + 1, 0);
-  for (std::size_t i = 0; i < m; ++i) ++ws.bucket_off[ws.keys[i] + 1];
-  for (std::size_t k = 0; k < w; ++k) ws.bucket_off[k + 1] += ws.bucket_off[k];
-
-  ws.sorted.resize(m);
-  ws.sorted_val.resize(m);
   {
-    std::vector<std::size_t> cursor(ws.bucket_off.begin(),
-                                    ws.bucket_off.end() - 1);
-    for (std::size_t i = 0; i < m; ++i) {
-      const std::size_t pos = cursor[ws.keys[i]]++;
-      ws.sorted[pos] = indices[i];
-      ws.sorted_val[pos] = values[i];
-    }
-  }
-  detail::charge_group_sort(ctx, m, w, sizeof(std::uint64_t) + sizeof(T));
+    pgas::TraceScope ts(ctx, "setd.group");
+    detail::compute_keys(ctx, vb, indices, opt, ws.keys, ws.keys_valid);
 
-  detail::derive_thread_offsets(vb, ws.bucket_off, m, ws.thr_off);
+    ws.bucket_off.assign(w + 1, 0);
+    for (std::size_t i = 0; i < m; ++i) ++ws.bucket_off[ws.keys[i] + 1];
+    for (std::size_t k = 0; k < w; ++k)
+      ws.bucket_off[k + 1] += ws.bucket_off[k];
+
+    ws.sorted.resize(m);
+    ws.sorted_val.resize(m);
+    {
+      std::vector<std::size_t> cursor(ws.bucket_off.begin(),
+                                      ws.bucket_off.end() - 1);
+      for (std::size_t i = 0; i < m; ++i) {
+        const std::size_t pos = cursor[ws.keys[i]]++;
+        ws.sorted[pos] = indices[i];
+        ws.sorted_val[pos] = values[i];
+      }
+    }
+    detail::charge_group_sort(ctx, m, w, sizeof(std::uint64_t) + sizeof(T));
+
+    detail::derive_thread_offsets(vb, ws.bucket_off, m, ws.thr_off);
+  }
 
   // --- setup --------------------------------------------------------------
-  ctx.publish(kSlotIdx, ws.sorted.data());
-  ctx.publish(kSlotVal, ws.sorted_val.data());
-  detail::write_matrices(ctx, cc, ws.thr_off, opt);
+  {
+    pgas::TraceScope ts(ctx, "setd.setup");
+    ctx.publish(kSlotIdx, ws.sorted.data());
+    ctx.publish(kSlotVal, ws.sorted_val.data());
+    detail::write_matrices(ctx, cc, ws.thr_off, opt);
+  }
   ctx.exchange_barrier();
 
   // --- apply (owner side) ---------------------------------------------------
@@ -88,6 +96,8 @@ void setd_combine(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
   // applied element is noted so the race detector can see collisions with
   // stray same-epoch fine-grained traffic.
   CrcwRegion<T> crcw(D, Combine::kMode);
+  {
+  pgas::TraceScope ts(ctx, "setd.apply");
   const auto srow = cc.smatrix.local_span(me);
   const auto prow = cc.pmatrix.local_span(me);
   ctx.mem_seq(2 * static_cast<std::size_t>(s) * sizeof(std::uint64_t),
@@ -151,6 +161,7 @@ void setd_combine(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
                               node_bytes[static_cast<std::size_t>(nd)]);
     }
   }
+  }  // setd.apply
   ctx.exchange_barrier();
 }
 

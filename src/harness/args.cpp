@@ -35,10 +35,14 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
       a.scale = std::atof(next());
     else if (is("--csv"))
       a.csv = true;
+    else if (is("--json"))
+      a.json_path = next();
+    else if (is("--trace"))
+      a.trace_path = next();
     else if (is("--help") || is("-h")) {
       std::printf(
           "flags: --n N --m M --nodes P --threads T --tprime T' "
-          "--seed S --scale F --csv\n");
+          "--seed S --scale F --csv --json PATH --trace PATH\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", argv[i]);

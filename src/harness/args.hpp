@@ -12,6 +12,8 @@ namespace pgraph::harness {
 ///   --n <vertices>    --m <edges>   --nodes <p>   --threads <t>
 ///   --tprime <t'>     --seed <s>    --scale <f>   (multiplies n and m)
 ///   --csv             (emit CSV instead of aligned tables)
+///   --json <path>     (write a machine-readable BENCH_*.json report)
+///   --trace <path>    (write a Chrome/Perfetto trace.json of the run)
 struct BenchArgs {
   std::uint64_t n = 0;  ///< 0 = bench default
   std::uint64_t m = 0;
@@ -21,6 +23,8 @@ struct BenchArgs {
   std::uint64_t seed = 42;
   double scale = 1.0;
   bool csv = false;
+  std::string json_path;   ///< empty = no JSON report
+  std::string trace_path;  ///< empty = no trace
 
   static BenchArgs parse(int argc, char** argv);
 

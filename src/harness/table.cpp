@@ -61,10 +61,22 @@ void Table::print(std::ostream& os) const {
 }
 
 void Table::print_csv(std::ostream& os) const {
-  const auto emit = [&os](const std::vector<std::string>& row) {
+  const auto cell = [&os](const std::string& s) {
+    if (s.find_first_of(",\"\n\r") == std::string::npos) {
+      os << s;
+      return;
+    }
+    os << '"';
+    for (const char ch : s) {
+      if (ch == '"') os << '"';
+      os << ch;
+    }
+    os << '"';
+  };
+  const auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       if (c) os << ',';
-      os << row[c];
+      cell(row[c]);
     }
     os << '\n';
   };

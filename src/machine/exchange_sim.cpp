@@ -15,9 +15,13 @@ struct InFlight {
 
 double exchange_duration_ns(const ExchangePlan& plan,
                             const std::vector<std::int32_t>& thread_node,
-                            int nodes, double latency_ns) {
+                            int nodes, double latency_ns,
+                            ExchangeNodeStats* node_stats) {
   assert(plan.size() == thread_node.size());
   const std::size_t nthreads = plan.size();
+
+  if (node_stats != nullptr)
+    std::fill(node_stats, node_stats + nodes, ExchangeNodeStats{});
 
   std::size_t max_steps = 0;
   std::size_t total_msgs = 0;
@@ -42,6 +46,12 @@ double exchange_duration_ns(const ExchangePlan& plan,
       send_free[src] = depart;
       sender_finish = std::max(sender_finish, depart);
       inflight.push_back({depart + latency_ns, m.dst_node, m.service_ns});
+      if (node_stats != nullptr) {
+        ExchangeNodeStats& s = node_stats[src];
+        s.send_busy_ns += m.service_ns;
+        s.send_finish_ns = std::max(s.send_finish_ns, depart);
+        ++s.msgs_out;
+      }
     }
   }
 
@@ -56,6 +66,12 @@ double exchange_duration_ns(const ExchangePlan& plan,
     double start = std::max(recv_free[m.dst_node], m.arrival);
     recv_free[m.dst_node] = start + m.service;
     recv_finish = std::max(recv_finish, recv_free[m.dst_node]);
+    if (node_stats != nullptr) {
+      ExchangeNodeStats& s = node_stats[m.dst_node];
+      s.recv_busy_ns += m.service;
+      s.recv_finish_ns = std::max(s.recv_finish_ns, recv_free[m.dst_node]);
+      ++s.msgs_in;
+    }
   }
 
   return std::max(sender_finish, recv_finish);

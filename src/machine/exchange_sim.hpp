@@ -38,9 +38,22 @@ using ExchangePlan = std::vector<std::vector<ExchangeMsg>>;
 /// doubling the phase relative to the circular schedule (i, i+1, ...,
 /// i+s-1 mod s) where every step is a balanced permutation.
 ///
+/// Per-node occupancy of one exchange phase (tracer counter tracks).
+struct ExchangeNodeStats {
+  double send_busy_ns = 0.0;   ///< total send-NIC occupancy
+  double recv_busy_ns = 0.0;   ///< total receive-NIC occupancy
+  double send_finish_ns = 0.0; ///< when the send NIC went idle
+  double recv_finish_ns = 0.0; ///< when the receive NIC went idle
+  std::uint64_t msgs_out = 0;
+  std::uint64_t msgs_in = 0;
+};
+
 /// `thread_node[i]` maps thread i to its node.  Returns the phase duration.
+/// When `node_stats` is non-null it must point at `nodes` entries, which
+/// are overwritten with the per-node occupancy breakdown.
 double exchange_duration_ns(const ExchangePlan& plan,
                             const std::vector<std::int32_t>& thread_node,
-                            int nodes, double latency_ns);
+                            int nodes, double latency_ns,
+                            ExchangeNodeStats* node_stats = nullptr);
 
 }  // namespace pgraph::machine

@@ -78,7 +78,7 @@ double NetworkModel::bulk_get_ns(int src_node, int dst_node,
   return msg_wire_ns(req) + msg_wire_ns(bytes);
 }
 
-double NetworkModel::drain_nic_max_ns() {
+double NetworkModel::drain_nic_ns(NicDrain* out) {
   double mx = 0.0;
   for (int i = 0; i < nodes_; ++i) {
     const std::uint64_t v =
@@ -87,7 +87,10 @@ double NetworkModel::drain_nic_max_ns() {
     const double factor =
         std::min(p_->nic_congestion_cap,
                  1.0 + static_cast<double>(c) / p_->nic_burst_capacity);
-    mx = std::max(mx, static_cast<double>(v) * factor);
+    const double congested = static_cast<double>(v) * factor;
+    if (out != nullptr)
+      out[i] = {static_cast<double>(v), congested, factor, c};
+    mx = std::max(mx, congested);
   }
   return mx;
 }

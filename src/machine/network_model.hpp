@@ -74,11 +74,24 @@ class NetworkModel {
 
   /// --- superstep drain -------------------------------------------------
 
+  /// Per-node NIC drain breakdown of one superstep (see drain_nic_ns).
+  struct NicDrain {
+    double service_ns = 0.0;    ///< raw accumulated NIC occupancy
+    double congested_ns = 0.0;  ///< service_ns * congestion factor
+    double factor = 1.0;        ///< applied congestion factor
+    std::uint64_t msgs = 0;     ///< messages this node handled
+  };
+
   /// Max over nodes of NIC service accumulated since the last drain, then
   /// reset.  Called by the runtime inside each barrier: the returned value
   /// lower-bounds the duration of the superstep that just ended.  Bursty
   /// nodes pay a congestion factor (1 + msgs/capacity), capped.
-  double drain_nic_max_ns();
+  double drain_nic_max_ns() { return drain_nic_ns(nullptr); }
+
+  /// As drain_nic_max_ns, but when `out` is non-null additionally writes
+  /// the per-node breakdown into out[0..nodes) — the tracer's per-node NIC
+  /// utilization counters come from here.
+  double drain_nic_ns(NicDrain* out);
 
   /// Record a coalesced message priced elsewhere (by the exchange
   /// simulation) so that the global message/byte counters stay complete.

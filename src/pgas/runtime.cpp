@@ -28,6 +28,19 @@ inline void checker_charged(int thread, std::size_t bytes) {
 ThreadCtx* current_ctx() noexcept { return t_current_ctx; }
 
 // ---------------------------------------------------------------------------
+// TraceScope
+// ---------------------------------------------------------------------------
+
+TraceScope::TraceScope(ThreadCtx& ctx, const char* name)
+    : ctx_(&ctx), name_(name) {
+  if (ctx_->runtime().tracing()) t0_ = ctx_->now_ns();
+}
+
+TraceScope::~TraceScope() {
+  if (ctx_->runtime().tracing()) ctx_->runtime().trace_scope(name_, t0_);
+}
+
+// ---------------------------------------------------------------------------
 // ThreadCtx
 // ---------------------------------------------------------------------------
 
@@ -185,7 +198,9 @@ Runtime::Runtime(Topology topo, machine::CostParams params)
       topo.total_threads(), std::function<void()>([this] { on_barrier(); }));
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() {
+  if (sink_ != nullptr) sink_->on_runtime_gone();
+}
 
 void Runtime::run(const std::function<void(ThreadCtx&)>& f) {
   const int s = topo_.total_threads();
@@ -216,14 +231,41 @@ void Runtime::accrue_bus(int node, double ns) {
       static_cast<std::uint64_t>(ns), std::memory_order_relaxed);
 }
 
-double Runtime::drain_bus_max_ns() {
+double Runtime::drain_bus_ns(double* out) {
   std::uint64_t mx = 0;
   for (int i = 0; i < topo_.nodes; ++i) {
     const std::uint64_t v = bus_[static_cast<std::size_t>(i)].busy_ns.exchange(
         0, std::memory_order_relaxed);
+    if (out != nullptr) out[i] = static_cast<double>(v);
     if (v > mx) mx = v;
   }
   return static_cast<double>(mx);
+}
+
+bool Runtime::tracing() const { return sink_ != nullptr; }
+
+void Runtime::trace_scope(const char* name, double t0_ns) {
+  ThreadCtx* c = t_current_ctx;
+  if (sink_ == nullptr || c == nullptr) return;
+  sink_->on_scope(c->id(), name, t0_ns, c->now_ns());
+}
+
+void Runtime::trace_crcw(const char* label, bool begin) {
+  ThreadCtx* c = t_current_ctx;
+  if (sink_ == nullptr || c == nullptr) return;
+  sink_->on_crcw(c->id(), label, c->now_ns(), begin);
+}
+
+void Runtime::set_trace_sink(TraceSink* sink) {
+  sink_ = sink;
+  if (sink_ == nullptr) return;
+  const std::size_t s = static_cast<std::size_t>(topo_.total_threads());
+  trace_arrival_.assign(s, 0.0);
+  trace_stats_.assign(s, machine::PhaseStats{});
+  trace_nodes_.assign(static_cast<std::size_t>(topo_.nodes), NodeSuperstep{});
+  trace_prev_msgs_ = net_->total_messages();
+  trace_prev_bytes_ = net_->total_bytes();
+  trace_prev_fine_ = net_->fine_messages();
 }
 
 void Runtime::reset_costs() {
@@ -234,6 +276,9 @@ void Runtime::reset_costs() {
   barriers_ = 0;
   net_ = std::make_unique<machine::NetworkModel>(params_, topo_.nodes);
   drain_bus_max_ns();
+  last_verdict_ = BarrierVerdict{};
+  // The fresh NetworkModel's counters restart at zero.
+  trace_prev_msgs_ = trace_prev_bytes_ = trace_prev_fine_ = 0;
 }
 
 machine::PhaseStats Runtime::critical_stats() const {
@@ -255,6 +300,8 @@ void Runtime::barrier_sync(ThreadCtx& ctx, bool /*exchange*/) {
 
 void Runtime::on_barrier() {
   const int s = topo_.total_threads();
+  const bool traced = sink_ != nullptr;
+  const double t_start = last_barrier_ns_;
   double max_clock = 0.0;
   bool any_exchange = false;
   for (int i = 0; i < s; ++i) {
@@ -262,13 +309,28 @@ void Runtime::on_barrier() {
     assert(c != nullptr);
     max_clock = std::max(max_clock, c->clock_);
     any_exchange = any_exchange || !c->pending_.empty();
+    if (traced) trace_arrival_[static_cast<std::size_t>(i)] = c->clock_;
   }
 
   // Per-node serialization floors: fine-grained network traffic on the
-  // NIC, and DRAM traffic on the shared memory bus.
-  double t = std::max(max_clock, last_barrier_ns_ + net_->drain_nic_max_ns());
-  t = std::max(t, last_barrier_ns_ + drain_bus_max_ns());
+  // NIC, and DRAM traffic on the shared memory bus.  With a sink attached
+  // we additionally keep the per-node breakdown instead of only the max.
+  std::vector<machine::NetworkModel::NicDrain> nic_nodes;
+  std::vector<double> bus_nodes;
+  std::vector<machine::ExchangeNodeStats> exch_nodes;
+  double nic_drain = 0.0;
+  double bus_drain = 0.0;
+  if (traced) {
+    nic_nodes.resize(static_cast<std::size_t>(topo_.nodes));
+    bus_nodes.resize(static_cast<std::size_t>(topo_.nodes));
+    nic_drain = net_->drain_nic_ns(nic_nodes.data());
+    bus_drain = drain_bus_ns(bus_nodes.data());
+  } else {
+    nic_drain = net_->drain_nic_max_ns();
+    bus_drain = drain_bus_max_ns();
+  }
 
+  double exch_dur = 0.0;
   if (any_exchange) {
     machine::ExchangePlan plan(static_cast<std::size_t>(s));
     for (int i = 0; i < s; ++i) {
@@ -276,14 +338,47 @@ void Runtime::on_barrier() {
       plan[static_cast<std::size_t>(i)] = std::move(c->pending_);
       c->pending_.clear();
     }
-    const double dur = machine::exchange_duration_ns(
-        plan, thread_node_, topo_.nodes, params_.net_latency_ns);
-    t = std::max(t, max_clock + dur);
+    if (traced) exch_nodes.resize(static_cast<std::size_t>(topo_.nodes));
+    exch_dur = machine::exchange_duration_ns(
+        plan, thread_node_, topo_.nodes, params_.net_latency_ns,
+        traced ? exch_nodes.data() : nullptr);
+  }
+
+  // The four competing terms of the barrier max; the largest wins and is
+  // recorded as the superstep's bottleneck verdict (ties resolve in the
+  // order threads < nic < bus < exchange).  A non-exchange superstep's
+  // exchange term degenerates to t_start so it can never win.
+  const double t_threads = max_clock;
+  const double t_nic = t_start + nic_drain;
+  const double t_bus = t_start + bus_drain;
+  const double t_exchange = any_exchange ? max_clock + exch_dur : t_start;
+  // Clock-regression guard: every candidate end time must be at or past
+  // the previous barrier (clocks only advance; drains are non-negative).
+  assert(t_threads >= t_start);
+  assert(t_nic >= t_start);
+  assert(t_bus >= t_start);
+  assert(t_exchange >= t_start);
+
+  double t = t_threads;
+  BarrierVerdict::Winner winner = BarrierVerdict::Winner::Threads;
+  if (t_nic > t) {
+    t = t_nic;
+    winner = BarrierVerdict::Winner::Nic;
+  }
+  if (t_bus > t) {
+    t = t_bus;
+    winner = BarrierVerdict::Winner::Bus;
+  }
+  if (t_exchange > t) {
+    t = t_exchange;
+    winner = BarrierVerdict::Winner::Exchange;
   }
 
   const double bar_cost =
       params_.barrier_base_ns + params_.barrier_per_thread_ns * s;
   const double t_final = t + bar_cost;
+  last_verdict_ = {t_start,  t_threads, t_nic,   t_bus,        t_exchange,
+                   exch_dur, bar_cost,  t_final, winner,       any_exchange};
 
   for (int i = 0; i < s; ++i) {
     ThreadCtx* c = slots_[static_cast<std::size_t>(i)].ctx;
@@ -302,6 +397,35 @@ void Runtime::on_barrier() {
   // barrier (the completion step is ordered against all of them).
   analysis::AccessChecker::instance().end_epoch(epoch_, s);
 #endif
+  if (traced) {
+    for (int i = 0; i < s; ++i)
+      trace_stats_[static_cast<std::size_t>(i)] =
+          slots_[static_cast<std::size_t>(i)].ctx->stats_;
+    for (int n = 0; n < topo_.nodes; ++n) {
+      NodeSuperstep& ns = trace_nodes_[static_cast<std::size_t>(n)];
+      ns.nic = nic_nodes[static_cast<std::size_t>(n)];
+      ns.bus_busy_ns = bus_nodes[static_cast<std::size_t>(n)];
+      ns.exch = any_exchange ? exch_nodes[static_cast<std::size_t>(n)]
+                             : machine::ExchangeNodeStats{};
+    }
+    SuperstepRecord rec;
+    rec.index = barriers_;
+    rec.epoch = epoch_;
+    rec.verdict = last_verdict_;
+    rec.arrival_clock = &trace_arrival_;
+    rec.stats = &trace_stats_;
+    rec.nodes = &trace_nodes_;
+    const std::uint64_t msgs = net_->total_messages();
+    const std::uint64_t bytes = net_->total_bytes();
+    const std::uint64_t fine = net_->fine_messages();
+    rec.msgs_delta = msgs - trace_prev_msgs_;
+    rec.bytes_delta = bytes - trace_prev_bytes_;
+    rec.fine_msgs_delta = fine - trace_prev_fine_;
+    trace_prev_msgs_ = msgs;
+    trace_prev_bytes_ = bytes;
+    trace_prev_fine_ = fine;
+    sink_->on_superstep(rec);
+  }
   ++barriers_;
   ++epoch_;
 }

@@ -13,6 +13,7 @@
 #include "machine/network_model.hpp"
 #include "machine/phase_stats.hpp"
 #include "pgas/topology.hpp"
+#include "pgas/trace_hook.hpp"
 
 namespace pgraph::pgas {
 
@@ -157,12 +158,39 @@ class Runtime {
   machine::PhaseStats critical_stats() const;
   /// Element-wise sum over threads (total resource consumption).
   machine::PhaseStats total_stats() const;
+  /// Per-thread cumulative stats as of the last completed run() (index =
+  /// thread id).  Tracers attaching mid-life use this as their baseline.
+  const std::vector<machine::PhaseStats>& saved_thread_stats() const {
+    return saved_stats_;
+  }
 
   std::uint64_t barriers_executed() const { return barriers_; }
   /// Monotone barrier-epoch counter (like barriers_executed, but never
   /// reset by reset_costs — the access checker keys its shadow state on
   /// it, so epochs must not repeat within a Runtime's lifetime).
   std::uint64_t epoch() const { return epoch_; }
+
+  /// Verdict of the most recent barrier: which of the four competing terms
+  /// set the superstep's end time.  Maintained at every barrier, tracing
+  /// on or off (the terms are computed anyway; labeling the max is free).
+  /// Readable from SPMD code immediately after a barrier returns — the
+  /// completion step is ordered before any thread resumes — and after
+  /// run() returns.
+  const BarrierVerdict& last_barrier_verdict() const { return last_verdict_; }
+
+  /// Attach (or detach, with nullptr) a trace sink.  Must not be called
+  /// while run() is executing.  The sink outlives the attachment.
+  void set_trace_sink(TraceSink* sink);
+  TraceSink* trace_sink() const { return sink_; }
+
+  /// True iff a TraceSink is attached.
+  bool tracing() const;
+  /// Forward a completed modeled-time scope [t0_ns, now] on the calling
+  /// SPMD thread to the sink (used by TraceScope; no-op without a sink or
+  /// outside run()).
+  void trace_scope(const char* name, double t0_ns);
+  /// Forward a CRCW window boundary at the calling thread's modeled time.
+  void trace_crcw(const char* label, bool begin);
 
  private:
   friend class ThreadCtx;
@@ -179,7 +207,10 @@ class Runtime {
   void barrier_sync(ThreadCtx& ctx, bool exchange);
   void on_barrier();  // completion step, runs on one thread
   void accrue_bus(int node, double ns);
-  double drain_bus_max_ns();
+  /// Drain per-node DRAM-bus accumulators; when `out` is non-null, writes
+  /// each node's busy time into out[0..nodes).
+  double drain_bus_ns(double* out);
+  double drain_bus_max_ns() { return drain_bus_ns(nullptr); }
 
   Topology topo_;
   machine::CostParams params_;
@@ -196,6 +227,18 @@ class Runtime {
   // Saved stats from threads of completed run() calls.
   std::vector<machine::PhaseStats> saved_stats_;
   std::vector<double> saved_clocks_;
+
+  // --- bottleneck attribution / tracing --------------------------------
+  BarrierVerdict last_verdict_;
+  TraceSink* sink_ = nullptr;
+  // Scratch reused every traced barrier (allocated on sink attach so the
+  // untraced path never touches them).
+  std::vector<double> trace_arrival_;
+  std::vector<machine::PhaseStats> trace_stats_;
+  std::vector<NodeSuperstep> trace_nodes_;
+  std::uint64_t trace_prev_msgs_ = 0;
+  std::uint64_t trace_prev_bytes_ = 0;
+  std::uint64_t trace_prev_fine_ = 0;
 };
 
 /// The ThreadCtx of the calling OS thread while inside Runtime::run, or

@@ -1,0 +1,81 @@
+#include "trace/bench_json.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "trace/json.hpp"
+
+namespace pgraph::trace {
+
+namespace {
+
+void write_attribution(std::ostream& os, const Attribution& a) {
+  os << "{\"supersteps\":" << a.supersteps << ",\"count\":{";
+  for (std::size_t w = 0; w < pgas::kNumBarrierWinners; ++w) {
+    if (w != 0) os << ",";
+    os << "\"" << pgas::winner_name(static_cast<pgas::BarrierVerdict::Winner>(w))
+       << "\":" << a.count[w];
+  }
+  os << "},\"time_ns\":{";
+  for (std::size_t w = 0; w < pgas::kNumBarrierWinners; ++w) {
+    if (w != 0) os << ",";
+    os << "\"" << pgas::winner_name(static_cast<pgas::BarrierVerdict::Winner>(w))
+       << "\":" << json::number(a.time_ns[w]);
+  }
+  os << "},\"dominant\":\"" << pgas::winner_name(a.dominant()) << "\"}";
+}
+
+void write_pairs(std::ostream& os,
+                 const std::vector<std::pair<std::string, double>>& kv) {
+  os << "{";
+  bool first = true;
+  for (const auto& [k, v] : kv) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json::escape(k) << "\":" << json::number(v);
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void BenchReport::write(std::ostream& os) const {
+  os << "{\n\"schema\":\"" << kBenchSchemaName
+     << "\",\n\"version\":" << kBenchSchemaVersion << ",\n\"bench\":\""
+     << json::escape(bench) << "\",\n\"preset\":\"" << json::escape(preset)
+     << "\",\n\"params\":";
+  write_pairs(os, params);
+  os << ",\n\"rows\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& r = rows[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "{\"label\":\"" << json::escape(r.label)
+       << "\",\"modeled_ns\":" << json::number(r.modeled_ns)
+       << ",\"wall_ms\":" << json::number(r.wall_ms) << ",\"breakdown_ns\":";
+    write_pairs(os, r.breakdown_ns);
+    os << ",\"messages\":" << r.messages
+       << ",\"fine_messages\":" << r.fine_messages << ",\"bytes\":" << r.bytes
+       << ",\"barriers\":" << r.barriers << ",\"extra\":";
+    write_pairs(os, r.extra);
+    if (r.attribution) {
+      os << ",\"attribution\":";
+      write_attribution(os, *r.attribution);
+    }
+    os << "}";
+  }
+  os << "\n]";
+  if (attribution) {
+    os << ",\n\"attribution\":";
+    write_attribution(os, *attribution);
+  }
+  os << "\n}\n";
+}
+
+bool BenchReport::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write(f);
+  return static_cast<bool>(f);
+}
+
+}  // namespace pgraph::trace

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "machine/phase_stats.hpp"
+#include "trace/tracer.hpp"
+
+namespace pgraph::trace {
+
+/// Versioned machine-readable bench output (`BENCH_<name>.json`).  Every
+/// harness bench emits one of these via `--json <path>`; the schema is
+/// what scripts/bench_diff.py validates and compares, so bump
+/// kBenchSchemaVersion when changing the layout.
+inline constexpr const char* kBenchSchemaName = "pgraph-bench";
+inline constexpr int kBenchSchemaVersion = 1;
+
+/// One result row (one table row / figure configuration).
+struct BenchRow {
+  std::string label;
+  double modeled_ns = 0.0;
+  double wall_ms = 0.0;
+  /// Per-category modeled time of the critical thread, by machine::Cat
+  /// name ("Comm", "Sort", ...).  Empty when the row has no breakdown.
+  std::vector<std::pair<std::string, double>> breakdown_ns;
+  std::uint64_t messages = 0;
+  std::uint64_t fine_messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t barriers = 0;
+  /// Bench-specific numeric extras (speedup factors, miss rates, ...).
+  std::vector<std::pair<std::string, double>> extra;
+  /// Per-superstep bottleneck attribution for this row (present when the
+  /// bench ran with a tracer attached).
+  std::optional<Attribution> attribution;
+
+  void set_breakdown(const machine::PhaseStats& st) {
+    breakdown_ns.clear();
+    for (std::size_t c = 0; c < machine::kNumCats; ++c)
+      breakdown_ns.emplace_back(std::string(machine::kCatNames[c]),
+                                st.get(static_cast<machine::Cat>(c)));
+  }
+};
+
+/// The whole report: identity, parameters, rows, and (optionally) the
+/// recording-wide attribution summary.
+struct BenchReport {
+  std::string bench;   ///< binary name, e.g. "fig05_opt_breakdown_random"
+  std::string preset;  ///< cost-parameter preset name
+  std::vector<std::pair<std::string, double>> params;
+  std::vector<BenchRow> rows;
+  std::optional<Attribution> attribution;
+
+  void set_param(const std::string& key, double v) {
+    for (auto& kv : params)
+      if (kv.first == key) {
+        kv.second = v;
+        return;
+      }
+    params.emplace_back(key, v);
+  }
+
+  void write(std::ostream& os) const;
+  /// Returns false if the file cannot be opened/written.
+  bool write_file(const std::string& path) const;
+};
+
+}  // namespace pgraph::trace

@@ -1,0 +1,41 @@
+#pragma once
+
+// The Chrome/Perfetto trace-event exporter lives in chrome_trace.cpp as
+// SuperstepTracer::write_chrome_trace (declared in tracer.hpp).  This
+// header only documents the track layout so tests and tools share one
+// description of the output:
+//
+//   pid <k>            one "process" per attached runtime (segment k),
+//                      named "run<k>: <nodes>x<tpn> <preset>"
+//   tid 2*t            UPC thread t's category track: per superstep, one
+//                      complete ("X") slice per machine::Cat with nonzero
+//                      clock advance, laid out back-to-back from the
+//                      superstep's start (the model prices aggregate
+//                      category time per superstep, not an interleaving),
+//                      plus an "(stall)" filler up to the barrier's end
+//                      so the track is contiguous on the modeled axis.
+//   tid 2*t+1          thread t's phase-scope track: collective phases
+//                      ("getd.serve", "setd.apply", ...) as "X" slices
+//                      and CRCW-window marks as instant ("i") events.
+//   tid 1000000        the superstep verdict track: one slice per
+//                      superstep named after the winning barrier term
+//                      ("threads" / "nic" / "bus" / "exchange"), args
+//                      carrying all four competing end times.
+//   counters ("C")     per node: "node<n> NIC util", "node<n> bus util",
+//                      "node<n> exch util" (occupancy / superstep
+//                      duration), plus "net msgs" and "net bytes" deltas.
+//
+// Timestamps are microseconds (trace-event convention) on the modeled
+// clock; durations in the category tracks therefore sum — per category —
+// to the runtime's PhaseStats aggregates (tested in test_trace.cpp).
+
+#include "trace/tracer.hpp"
+
+namespace pgraph::trace {
+
+inline constexpr int kVerdictTid = 1000000;
+
+constexpr int cat_track_tid(int thread) { return 2 * thread; }
+constexpr int scope_track_tid(int thread) { return 2 * thread + 1; }
+
+}  // namespace pgraph::trace

@@ -1,0 +1,298 @@
+#include "trace/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pgraph::trace::json {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(ch));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  // %.17g round-trips doubles; trim the common integer case for size.
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+const Value& Value::operator[](const std::string& key) const {
+  static const Value null_value;
+  if (kind_ != Kind::Object) return null_value;
+  const auto it = obj_.find(key);
+  return it == obj_.end() ? null_value : it->second;
+}
+
+bool Value::has(const std::string& key) const {
+  return kind_ == Kind::Object && obj_.count(key) > 0;
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* err) : s_(text), err_(err) {}
+
+  bool run(Value& out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool fail(const char* what) {
+    if (err_ != nullptr)
+      *err_ = std::string(what) + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  bool value(Value& out) {
+    if (pos_ >= s_.size()) return fail("unexpected end");
+    const char c = s_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out.kind_ = Value::Kind::String;
+      return string(out.str_);
+    }
+    if (c == 't' || c == 'f') return boolean(out);
+    if (c == 'n') return null(out);
+    return num(out);
+  }
+
+  bool object(Value& out) {
+    out.kind_ = Value::Kind::Object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= s_.size() || s_[pos_] != '"' || !string(key))
+        return fail("expected object key");
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      Value v;
+      if (!value(v)) return false;
+      out.obj_.emplace(std::move(key), std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated object");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(Value& out) {
+    out.kind_ = Value::Kind::Array;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      Value v;
+      if (!value(v)) return false;
+      out.arr_.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated array");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return fail("bad escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out += e;
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return fail("bad \\u escape");
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code += static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail("bad \\u digit");
+          }
+          // The exporters only escape control characters; encode the code
+          // point as UTF-8 (BMP only, no surrogate pairing).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool boolean(Value& out) {
+    out.kind_ = Value::Kind::Bool;
+    if (s_.substr(pos_, 4) == "true") {
+      out.num_ = 1.0;
+      pos_ += 4;
+      return true;
+    }
+    if (s_.substr(pos_, 5) == "false") {
+      out.num_ = 0.0;
+      pos_ += 5;
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  bool null(Value& out) {
+    out.kind_ = Value::Kind::Null;
+    if (s_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  bool num(Value& out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    bool any = false;
+    const auto digits = [&] {
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+        any = true;
+      }
+    };
+    digits();
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      digits();
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+      digits();
+    }
+    if (!any) return fail("expected number");
+    out.kind_ = Value::Kind::Number;
+    out.num_ = std::strtod(std::string(s_.substr(start, pos_ - start)).c_str(),
+                           nullptr);
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  std::string* err_;
+};
+
+bool parse(std::string_view text, Value& out, std::string* err) {
+  return Parser(text, err).run(out);
+}
+
+}  // namespace pgraph::trace::json

@@ -29,6 +29,30 @@ TEST(Table, ShortRowsArePadded) {
   EXPECT_EQ(ss.str(), "a,b,c\n1,,\n");
 }
 
+TEST(Table, CsvQuotesSpecialCells) {
+  // RFC 4180: cells with commas, quotes or newlines are quoted, embedded
+  // quotes doubled.  Bench row labels like "base, +offload" hit this.
+  h::Table t({"label", "plain"});
+  t.add_row({"base, +offload", "1"});
+  t.add_row({"say \"hi\"", "2"});
+  t.add_row({"two\nlines", "3"});
+  std::stringstream ss;
+  t.print_csv(ss);
+  EXPECT_EQ(ss.str(),
+            "label,plain\n"
+            "\"base, +offload\",1\n"
+            "\"say \"\"hi\"\"\",2\n"
+            "\"two\nlines\",3\n");
+}
+
+TEST(Table, CsvQuotesHeaderCellsToo) {
+  h::Table t({"a,b", "c"});
+  t.add_row({"x", "y"});
+  std::stringstream ss;
+  t.print_csv(ss);
+  EXPECT_EQ(ss.str(), "\"a,b\",c\nx,y\n");
+}
+
 TEST(Table, EngineeringUnits) {
   EXPECT_EQ(h::Table::eng(12.0), "12 ns");
   EXPECT_EQ(h::Table::eng(1500.0), "1.500 us");
