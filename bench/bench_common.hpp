@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/par_common.hpp"
+#include "fault/fault.hpp"
 #include "graph/generators.hpp"
 #include "harness/args.hpp"
 #include "harness/table.hpp"
@@ -97,10 +98,14 @@ class Report {
     rep_.bench = std::move(bench_name);
     if (!args_.json_path.empty() || !args_.trace_path.empty())
       tracer_ = std::make_unique<trace::SuperstepTracer>();
+    if (!args_.faults.empty())
+      injector_ = std::make_unique<fault::FaultInjector>(
+          fault::FaultConfig::parse(args_.faults, args_.fault_seed));
   }
 
   bool enabled() const { return tracer_ != nullptr; }
   trace::SuperstepTracer* tracer() { return tracer_.get(); }
+  fault::FaultInjector* injector() { return injector_.get(); }
 
   void set_param(const std::string& key, double v) { rep_.set_param(key, v); }
 
@@ -108,6 +113,7 @@ class Report {
   /// this unconditionally after constructing each runtime).
   void attach(pgas::Runtime& rt) {
     if (rep_.preset.empty()) rep_.preset = rt.params().preset;
+    if (injector_) rt.set_fault_injector(injector_.get());
     if (tracer_) tracer_->attach(rt);
   }
 
@@ -123,6 +129,7 @@ class Report {
     r.bytes = c.bytes;
     r.barriers = c.barriers;
     r.extra = std::move(extra);
+    append_fault_extras(r.extra);
     if (tracer_) r.attribution = tracer_->take_row_attribution();
     rep_.rows.push_back(std::move(r));
   }
@@ -133,6 +140,7 @@ class Report {
     r.label = label;
     r.modeled_ns = modeled_ns;
     r.extra = std::move(extra);
+    append_fault_extras(r.extra);
     if (tracer_) r.attribution = tracer_->take_row_attribution();
     rep_.rows.push_back(std::move(r));
   }
@@ -164,9 +172,37 @@ class Report {
   }
 
  private:
+  /// Fault counters of this row, as deltas against the previous row (the
+  /// injector accumulates across the whole bench).  Rides in `extra`, so
+  /// the JSON schema is unchanged and fault-free reports are unchanged.
+  void append_fault_extras(Extra& extra) {
+    if (!injector_) return;
+    const fault::FaultCounters c = injector_->counters();
+    const auto d = [&](const char* key, std::uint64_t now,
+                       std::uint64_t before) {
+      extra.emplace_back(key, static_cast<double>(now - before));
+    };
+    d("fault_drops", c.drops, prev_faults_.drops);
+    d("fault_dups", c.duplicates, prev_faults_.duplicates);
+    d("fault_delays", c.delays, prev_faults_.delays);
+    d("fault_outage_drops", c.outage_drops, prev_faults_.outage_drops);
+    d("fault_retransmits", c.retransmits, prev_faults_.retransmits);
+    d("fault_corruptions", c.corruptions, prev_faults_.corruptions);
+    d("fault_detected", c.detected, prev_faults_.detected);
+    d("fault_repairs", c.repairs, prev_faults_.repairs);
+    d("fault_straggles", c.straggles, prev_faults_.straggles);
+    d("fault_outages", c.outage_events, prev_faults_.outage_events);
+    d("fault_rollbacks", c.rollbacks, prev_faults_.rollbacks);
+    d("fault_checkpoints", c.checkpoints, prev_faults_.checkpoints);
+    d("fault_retry_wait_ns", c.retry_wait_ns, prev_faults_.retry_wait_ns);
+    prev_faults_ = c;
+  }
+
   const BenchArgs args_;
   trace::BenchReport rep_;
   std::unique_ptr<trace::SuperstepTracer> tracer_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  fault::FaultCounters prev_faults_;
 };
 
 }  // namespace pgraph::bench

@@ -9,7 +9,12 @@ by any harness bench via `--json <path>` (src/trace/bench_json.*).  Rows
 are matched by label; a candidate row whose modeled_ns exceeds the
 baseline's by more than --threshold percent is a regression, and a
 baseline row missing from the candidate is an error (renamed or dropped
-configurations must regenerate the baseline deliberately).
+configurations must regenerate the baseline deliberately).  A NaN or
+infinite modeled_ns on either side is a failure, never a silent pass
+(NaN compares false against every threshold).  Breakdown fields are
+validated tolerantly: absent or non-finite per-category entries are
+warned about and ignored, since partial reports are still comparable
+on modeled time.
 
 Exit codes: 0 ok, 1 regression/missing rows, 2 malformed input.
 Only the Python standard library is used.
@@ -17,6 +22,7 @@ Only the Python standard library is used.
 
 import argparse
 import json
+import math
 import sys
 
 SCHEMA = "pgraph-bench"
@@ -43,12 +49,41 @@ def load(path):
     for i, row in enumerate(rows):
         label = row.get("label")
         t = row.get("modeled_ns")
-        if not isinstance(label, str) or not isinstance(t, (int, float)):
+        if (
+            not isinstance(label, str)
+            or isinstance(t, bool)
+            or not isinstance(t, (int, float))
+        ):
             sys.exit(f"bench_diff: {path}: row {i} lacks label/modeled_ns")
         if label in by_label:
             sys.exit(f"bench_diff: {path}: duplicate row label {label!r}")
+        check_breakdown(path, i, row)
         by_label[label] = float(t)
     return doc, by_label
+
+
+def check_breakdown(path, i, row):
+    """Tolerant validation of a row's optional per-category breakdown.
+
+    Absent breakdowns and absent/non-finite entries are fine (warn and
+    ignore); a breakdown that is present but not an object is malformed.
+    """
+    bd = row.get("breakdown")
+    if bd is None:
+        return
+    if not isinstance(bd, dict):
+        sys.exit(f"bench_diff: {path}: row {i} breakdown is not an object")
+    for key, v in bd.items():
+        if (
+            isinstance(v, bool)
+            or not isinstance(v, (int, float))
+            or not math.isfinite(float(v))
+        ):
+            print(
+                f"bench_diff: warning: {path}: row {i} breakdown[{key!r}] "
+                f"= {v!r} is not finite; ignored",
+                file=sys.stderr,
+            )
 
 
 def main():
@@ -83,6 +118,13 @@ def main():
             failures += 1
             continue
         t_cand = cand[label]
+        if not math.isfinite(t_base) or not math.isfinite(t_cand):
+            print(
+                f"NON-FINITE  {label!r}: baseline {t_base!r}, "
+                f"candidate {t_cand!r}"
+            )
+            failures += 1
+            continue
         if t_base <= 0.0:
             # Rows without a modeled time (informational extras) can't
             # regress; only report if one appears from nowhere.

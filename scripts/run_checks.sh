@@ -12,6 +12,11 @@
 #   lint     clang-tidy over src/tests/examples (skipped if not installed)
 #   perf     traced smoke bench + bench_diff.py vs the committed baseline
 #            (scripts/baselines/BENCH_smoke.json; skipped without python3)
+#   chaos    fault-injection suite (tests/test_fault.cpp) across fixed fault
+#            seeds 1..3, in the default and check (PGRAPH_CHECK_ACCESS)
+#            presets, plus the zero-fault bench-invariance gate: a bench run
+#            with an attached all-zero fault plan must match the committed
+#            baseline bit-for-bit (--threshold 0)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,7 +24,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(default check tsan asan lint perf)
+  STAGES=(default check tsan asan lint perf chaos)
 fi
 
 run_preset() {
@@ -79,8 +84,33 @@ EOF
         echo "==== [perf] python3 not found on PATH; skipping ===="
       fi
       ;;
+    chaos)
+      echo "==== [chaos] fault-injection suite, seeds 1..3 ===="
+      for preset in default check; do
+        cmake --preset "$preset"
+        cmake --build --preset "$preset" -j "$JOBS" --target test_fault
+        for seed in 1 2 3; do
+          echo "---- [chaos] preset=$preset fault seed=$seed ----"
+          PGRAPH_CHAOS_SEED=$seed ctest --preset "$preset" \
+            -R '^Fault' --output-on-failure -j "$JOBS"
+        done
+      done
+      if command -v python3 > /dev/null 2>&1; then
+        echo "---- [chaos] zero-fault plan leaves bench times unchanged ----"
+        cmake --build --preset default -j "$JOBS" \
+          --target fig05_opt_breakdown_random
+        out=build/BENCH_smoke_zerofault.json
+        build/bench/fig05_opt_breakdown_random \
+          --n 2048 --m 8192 --nodes 4 --threads 4 --seed 1 \
+          --faults drop=0 --fault-seed 3 --json "$out" > /dev/null
+        python3 scripts/bench_diff.py --threshold 0 \
+          scripts/baselines/BENCH_smoke.json "$out"
+      else
+        echo "---- [chaos] python3 not found; skipping invariance gate ----"
+      fi
+      ;;
     *)
-      echo "unknown stage: $stage (want: default check tsan asan lint perf)" >&2
+      echo "unknown stage: $stage (want: default check tsan asan lint perf chaos)" >&2
       exit 2
       ;;
   esac

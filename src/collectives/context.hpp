@@ -13,6 +13,8 @@ inline constexpr int kSlotIdx = 0;   ///< sorted request indices
 inline constexpr int kSlotData = 1;  ///< reply buffer (GetD)
 inline constexpr int kSlotVal = 2;   ///< sorted request values (SetD/SetDMin)
 inline constexpr int kSlotCnt = 3;   ///< per-owner offsets (hierarchical)
+inline constexpr int kSlotSum = 4;   ///< per-batch payload checksums (fault
+                                     ///< protocol; see docs/ROBUSTNESS.md)
 
 /// Shared state of Algorithm 2, allocated once per algorithm run.
 ///
@@ -53,6 +55,10 @@ struct CollWorkspace {
   std::vector<std::size_t> bucket_off;
   std::vector<std::size_t> thr_off;  ///< per-owner-thread offsets (s+1)
   std::vector<T> reply;              ///< GetD replies, bucket order
+  std::vector<std::uint64_t> sums;   ///< per-batch checksums, indexed by the
+                                     ///< batch's *other* end (owner thread in
+                                     ///< GetD, filled by owners; requester's
+                                     ///< own batches in SetD, read by owners)
 
   // Scratch for the output-blocked permute phase (Algorithm 1 applied to
   // the permute as well: eq. 5 pays ~n misses instead of m).

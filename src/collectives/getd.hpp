@@ -49,6 +49,12 @@ void getd(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
   const sched::VBlocks vb(D.size(), s, tprime);
   const std::size_t w = vb.nbuckets();
   const bool offload = opt.offload && known.has_value();
+  // Checksum protocol (docs/ROBUSTNESS.md): when payload corruption is in
+  // the fault plan, owners deposit a per-batch checksum next to the reply
+  // (8B rides on each message) and the requester validates after the
+  // exchange, re-requesting damaged batches at modeled retransmission cost.
+  fault::FaultInjector* const finj = ctx.runtime().fault_injector();
+  const bool chk = finj != nullptr && finj->config().corruption_enabled();
 
   // --- group ------------------------------------------------------------
   std::size_t kept = 0;
@@ -91,6 +97,10 @@ void getd(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
     pgas::TraceScope ts(ctx, "getd.setup");
     ctx.publish(kSlotIdx, ws.sorted.data());
     ctx.publish(kSlotData, ws.reply.data());
+    if (chk) {
+      ws.sums.assign(static_cast<std::size_t>(s), 0);
+      ctx.publish(kSlotSum, ws.sums.data());
+    }
     detail::write_matrices(ctx, cc, ws.thr_off, opt);
   }
   ctx.exchange_barrier();  // step 4 of Algorithm 2
@@ -122,13 +132,15 @@ void getd(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
     const std::size_t off = prow[static_cast<std::size_t>(j)];
     const std::uint64_t* ridx = ctx.peer_as<std::uint64_t>(j, kSlotIdx) + off;
     T* rbuf = ctx.peer_as<T>(j, kSlotData) + off;
+    const std::size_t sum_bytes = chk ? sizeof(std::uint64_t) : 0;
     if (j != me) {
-      const std::size_t bytes = cnt * (sizeof(std::uint64_t) + sizeof(T));
+      const std::size_t bytes =
+          cnt * (sizeof(std::uint64_t) + sizeof(T)) + sum_bytes;
       if (opt.hierarchical) {
         node_bytes[static_cast<std::size_t>(ctx.topo().node_of(j))] += bytes;
       } else {
         ctx.post_exchange_msg(j, cnt * sizeof(std::uint64_t));  // indices in
-        ctx.post_exchange_msg(j, cnt * sizeof(T));              // data out
+        ctx.post_exchange_msg(j, cnt * sizeof(T) + sum_bytes);  // data out
       }
     }
     std::size_t first_touches = 0;
@@ -143,6 +155,13 @@ void getd(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
       // Owner-side read through the raw block pointer: make it visible to
       // the race detector (a stray same-epoch write would corrupt replies).
       D.note_read(ctx, ridx[k]);
+    }
+    if (chk) {
+      // Deposit the batch checksum into the requester's sum array (slot
+      // indexed by owner); validated requester-side after the exchange.
+      ctx.peer_as<std::uint64_t>(j, kSlotSum)[me] =
+          fault::checksum_words(rbuf, cnt * sizeof(T));
+      ctx.compute(cnt, Cat::Copy);
     }
     distinct_lines += first_touches;
     // Streamed read of the incoming index list; compulsory line fills for
@@ -169,6 +188,38 @@ void getd(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
   }
   }  // getd.serve
   ctx.exchange_barrier();
+
+  // --- verify (requester side; fault protocol only) -----------------------
+  if (chk) {
+    pgas::TraceScope ts_verify(ctx, "getd.verify");
+    // The injector models wire damage to the delivered replies; the
+    // checksum pass catches it per owner batch and a modeled
+    // retransmission (round trip + backoff) delivers the clean copy.
+    finj->corrupt(ws.reply.data(), kept * sizeof(T), ctx.epoch(), me,
+                  /*tag=*/0);
+    ctx.compute(kept, Cat::Copy);  // checksum pass over the replies
+    for (int j = 0; j < s; ++j) {
+      const std::size_t off = ws.thr_off[static_cast<std::size_t>(j)];
+      const std::size_t cnt =
+          ws.thr_off[static_cast<std::size_t>(j) + 1] - off;
+      if (cnt == 0) continue;
+      int tries = 0;
+      while (fault::checksum_words(ws.reply.data() + off, cnt * sizeof(T)) !=
+             ws.sums[static_cast<std::size_t>(j)]) {
+        if (tries++ >= finj->config().max_retries)
+          throw fault::FaultError(fault::FaultKind::Corruption,
+                                  "getd: reply batch unrecoverable");
+        finj->count_detected();
+        ctx.charge(Cat::Comm,
+                   ctx.net().msg_wire_ns(cnt * sizeof(T) + 24) +
+                       finj->config().backoff_ns_for(tries - 1));
+        ctx.net().count_message(cnt * sizeof(T) + 24);
+        finj->count_retransmits(1);
+        finj->repair(ws.reply.data() + off, cnt * sizeof(T));
+        ctx.compute(cnt, Cat::Copy);  // re-validate the fresh copy
+      }
+    }
+  }
 
   // --- permute (requester side) -------------------------------------------
   pgas::TraceScope ts_permute(ctx, "getd.permute");

@@ -54,6 +54,12 @@ void setd_combine(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
   const int tprime = detail::resolve_tprime(ctx, opt, D.size(), sizeof(T));
   const sched::VBlocks vb(D.size(), s, tprime);
   const std::size_t w = vb.nbuckets();
+  // Checksum protocol (docs/ROBUSTNESS.md): the requester seals each
+  // outgoing (index, value) batch with a checksum before it is exposed;
+  // owners validate *before applying* — a corrupted index must never be
+  // dereferenced — and re-request damaged batches at retransmission cost.
+  fault::FaultInjector* const finj = ctx.runtime().fault_injector();
+  const bool chk = finj != nullptr && finj->config().corruption_enabled();
 
   // --- group: stable sort (index, value) pairs by virtual block ----------
   {
@@ -81,11 +87,33 @@ void setd_combine(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
     detail::derive_thread_offsets(vb, ws.bucket_off, m, ws.thr_off);
   }
 
+  if (chk) {
+    // Seal every outgoing batch, then let the injector damage the staged
+    // buffers — modeling corruption on the wire, caught owner-side.
+    ws.sums.assign(static_cast<std::size_t>(s), 0);
+    for (int j = 0; j < s; ++j) {
+      const std::size_t off = ws.thr_off[static_cast<std::size_t>(j)];
+      const std::size_t cnt =
+          ws.thr_off[static_cast<std::size_t>(j) + 1] - off;
+      if (cnt == 0) continue;
+      ws.sums[static_cast<std::size_t>(j)] =
+          fault::checksum_words(ws.sorted.data() + off,
+                                cnt * sizeof(std::uint64_t)) ^
+          fault::checksum_words(ws.sorted_val.data() + off, cnt * sizeof(T));
+    }
+    ctx.compute(2 * m, Cat::Copy);
+    finj->corrupt(ws.sorted.data(), m * sizeof(std::uint64_t), ctx.epoch(),
+                  me, /*tag=*/1);
+    finj->corrupt(ws.sorted_val.data(), m * sizeof(T), ctx.epoch(), me,
+                  /*tag=*/2);
+  }
+
   // --- setup --------------------------------------------------------------
   {
     pgas::TraceScope ts(ctx, "setd.setup");
     ctx.publish(kSlotIdx, ws.sorted.data());
     ctx.publish(kSlotVal, ws.sorted_val.data());
+    if (chk) ctx.publish(kSlotSum, ws.sums.data());
     detail::write_matrices(ctx, cc, ws.thr_off, opt);
   }
   ctx.exchange_barrier();
@@ -124,12 +152,39 @@ void setd_combine(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
     const T* rval = ctx.peer_as<T>(j, kSlotVal) + off;
     if (j != me) {
       // One coalesced message carrying (index, value) records (combined
-      // per node pair when hierarchical).
-      const std::size_t bytes = cnt * (sizeof(std::uint64_t) + sizeof(T));
+      // per node pair when hierarchical), plus the batch checksum when
+      // the fault protocol is on.
+      const std::size_t bytes =
+          cnt * (sizeof(std::uint64_t) + sizeof(T)) + (chk ? 8 : 0);
       if (opt.hierarchical) {
         node_bytes[static_cast<std::size_t>(ctx.topo().node_of(j))] += bytes;
       } else {
         ctx.post_exchange_msg(j, bytes);
+      }
+    }
+    if (chk) {
+      // Validate before applying: a corrupted batch is repaired by a
+      // modeled retransmission (round trip + backoff) from requester j.
+      const std::uint64_t expect = ctx.peer_as<std::uint64_t>(j, kSlotSum)[me];
+      ctx.compute(2 * cnt, Cat::Copy);
+      int tries = 0;
+      while ((fault::checksum_words(ridx, cnt * sizeof(std::uint64_t)) ^
+              fault::checksum_words(rval, cnt * sizeof(T))) != expect) {
+        if (tries++ >= finj->config().max_retries)
+          throw fault::FaultError(fault::FaultKind::Corruption,
+                                  "setd: request batch unrecoverable");
+        finj->count_detected();
+        ctx.charge(Cat::Comm,
+                   ctx.net().msg_wire_ns(
+                       cnt * (sizeof(std::uint64_t) + sizeof(T)) + 24) +
+                       finj->config().backoff_ns_for(tries - 1));
+        ctx.net().count_message(cnt * (sizeof(std::uint64_t) + sizeof(T)) +
+                                24);
+        finj->count_retransmits(1);
+        finj->repair(const_cast<std::uint64_t*>(ridx),
+                     cnt * sizeof(std::uint64_t));
+        finj->repair(const_cast<T*>(rval), cnt * sizeof(T));
+        ctx.compute(2 * cnt, Cat::Copy);
       }
     }
     std::size_t first_touches = 0;

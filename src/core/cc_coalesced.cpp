@@ -1,5 +1,6 @@
 #include "core/cc_coalesced.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <chrono>
@@ -41,6 +42,12 @@ ParCCResult cc_coalesced(pgas::Runtime& rt, const graph::EdgeList& el,
   CcRun run(rt, n);
   const coll::CollectiveOptions& copt = opt.coll;
   const coll::KnownElement known{0, 0};  // D[0] stays 0 (offload target)
+  // Superstep checkpoint/restart (docs/ROBUSTNESS.md): with outages
+  // configured, snapshot D and the surviving edge lists each iteration
+  // outside an outage window, and roll back to the last snapshot when a
+  // window ends.
+  fault::FaultInjector* const finj = rt.fault_injector();
+  const bool ckpt_on = finj != nullptr && finj->config().outage_every > 0;
 
   rt.run([&](pgas::ThreadCtx& ctx) {
     const int s = ctx.nthreads();
@@ -59,11 +66,61 @@ ParCCResult cc_coalesced(pgas::Runtime& rt, const graph::EdgeList& el,
     coll::CollWorkspace<std::uint64_t> ws_u, ws_v, ws_set, ws_jump;
     std::vector<std::uint64_t> du, dv, gi, gv, par, grand;
 
+    // Per-thread checkpoint: this thread's D block plus its private edge
+    // lists (they shrink under compaction, so a rollback must restore
+    // them too).  All threads checkpoint/roll back in lockstep: the
+    // outage-event counter is written only in barrier completion steps
+    // and every thread reads it at the same program point.
+    struct Checkpoint {
+      std::vector<std::uint64_t> d, eu, ev;
+      int it = 0;
+      bool valid = false;
+    } ck;
+    std::uint64_t seen_outages = ckpt_on ? finj->outage_events() : 0;
+
     int it = 0;
-    for (;; ++it) {
-      if (it >= max_iters) {
+    // `executed` counts real trips (it rolls back with the checkpoint);
+    // the hard cap keeps pathological fault plans from looping forever.
+    for (int executed = 0;; ++it, ++executed) {
+      if (it >= max_iters || executed >= 4 * max_iters + 64) {
         run.overran.store(true, std::memory_order_relaxed);
         break;
+      }
+
+      if (ckpt_on) {
+        const std::uint64_t ev_now = finj->outage_events();
+        if (ev_now != seen_outages && ck.valid) {
+          // An outage window closed since we last looked: the affected
+          // node's recent superstep work is suspect, so every thread
+          // rolls back to the last pre-outage snapshot and re-runs.
+          auto blk = run.d.local_span(me);
+          std::copy(ck.d.begin(), ck.d.end(), blk.begin());
+          eu = ck.eu;
+          ev = ck.ev;
+          it = ck.it;
+          ws_u.invalidate_keys();
+          ws_v.invalidate_keys();
+          ws_set.invalidate_keys();
+          ws_jump.invalidate_keys();
+          ctx.mem_seq((ck.d.size() + eu.size() + ev.size()) *
+                          sizeof(std::uint64_t),
+                      Cat::Copy);
+          if (me == 0) finj->count_rollback();
+          ctx.barrier();  // restores visible before the next getd serves
+        } else if (ev_now == seen_outages &&
+                   !finj->outage_active(ctx.epoch())) {
+          auto blk = run.d.local_span(me);
+          ck.d.assign(blk.begin(), blk.end());
+          ck.eu = eu;
+          ck.ev = ev;
+          ck.it = it;
+          ck.valid = true;
+          ctx.mem_seq((ck.d.size() + eu.size() + ev.size()) *
+                          sizeof(std::uint64_t),
+                      Cat::Copy);
+          if (me == 0) finj->count_checkpoint();
+        }
+        seen_outages = ev_now;
       }
 
       // --- read endpoint labels (coalesced; keys cacheable via `id`).

@@ -1,5 +1,6 @@
 #include "core/mst_pgas.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <chrono>
@@ -64,6 +65,11 @@ ParMstResult mst_pgas(pgas::Runtime& rt, const graph::WEdgeList& el,
   std::vector<std::uint64_t> mst_weight(static_cast<std::size_t>(s), 0);
   std::atomic<int> iterations{0};
   std::atomic<bool> overran{false};
+  // Superstep checkpoint/restart, as in cc_coalesced — MST additionally
+  // snapshots the marked-edge list and accumulated weight, since a rolled
+  // back iteration re-marks its edges.
+  fault::FaultInjector* const finj = rt.fault_injector();
+  const bool ckpt_on = finj != nullptr && finj->config().outage_every > 0;
 
   rt.run([&](pgas::ThreadCtx& ctx) {
     const int me = ctx.id();
@@ -91,11 +97,65 @@ ParMstResult mst_pgas(pgas::Runtime& rt, const graph::WEdgeList& el,
 
     auto& my_mst = mst_edges[static_cast<std::size_t>(me)];
 
+    // Per-thread checkpoint (lockstep across threads; see cc_coalesced).
+    struct Checkpoint {
+      std::vector<std::uint64_t> d, eu, ev, ew, eid;
+      std::size_t mst_size = 0;
+      std::uint64_t weight = 0;
+      int it = 0;
+      bool valid = false;
+    } ck;
+    std::uint64_t seen_outages = ckpt_on ? finj->outage_events() : 0;
+
     int it = 0;
-    for (;; ++it) {
-      if (it >= max_iters) {
+    for (int executed = 0;; ++it, ++executed) {
+      if (it >= max_iters || executed >= 4 * max_iters + 64) {
         overran.store(true, std::memory_order_relaxed);
         break;
+      }
+
+      if (ckpt_on) {
+        const std::uint64_t ev_now = finj->outage_events();
+        if (ev_now != seen_outages && ck.valid) {
+          auto blk = d.local_span(me);
+          std::copy(ck.d.begin(), ck.d.end(), blk.begin());
+          eu = ck.eu;
+          ev = ck.ev;
+          ew = ck.ew;
+          eid = ck.eid;
+          my_mst.resize(ck.mst_size);
+          mst_weight[static_cast<std::size_t>(me)] = ck.weight;
+          it = ck.it;
+          ws_u.invalidate_keys();
+          ws_v.invalidate_keys();
+          ws_jump.invalidate_keys();
+          ws_misc.invalidate_keys();
+          ws_cand.invalidate_keys();
+          ctx.mem_seq(
+              (ck.d.size() + eu.size() * 4 + my_mst.size()) *
+                  sizeof(std::uint64_t),
+              Cat::Copy);
+          if (me == 0) finj->count_rollback();
+          ctx.barrier();  // restores visible before the next getd serves
+        } else if (ev_now == seen_outages &&
+                   !finj->outage_active(ctx.epoch())) {
+          auto blk = d.local_span(me);
+          ck.d.assign(blk.begin(), blk.end());
+          ck.eu = eu;
+          ck.ev = ev;
+          ck.ew = ew;
+          ck.eid = eid;
+          ck.mst_size = my_mst.size();
+          ck.weight = mst_weight[static_cast<std::size_t>(me)];
+          ck.it = it;
+          ck.valid = true;
+          ctx.mem_seq(
+              (ck.d.size() + eu.size() * 4 + my_mst.size()) *
+                  sizeof(std::uint64_t),
+              Cat::Copy);
+          if (me == 0) finj->count_checkpoint();
+        }
+        seen_outages = ev_now;
       }
 
       // --- step 1: labels of both endpoints of every active edge.

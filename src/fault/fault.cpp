@@ -1,0 +1,310 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pgraph::fault {
+
+namespace {
+
+/// Per-fault-kind hash streams, so e.g. the drop draw of a message never
+/// correlates with its duplicate draw.
+enum Stream : std::uint64_t {
+  kStreamDrop = 0x11,
+  kStreamDup = 0x22,
+  kStreamDelay = 0x33,
+  kStreamCorrupt = 0x44,
+  kStreamStraggle = 0x55,
+  kStreamOutage = 0x66,
+};
+
+}  // namespace
+
+std::uint64_t checksum_words(const void* p, std::size_t bytes) {
+  const unsigned char* b = static_cast<const unsigned char*>(p);
+  std::uint64_t sum = 0x3c79ac492ba7b653ull;
+  std::size_t i = 0;
+  std::uint64_t w = 0;
+  for (; i + 8 <= bytes; i += 8) {
+    std::memcpy(&w, b + i, 8);
+    sum = mix64(sum ^ mix64(w + i));
+  }
+  if (i < bytes) {
+    w = 0;
+    std::memcpy(&w, b + i, bytes - i);
+    sum = mix64(sum ^ mix64(w + i));
+  }
+  return sum;
+}
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::MsgDrop: return "msg-drop";
+    case FaultKind::MsgDuplicate: return "msg-duplicate";
+    case FaultKind::MsgDelay: return "msg-delay";
+    case FaultKind::Corruption: return "corruption";
+    case FaultKind::Straggler: return "straggler";
+    case FaultKind::Outage: return "outage";
+    case FaultKind::RetryExhausted: return "retry-exhausted";
+  }
+  return "?";
+}
+
+double FaultConfig::backoff_ns_for(int attempt) const {
+  double ns = retry_backoff_ns;
+  for (int i = 0; i < attempt && ns < backoff_cap_ns; ++i) ns *= 2.0;
+  return std::min(ns, backoff_cap_ns);
+}
+
+FaultConfig FaultConfig::parse(const std::string& spec, std::uint64_t seed) {
+  FaultConfig cfg;
+  cfg.seed = seed;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("faults: expected key=value, got '" + item +
+                                  "'");
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    double v = 0.0;
+    try {
+      std::size_t used = 0;
+      v = std::stod(val, &used);
+      if (used != val.size()) throw std::invalid_argument(val);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("faults: bad value for '" + key + "': '" +
+                                  val + "'");
+    }
+    if (key == "drop") cfg.drop_p = v;
+    else if (key == "dup") cfg.dup_p = v;
+    else if (key == "delay") cfg.delay_p = v;
+    else if (key == "delay_ns") cfg.delay_ns = v;
+    else if (key == "corrupt") cfg.corrupt_p = v;
+    else if (key == "straggle") cfg.straggle_p = v;
+    else if (key == "straggle_ns") cfg.straggle_ns = v;
+    else if (key == "outage_every") cfg.outage_every = static_cast<std::uint64_t>(v);
+    else if (key == "outage_k") cfg.outage_k = static_cast<int>(v);
+    else if (key == "retries") cfg.max_retries = static_cast<int>(v);
+    else if (key == "timeout_ns") cfg.ack_timeout_ns = v;
+    else if (key == "backoff_ns") cfg.retry_backoff_ns = v;
+    else if (key == "cap_ns") cfg.backoff_cap_ns = v;
+    else
+      throw std::invalid_argument("faults: unknown key '" + key + "'");
+  }
+  for (double p : {cfg.drop_p, cfg.dup_p, cfg.delay_p, cfg.corrupt_p,
+                   cfg.straggle_p})
+    if (p < 0.0 || p > 1.0)
+      throw std::invalid_argument("faults: probabilities must be in [0,1]");
+  if (cfg.outage_every > 0) {
+    // A window must be shorter than its period or the node never recovers.
+    cfg.outage_k = std::clamp<int>(cfg.outage_k, 1,
+                                   static_cast<int>(cfg.outage_every) - 1);
+  }
+  cfg.max_retries = std::max(cfg.max_retries, 0);
+  return cfg;
+}
+
+std::uint64_t FaultInjector::draw(std::uint64_t stream, std::uint64_t a,
+                                  std::uint64_t b, std::uint64_t c) const {
+  std::uint64_t h = mix64(cfg_.seed ^ (stream << 56));
+  h = mix64(h ^ a);
+  h = mix64(h ^ b);
+  h = mix64(h ^ c);
+  return h;
+}
+
+int FaultInjector::down_node(int nodes, std::uint64_t epoch) const {
+  if (cfg_.outage_every == 0 || nodes <= 1) return -1;
+  const std::uint64_t j = epoch / cfg_.outage_every;
+  if (j == 0) return -1;  // warm-up period: no outage before one full cycle
+  if (epoch % cfg_.outage_every >= static_cast<std::uint64_t>(cfg_.outage_k))
+    return -1;
+  return static_cast<int>(draw(kStreamOutage, j, 0, 0) %
+                          static_cast<std::uint64_t>(nodes));
+}
+
+bool FaultInjector::outage_active(std::uint64_t epoch) const {
+  if (cfg_.outage_every == 0) return false;
+  if (epoch / cfg_.outage_every == 0) return false;
+  return epoch % cfg_.outage_every <
+         static_cast<std::uint64_t>(cfg_.outage_k);
+}
+
+bool FaultInjector::outage_ends_at(std::uint64_t epoch) const {
+  return outage_active(epoch) && !outage_active(epoch + 1);
+}
+
+void FaultInjector::raise_outage_event() {
+  c_outage_events_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+ExchangeFaults FaultInjector::apply_exchange(
+    machine::ExchangePlan& plan, const std::vector<std::int32_t>& thread_node,
+    int nodes, std::uint64_t epoch, int attempt) {
+  ExchangeFaults out;
+  if (!cfg_.network_faults()) return out;
+  const int down = down_node(nodes, epoch);
+  const std::uint64_t att = static_cast<std::uint64_t>(attempt);
+  for (std::size_t thr = 0; thr < plan.size(); ++thr) {
+    auto& lst = plan[thr];
+    const int src = thr < thread_node.size() ? thread_node[thr] : 0;
+    const std::size_t base_n = lst.size();
+    for (std::size_t k = 0; k < base_n; ++k) {
+      machine::ExchangeMsg m = lst[k];
+      const std::uint64_t actor = (static_cast<std::uint64_t>(thr) << 32) | k;
+      if (down >= 0 && (src == down || m.dst_node == down)) {
+        m.dropped = true;
+        lst[k] = m;
+        ++out.outage_drops;
+        c_outage_drops_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (cfg_.drop_p > 0.0 &&
+          unit(draw(kStreamDrop, epoch, att, actor)) < cfg_.drop_p) {
+        m.dropped = true;
+        lst[k] = m;
+        c_drops_.fetch_add(1, std::memory_order_relaxed);
+        machine::ExchangeMsg clean = m;
+        clean.dropped = false;
+        clean.extra_delay_ns = 0.0;
+        out.retry.emplace_back(thr, clean);
+        continue;
+      }
+      if (cfg_.delay_p > 0.0 &&
+          unit(draw(kStreamDelay, epoch, att, actor)) < cfg_.delay_p) {
+        m.extra_delay_ns += cfg_.delay_ns;
+        c_delays_.fetch_add(1, std::memory_order_relaxed);
+      }
+      lst[k] = m;
+      if (cfg_.dup_p > 0.0 &&
+          unit(draw(kStreamDup, epoch, att, actor)) < cfg_.dup_p) {
+        // The duplicate burns send and receive NIC time; the payload is
+        // idempotent (same shared-memory data), so nothing else changes.
+        lst.push_back(m);
+        c_duplicates_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  return out;
+}
+
+double FaultInjector::straggler_delay_ns(std::uint64_t epoch, int thread) {
+  if (cfg_.straggle_p <= 0.0) return 0.0;
+  const std::uint64_t h =
+      draw(kStreamStraggle, epoch, static_cast<std::uint64_t>(thread), 0);
+  if (unit(h) >= cfg_.straggle_p) return 0.0;
+  c_straggles_.fetch_add(1, std::memory_order_relaxed);
+  // 0.5x .. 1.5x of the configured magnitude, deterministically jittered.
+  return cfg_.straggle_ns * (0.5 + unit(mix64(h)));
+}
+
+int FaultInjector::corrupt(void* buf, std::size_t bytes, std::uint64_t epoch,
+                           int thread, int tag) {
+  if (cfg_.corrupt_p <= 0.0 || bytes < 8) return 0;
+  const std::uint64_t h =
+      draw(kStreamCorrupt, epoch,
+           (static_cast<std::uint64_t>(thread) << 8) |
+               static_cast<std::uint64_t>(tag & 0xff),
+           bytes);
+  if (unit(h) >= cfg_.corrupt_p) return 0;
+  const std::size_t word = mix64(h ^ 0x5bd1e995u) % (bytes / 8);
+  unsigned char* addr = static_cast<unsigned char*>(buf) + word * 8;
+  std::uint64_t orig = 0;
+  std::memcpy(&orig, addr, 8);
+  // A nonzero mask guarantees the value (and the checksum) changes.
+  const std::uint64_t flipped = orig ^ (mix64(h ^ 0xabcdULL) | 1ull);
+  std::memcpy(addr, &flipped, 8);
+  {
+    std::lock_guard<std::mutex> lock(corrupt_mu_);
+    corrupt_events_.push_back({addr, orig});
+  }
+  c_corruptions_.fetch_add(1, std::memory_order_relaxed);
+  return 1;
+}
+
+int FaultInjector::repair(void* buf, std::size_t bytes) {
+  unsigned char* lo = static_cast<unsigned char*>(buf);
+  unsigned char* hi = lo + bytes;
+  int restored = 0;
+  std::lock_guard<std::mutex> lock(corrupt_mu_);
+  for (std::size_t i = 0; i < corrupt_events_.size();) {
+    CorruptEvent& e = corrupt_events_[i];
+    if (e.addr >= lo && e.addr < hi) {
+      std::memcpy(e.addr, &e.original, 8);
+      e = corrupt_events_.back();
+      corrupt_events_.pop_back();
+      ++restored;
+    } else {
+      ++i;
+    }
+  }
+  if (restored > 0)
+    c_repairs_.fetch_add(static_cast<std::uint64_t>(restored),
+                         std::memory_order_relaxed);
+  return restored;
+}
+
+void FaultInjector::count_retransmits(std::size_t n) {
+  c_retransmits_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void FaultInjector::count_retry_wait(double ns) {
+  c_retry_wait_ns_.fetch_add(static_cast<std::uint64_t>(ns),
+                             std::memory_order_relaxed);
+}
+
+void FaultInjector::count_detected() {
+  c_detected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::count_rollback() {
+  c_rollbacks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::count_checkpoint() {
+  c_checkpoints_.fetch_add(1, std::memory_order_relaxed);
+}
+
+FaultCounters FaultInjector::counters() const {
+  FaultCounters c;
+  c.drops = c_drops_.load(std::memory_order_relaxed);
+  c.duplicates = c_duplicates_.load(std::memory_order_relaxed);
+  c.delays = c_delays_.load(std::memory_order_relaxed);
+  c.outage_drops = c_outage_drops_.load(std::memory_order_relaxed);
+  c.retransmits = c_retransmits_.load(std::memory_order_relaxed);
+  c.corruptions = c_corruptions_.load(std::memory_order_relaxed);
+  c.detected = c_detected_.load(std::memory_order_relaxed);
+  c.repairs = c_repairs_.load(std::memory_order_relaxed);
+  c.straggles = c_straggles_.load(std::memory_order_relaxed);
+  c.outage_events = c_outage_events_.load(std::memory_order_acquire);
+  c.rollbacks = c_rollbacks_.load(std::memory_order_relaxed);
+  c.checkpoints = c_checkpoints_.load(std::memory_order_relaxed);
+  c.retry_wait_ns = c_retry_wait_ns_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void FaultInjector::reset_counters() {
+  c_drops_ = 0;
+  c_duplicates_ = 0;
+  c_delays_ = 0;
+  c_outage_drops_ = 0;
+  c_retransmits_ = 0;
+  c_corruptions_ = 0;
+  c_detected_ = 0;
+  c_repairs_ = 0;
+  c_straggles_ = 0;
+  c_outage_events_ = 0;
+  c_rollbacks_ = 0;
+  c_checkpoints_ = 0;
+  c_retry_wait_ns_ = 0;
+  std::lock_guard<std::mutex> lock(corrupt_mu_);
+  corrupt_events_.clear();
+}
+
+}  // namespace pgraph::fault

@@ -1,0 +1,235 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "machine/exchange_sim.hpp"
+
+namespace pgraph::fault {
+
+/// Deterministic fault injection for the simulated PGAS machine.
+///
+/// The simulator moves real data through shared memory and models *time*;
+/// faults follow the same split.  Drops, duplicates, delays and stragglers
+/// perturb modeled time and control flow but never lose committed data —
+/// a dropped exchange message costs its sender an ack timeout and a
+/// retransmission (exponential backoff, charged to the clock, capped by
+/// `max_retries`; exhaustion surfaces as a collective FaultError).  Payload
+/// corruption flips real bits in staged collective buffers; the injector
+/// records the originals so that the checksum-validate-retransmit protocol
+/// in getd/setd can restore them at exactly the modeled cost of a
+/// retransmission.  Node outages drop all exchange traffic of one node for
+/// K consecutive supersteps and raise a recovery event that checkpointing
+/// algorithms (cc_coalesced, mst_pgas) answer with a rollback.
+///
+/// Every decision is a pure hash of (seed, stream, epoch, actor, attempt):
+/// two runs over the same epoch sequence draw identical faults, so chaos
+/// tests are reproducible bit-for-bit.  See docs/ROBUSTNESS.md.
+
+/// splitmix64 finalizer: the one hash both the draws and the checksums use.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Position-mixed word checksum over raw bytes (trailing partial word
+/// zero-padded).  Any single flipped word changes the sum.
+std::uint64_t checksum_words(const void* p, std::size_t bytes);
+
+enum class FaultKind : std::uint8_t {
+  MsgDrop = 0,
+  MsgDuplicate,
+  MsgDelay,
+  Corruption,
+  Straggler,
+  Outage,
+  RetryExhausted,
+};
+
+const char* fault_kind_name(FaultKind k);
+
+/// Typed failure surfaced when the recovery protocol gives up (retry limit
+/// exceeded).  Thrown collectively: every SPMD thread of the run throws
+/// after the same barrier, so Runtime::run can unwind without deadlock.
+class FaultError : public std::runtime_error {
+ public:
+  FaultError(FaultKind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+  FaultKind kind() const { return kind_; }
+
+ private:
+  FaultKind kind_;
+};
+
+/// A seeded fault plan plus the retry-protocol constants.  Parsed from the
+/// harness `--faults` spec: comma-separated key=value pairs, e.g.
+///   drop=0.02,dup=0.01,delay=0.05,corrupt=0.1,straggle=0.1,outage_every=50
+/// Keys: drop dup delay delay_ns corrupt straggle straggle_ns outage_every
+/// outage_k retries timeout_ns backoff_ns cap_ns.
+struct FaultConfig {
+  std::uint64_t seed = 1;
+
+  // Per-message exchange faults (drawn once per message per attempt).
+  double drop_p = 0.0;
+  double dup_p = 0.0;
+  double delay_p = 0.0;
+  double delay_ns = 20000.0;  ///< extra in-flight latency when delayed
+
+  // Per-buffer payload corruption in the collectives (one word flipped).
+  double corrupt_p = 0.0;
+
+  // Per-(thread, superstep) straggler probability and magnitude.
+  double straggle_p = 0.0;
+  double straggle_ns = 50000.0;
+
+  // Transient node outages: every `outage_every` epochs one pseudo-random
+  // node loses its exchange traffic for `outage_k` consecutive supersteps
+  // (0 disables outages).
+  std::uint64_t outage_every = 0;
+  int outage_k = 2;
+
+  // Recovery protocol (modeled time).
+  int max_retries = 6;
+  double ack_timeout_ns = 8000.0;
+  double retry_backoff_ns = 4000.0;
+  double backoff_cap_ns = 262144.0;
+
+  bool corruption_enabled() const { return corrupt_p > 0.0; }
+  bool network_faults() const {
+    return drop_p > 0.0 || dup_p > 0.0 || delay_p > 0.0 || outage_every > 0;
+  }
+  bool any_faults() const {
+    return network_faults() || corruption_enabled() || straggle_p > 0.0;
+  }
+  double backoff_ns_for(int attempt) const;
+
+  /// Parse a `--faults` spec; throws std::invalid_argument on unknown keys
+  /// or malformed values.  An empty spec is a valid all-zero plan.
+  static FaultConfig parse(const std::string& spec, std::uint64_t seed);
+};
+
+/// Monotone event counters (snapshot; see FaultInjector::counters).
+struct FaultCounters {
+  std::uint64_t drops = 0;         ///< retryable exchange-message drops
+  std::uint64_t duplicates = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t outage_drops = 0;  ///< non-retryable (node down)
+  std::uint64_t retransmits = 0;   ///< messages re-sent after a timeout
+  std::uint64_t corruptions = 0;   ///< words flipped in staged payloads
+  std::uint64_t detected = 0;      ///< checksum mismatches caught
+  std::uint64_t repairs = 0;       ///< words restored by retransmission
+  std::uint64_t straggles = 0;
+  std::uint64_t outage_events = 0; ///< outage windows that ended (rollback
+                                   ///< triggers for checkpointing loops)
+  std::uint64_t rollbacks = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t retry_wait_ns = 0; ///< modeled ack-timeout + backoff time
+};
+
+/// What one fault pass over an exchange plan produced: the retryable lost
+/// messages (keyed by sending thread) and the count of outage drops, which
+/// time out once but are not retransmitted while the node is down.
+struct ExchangeFaults {
+  std::vector<std::pair<std::size_t, machine::ExchangeMsg>> retry;
+  std::uint64_t outage_drops = 0;
+};
+
+/// The seeded injector.  One instance serves a whole bench process; it is
+/// attached to a Runtime (Runtime::set_fault_injector) and shared by the
+/// collectives' checksum protocol and the algorithms' checkpoint loops.
+/// Counter methods are thread-safe; apply_exchange and the outage/straggler
+/// draws are called from the barrier completion step (single-threaded).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig cfg) : cfg_(cfg) {}
+
+  const FaultConfig& config() const { return cfg_; }
+
+  // --- exchange phase (machine layer) ----------------------------------
+  /// Mutate `plan` in place for one delivery attempt: mark drops (the
+  /// sender still occupies its NIC; nothing arrives), append duplicates,
+  /// and add in-flight delays.  Messages to or from a down node are
+  /// dropped non-retryably.  Returns the retryable losses.
+  ExchangeFaults apply_exchange(machine::ExchangePlan& plan,
+                                const std::vector<std::int32_t>& thread_node,
+                                int nodes, std::uint64_t epoch, int attempt);
+
+  // --- outages ----------------------------------------------------------
+  /// Node that is down during `epoch`, or -1.
+  int down_node(int nodes, std::uint64_t epoch) const;
+  bool outage_active(std::uint64_t epoch) const;
+  /// True iff `epoch` is the last superstep of an outage window; the
+  /// runtime raises one recovery event per window at that barrier.
+  bool outage_ends_at(std::uint64_t epoch) const;
+  void raise_outage_event();
+  std::uint64_t outage_events() const {
+    return c_outage_events_.load(std::memory_order_acquire);
+  }
+
+  // --- stragglers -------------------------------------------------------
+  /// Extra modeled delay for `thread` in the superstep ending at `epoch`
+  /// (0 for non-straggling threads); counts the event when it fires.
+  double straggler_delay_ns(std::uint64_t epoch, int thread);
+
+  // --- payload corruption ----------------------------------------------
+  /// Maybe flip one aligned word inside [buf, buf+bytes), keyed on
+  /// (epoch, thread, tag); records the original for repair().  Returns
+  /// the number of words flipped (0 or 1).
+  int corrupt(void* buf, std::size_t bytes, std::uint64_t epoch, int thread,
+              int tag);
+  /// Restore every recorded corruption inside [buf, buf+bytes) — the
+  /// modeled retransmission delivering a clean copy.  Returns the number
+  /// of words restored.
+  int repair(void* buf, std::size_t bytes);
+
+  // --- bookkeeping ------------------------------------------------------
+  void count_retransmits(std::size_t n);
+  void count_retry_wait(double ns);
+  void count_detected();
+  void count_rollback();
+  void count_checkpoint();
+
+  FaultCounters counters() const;
+  void reset_counters();
+
+ private:
+  std::uint64_t draw(std::uint64_t stream, std::uint64_t a, std::uint64_t b,
+                     std::uint64_t c) const;
+  /// Uniform [0,1) from a draw.
+  static double unit(std::uint64_t h) {
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+  }
+
+  FaultConfig cfg_;
+
+  struct CorruptEvent {
+    unsigned char* addr = nullptr;
+    std::uint64_t original = 0;
+  };
+  mutable std::mutex corrupt_mu_;
+  std::vector<CorruptEvent> corrupt_events_;
+
+  std::atomic<std::uint64_t> c_drops_{0};
+  std::atomic<std::uint64_t> c_duplicates_{0};
+  std::atomic<std::uint64_t> c_delays_{0};
+  std::atomic<std::uint64_t> c_outage_drops_{0};
+  std::atomic<std::uint64_t> c_retransmits_{0};
+  std::atomic<std::uint64_t> c_corruptions_{0};
+  std::atomic<std::uint64_t> c_detected_{0};
+  std::atomic<std::uint64_t> c_repairs_{0};
+  std::atomic<std::uint64_t> c_straggles_{0};
+  std::atomic<std::uint64_t> c_outage_events_{0};
+  std::atomic<std::uint64_t> c_rollbacks_{0};
+  std::atomic<std::uint64_t> c_checkpoints_{0};
+  std::atomic<std::uint64_t> c_retry_wait_ns_{0};
+};
+
+}  // namespace pgraph::fault

@@ -39,10 +39,15 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
       a.json_path = next();
     else if (is("--trace"))
       a.trace_path = next();
+    else if (is("--faults"))
+      a.faults = next();
+    else if (is("--fault-seed"))
+      a.fault_seed = std::strtoull(next(), nullptr, 10);
     else if (is("--help") || is("-h")) {
       std::printf(
           "flags: --n N --m M --nodes P --threads T --tprime T' "
-          "--seed S --scale F --csv --json PATH --trace PATH\n");
+          "--seed S --scale F --csv --json PATH --trace PATH "
+          "--faults SPEC --fault-seed S\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", argv[i]);

@@ -14,6 +14,9 @@ namespace pgraph::harness {
 ///   --csv             (emit CSV instead of aligned tables)
 ///   --json <path>     (write a machine-readable BENCH_*.json report)
 ///   --trace <path>    (write a Chrome/Perfetto trace.json of the run)
+///   --faults <spec>   (fault-injection plan, e.g. "drop=0.01,corrupt=0.005";
+///                      see fault::FaultConfig::parse and docs/ROBUSTNESS.md)
+///   --fault-seed <s>  (seed of the deterministic fault plan; default 1)
 struct BenchArgs {
   std::uint64_t n = 0;  ///< 0 = bench default
   std::uint64_t m = 0;
@@ -25,6 +28,8 @@ struct BenchArgs {
   bool csv = false;
   std::string json_path;   ///< empty = no JSON report
   std::string trace_path;  ///< empty = no trace
+  std::string faults;      ///< empty = no fault injection
+  std::uint64_t fault_seed = 1;
 
   static BenchArgs parse(int argc, char** argv);
 

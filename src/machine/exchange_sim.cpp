@@ -2,15 +2,31 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 namespace pgraph::machine {
 
 namespace {
+
 struct InFlight {
   double arrival;
   std::int32_t dst_node;
   double service;
 };
+
+/// Bounds-check a node index from the plan: assert in debug builds, clamp
+/// with a diagnostic in release builds (a malformed plan must not turn
+/// into an out-of-range indexing).
+inline std::int32_t checked_node(std::int32_t v, int nodes,
+                                 const char* what) {
+  if (v >= 0 && v < nodes) return v;
+  assert(!"exchange_sim: node index out of range");
+  std::fprintf(stderr,
+               "exchange_sim: %s %d out of range [0, %d); clamping\n", what,
+               static_cast<int>(v), nodes);
+  return v < 0 ? 0 : nodes - 1;
+}
+
 }  // namespace
 
 double exchange_duration_ns(const ExchangePlan& plan,
@@ -18,7 +34,7 @@ double exchange_duration_ns(const ExchangePlan& plan,
                             int nodes, double latency_ns,
                             ExchangeNodeStats* node_stats) {
   assert(plan.size() == thread_node.size());
-  const std::size_t nthreads = plan.size();
+  const std::size_t nthreads = std::min(plan.size(), thread_node.size());
 
   if (node_stats != nullptr)
     std::fill(node_stats, node_stats + nodes, ExchangeNodeStats{});
@@ -30,6 +46,13 @@ double exchange_duration_ns(const ExchangePlan& plan,
     total_msgs += lst.size();
   }
   if (total_msgs == 0) return 0.0;
+  if (nodes <= 0) {
+    assert(!"exchange_sim: messages posted with no nodes");
+    std::fprintf(stderr,
+                 "exchange_sim: %zu messages but nodes=%d; ignoring plan\n",
+                 total_msgs, nodes);
+    return 0.0;
+  }
 
   // Sender side: serialize each node's messages on its send NIC, visiting
   // threads step-by-step (step k of every thread before step k+1).
@@ -41,17 +64,22 @@ double exchange_duration_ns(const ExchangePlan& plan,
     for (std::size_t thr = 0; thr < nthreads; ++thr) {
       if (step >= plan[thr].size()) continue;
       const ExchangeMsg& m = plan[thr][step];
-      const std::int32_t src = thread_node[thr];
+      const std::int32_t src =
+          checked_node(thread_node[thr], nodes, "thread_node");
       const double depart = send_free[src] + m.service_ns;
       send_free[src] = depart;
       sender_finish = std::max(sender_finish, depart);
-      inflight.push_back({depart + latency_ns, m.dst_node, m.service_ns});
       if (node_stats != nullptr) {
         ExchangeNodeStats& s = node_stats[src];
         s.send_busy_ns += m.service_ns;
         s.send_finish_ns = std::max(s.send_finish_ns, depart);
         ++s.msgs_out;
       }
+      // A dropped message burned its send slot but never arrives.
+      if (m.dropped) continue;
+      const std::int32_t dst = checked_node(m.dst_node, nodes, "dst_node");
+      inflight.push_back(
+          {depart + latency_ns + m.extra_delay_ns, dst, m.service_ns});
     }
   }
 

@@ -11,6 +11,10 @@ namespace pgraph::machine {
 struct ExchangeMsg {
   std::int32_t dst_node = 0;
   double service_ns = 0.0;  ///< NIC occupancy o + b/B for this message
+  std::uint32_t wire_bytes = 0;   ///< payload + header (retransmit pricing)
+  double extra_delay_ns = 0.0;    ///< fault-injected in-flight delay
+  bool dropped = false;           ///< fault-injected loss: the sender still
+                                  ///< occupies its NIC, nothing arrives
 };
 
 /// Per-thread ordered send list for one exchange phase (issue order matters:
@@ -51,6 +55,11 @@ struct ExchangeNodeStats {
 /// `thread_node[i]` maps thread i to its node.  Returns the phase duration.
 /// When `node_stats` is non-null it must point at `nodes` entries, which
 /// are overwritten with the per-node occupancy breakdown.
+///
+/// Node indices (`thread_node[i]` and each message's `dst_node`) are
+/// validated against [0, nodes): a malformed plan asserts in debug builds
+/// and is clamped with a stderr diagnostic in release builds instead of
+/// silently indexing out of range.
 double exchange_duration_ns(const ExchangePlan& plan,
                             const std::vector<std::int32_t>& thread_node,
                             int nodes, double latency_ns,

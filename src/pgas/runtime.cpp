@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
+#include <string>
 #include <thread>
 
 #include "analysis/access_checker.hpp"
@@ -160,13 +162,27 @@ void ThreadCtx::post_exchange_msg(int dst_thread, std::size_t bytes) {
     return;
   }
   const std::size_t wire = bytes + 16;  // header
-  pending_.push_back({static_cast<std::int32_t>(dst_node),
-                      rt_->net().msg_service_ns(wire)});
+  machine::ExchangeMsg msg;
+  msg.dst_node = static_cast<std::int32_t>(dst_node);
+  msg.service_ns = rt_->net().msg_service_ns(wire);
+  msg.wire_bytes = static_cast<std::uint32_t>(wire);
+  pending_.push_back(msg);
   rt_->net().count_message(wire);
   checker_charged(id_, bytes);
 }
 
-void ThreadCtx::exchange_barrier() { rt_->barrier_sync(*this, true); }
+void ThreadCtx::exchange_barrier() {
+  rt_->barrier_sync(*this, true);
+  // Retry exhaustion is detected in the completion step, so every thread
+  // of this barrier observes it and throws together (collective failure;
+  // Runtime::run unwinds without deadlock).
+  if (rt_->fault_failed_.load(std::memory_order_relaxed)) {
+    throw fault::FaultError(
+        fault::FaultKind::RetryExhausted,
+        "exchange retransmission retries exhausted (epoch " +
+            std::to_string(rt_->epoch_) + ")");
+  }
+}
 
 void ThreadCtx::barrier() { rt_->barrier_sync(*this, false); }
 
@@ -204,18 +220,30 @@ Runtime::~Runtime() {
 
 void Runtime::run(const std::function<void(ThreadCtx&)>& f) {
   const int s = topo_.total_threads();
+  fault_failed_.store(false, std::memory_order_relaxed);
+  std::exception_ptr first_error;
+  std::mutex error_mu;
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(s));
   for (int i = 0; i < s; ++i) {
-    threads.emplace_back([this, &f, i] {
+    threads.emplace_back([this, &f, &first_error, &error_mu, i] {
       ThreadCtx ctx(*this, i);
       slots_[static_cast<std::size_t>(i)].ctx = &ctx;
       t_current_ctx = &ctx;
       // Initial sync: every slot registered before anyone proceeds.
       barrier_sync(ctx, false);
-      f(ctx);
+      bool ok = true;
+      try {
+        f(ctx);
+      } catch (...) {
+        // FaultError is thrown collectively (all threads, same barrier),
+        // so nobody is left waiting for us at the final barrier.
+        ok = false;
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
       // Final alignment so modeled_time_ns() reflects the critical path.
-      barrier_sync(ctx, false);
+      if (ok) barrier_sync(ctx, false);
       saved_clocks_[static_cast<std::size_t>(i)] = ctx.clock_;
       saved_stats_[static_cast<std::size_t>(i)] = ctx.stats_;
       slots_[static_cast<std::size_t>(i)].ctx = nullptr;
@@ -224,6 +252,15 @@ void Runtime::run(const std::function<void(ThreadCtx&)>& f) {
   }
   for (auto& t : threads) t.join();
   finish_ns_ = last_barrier_ns_;
+  if (first_error) {
+    // All threads threw after the same barrier, so no arrival is pending;
+    // rebuild the phase-synchronization barrier anyway so a later run()
+    // starts from a known-clean state.
+    bar_ = std::make_unique<std::barrier<std::function<void()>>>(
+        topo_.total_threads(),
+        std::function<void()>([this] { on_barrier(); }));
+    std::rethrow_exception(first_error);
+  }
 }
 
 void Runtime::accrue_bus(int node, double ns) {
@@ -266,6 +303,8 @@ void Runtime::set_trace_sink(TraceSink* sink) {
   trace_prev_msgs_ = net_->total_messages();
   trace_prev_bytes_ = net_->total_bytes();
   trace_prev_fine_ = net_->fine_messages();
+  trace_prev_faults_ =
+      fault_ != nullptr ? fault_->counters() : fault::FaultCounters{};
 }
 
 void Runtime::reset_costs() {
@@ -277,8 +316,12 @@ void Runtime::reset_costs() {
   net_ = std::make_unique<machine::NetworkModel>(params_, topo_.nodes);
   drain_bus_max_ns();
   last_verdict_ = BarrierVerdict{};
-  // The fresh NetworkModel's counters restart at zero.
+  // The fresh NetworkModel's counters restart at zero; the external fault
+  // injector's do not, so re-baseline the fault deltas instead.
   trace_prev_msgs_ = trace_prev_bytes_ = trace_prev_fine_ = 0;
+  trace_prev_faults_ =
+      fault_ != nullptr ? fault_->counters() : fault::FaultCounters{};
+  fault_failed_.store(false, std::memory_order_relaxed);
 }
 
 machine::PhaseStats Runtime::critical_stats() const {
@@ -302,6 +345,21 @@ void Runtime::on_barrier() {
   const int s = topo_.total_threads();
   const bool traced = sink_ != nullptr;
   const double t_start = last_barrier_ns_;
+
+  // Straggler injection: perturb per-thread clocks before they compete in
+  // the barrier max (a slow thread is indistinguishable from one that did
+  // more work).  Gated on the rate so a zero-fault plan costs nothing.
+  if (fault_ != nullptr && fault_->config().straggle_p > 0.0) {
+    for (int i = 0; i < s; ++i) {
+      const double d = fault_->straggler_delay_ns(epoch_, i);
+      if (d > 0.0) {
+        ThreadCtx* c = slots_[static_cast<std::size_t>(i)].ctx;
+        c->clock_ += d;
+        c->stats_.add(machine::Cat::Comm, d);
+      }
+    }
+  }
+
   double max_clock = 0.0;
   bool any_exchange = false;
   for (int i = 0; i < s; ++i) {
@@ -339,9 +397,65 @@ void Runtime::on_barrier() {
       c->pending_.clear();
     }
     if (traced) exch_nodes.resize(static_cast<std::size_t>(topo_.nodes));
-    exch_dur = machine::exchange_duration_ns(
-        plan, thread_node_, topo_.nodes, params_.net_latency_ns,
-        traced ? exch_nodes.data() : nullptr);
+    std::vector<machine::ExchangeNodeStats> attempt_nodes(
+        traced ? static_cast<std::size_t>(topo_.nodes) : 0);
+    // Ack/timeout protocol in modeled time: the injector marks each
+    // attempt's losses, the sweep prices what actually flew, and lost
+    // messages are retransmitted after a timeout plus exponential backoff
+    // until delivered or the retry budget is exhausted (collective
+    // FaultError).  Outage losses time out once but are not retried while
+    // the node is down — the checkpoint/rollback path recovers those.
+    int attempt = 0;
+    for (;;) {
+      fault::ExchangeFaults ef;
+      if (fault_ != nullptr)
+        ef = fault_->apply_exchange(plan, thread_node_, topo_.nodes, epoch_,
+                                    attempt);
+      const double before = exch_dur;
+      exch_dur += machine::exchange_duration_ns(
+          plan, thread_node_, topo_.nodes, params_.net_latency_ns,
+          traced ? attempt_nodes.data() : nullptr);
+      if (traced) {
+        for (int n = 0; n < topo_.nodes; ++n) {
+          machine::ExchangeNodeStats& acc =
+              exch_nodes[static_cast<std::size_t>(n)];
+          const machine::ExchangeNodeStats& a =
+              attempt_nodes[static_cast<std::size_t>(n)];
+          acc.send_busy_ns += a.send_busy_ns;
+          acc.recv_busy_ns += a.recv_busy_ns;
+          acc.send_finish_ns =
+              std::max(acc.send_finish_ns, before + a.send_finish_ns);
+          acc.recv_finish_ns =
+              std::max(acc.recv_finish_ns, before + a.recv_finish_ns);
+          acc.msgs_out += a.msgs_out;
+          acc.msgs_in += a.msgs_in;
+        }
+      }
+      if (fault_ == nullptr) break;
+      const fault::FaultConfig& fc = fault_->config();
+      if (ef.outage_drops > 0 || !ef.retry.empty()) {
+        // Senders discover the losses by ack timeout.
+        exch_dur += fc.ack_timeout_ns;
+        fault_->count_retry_wait(fc.ack_timeout_ns);
+      }
+      if (ef.retry.empty()) break;
+      if (attempt >= fc.max_retries) {
+        fault_failed_.store(true, std::memory_order_relaxed);
+        break;
+      }
+      const double backoff = fc.backoff_ns_for(attempt);
+      exch_dur += backoff;
+      fault_->count_retry_wait(backoff);
+      // Rebuild the plan from the lost messages only and go again; the
+      // retransmissions are real traffic for the message counters.
+      for (auto& lst : plan) lst.clear();
+      for (const auto& [thr, msg] : ef.retry) {
+        plan[thr].push_back(msg);
+        net_->count_message(msg.wire_bytes);
+      }
+      fault_->count_retransmits(ef.retry.size());
+      ++attempt;
+    }
   }
 
   // The four competing terms of the barrier max; the largest wins and is
@@ -424,8 +538,24 @@ void Runtime::on_barrier() {
     trace_prev_msgs_ = msgs;
     trace_prev_bytes_ = bytes;
     trace_prev_fine_ = fine;
+    if (fault_ != nullptr) {
+      const fault::FaultCounters fc = fault_->counters();
+      const fault::FaultCounters& pv = trace_prev_faults_;
+      rec.fault_drops_delta =
+          (fc.drops + fc.outage_drops) - (pv.drops + pv.outage_drops);
+      rec.fault_retransmits_delta = fc.retransmits - pv.retransmits;
+      rec.fault_corruptions_delta = fc.corruptions - pv.corruptions;
+      rec.fault_rollbacks_delta = fc.rollbacks - pv.rollbacks;
+      rec.fault_wait_ns_delta = fc.retry_wait_ns - pv.retry_wait_ns;
+      trace_prev_faults_ = fc;
+    }
     sink_->on_superstep(rec);
   }
+  // One recovery event per outage window, raised at the barrier that ends
+  // it (the node "reboots"); checkpointing loops poll outage_events() at
+  // iteration granularity and roll back on a change.
+  if (fault_ != nullptr && fault_->outage_ends_at(epoch_))
+    fault_->raise_outage_event();
   ++barriers_;
   ++epoch_;
 }

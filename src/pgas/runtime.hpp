@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "machine/cost_params.hpp"
 #include "machine/exchange_sim.hpp"
 #include "machine/memory_model.hpp"
@@ -147,6 +148,14 @@ class Runtime {
   /// Run `f` SPMD on all threads; blocks until all complete.  May be called
   /// repeatedly; cost clocks and stats persist across calls until
   /// reset_costs().
+  ///
+  /// Exception safety: if `f` throws on every thread after the same
+  /// barrier (how FaultError is raised — retry exhaustion is detected in
+  /// the completion step, so all threads see it together), the first
+  /// exception is rethrown here after all threads joined and the barrier
+  /// has been rebuilt; the Runtime remains usable.  An exception thrown on
+  /// only some threads while others wait in a barrier deadlocks, exactly
+  /// as diverging SPMD control flow always does.
   void run(const std::function<void(ThreadCtx&)>& f);
 
   /// Zero all clocks, stats and counters (not the topology).
@@ -182,6 +191,14 @@ class Runtime {
   /// while run() is executing.  The sink outlives the attachment.
   void set_trace_sink(TraceSink* sink);
   TraceSink* trace_sink() const { return sink_; }
+
+  /// Attach (or detach, with nullptr) a fault injector.  Must not be
+  /// called while run() is executing; the injector outlives the
+  /// attachment.  With an all-zero FaultConfig attached, modeled times are
+  /// bit-identical to running with no injector at all (every fault cost is
+  /// gated on its rate being nonzero).
+  void set_fault_injector(fault::FaultInjector* inj) { fault_ = inj; }
+  fault::FaultInjector* fault_injector() const { return fault_; }
 
   /// True iff a TraceSink is attached.
   bool tracing() const;
@@ -227,6 +244,13 @@ class Runtime {
   // Saved stats from threads of completed run() calls.
   std::vector<machine::PhaseStats> saved_stats_;
   std::vector<double> saved_clocks_;
+
+  // --- fault injection --------------------------------------------------
+  fault::FaultInjector* fault_ = nullptr;
+  /// Set in the completion step when exchange retransmissions exhausted
+  /// their retry budget; every thread of that barrier throws FaultError.
+  std::atomic<bool> fault_failed_{false};
+  fault::FaultCounters trace_prev_faults_;
 
   // --- bottleneck attribution / tracing --------------------------------
   BarrierVerdict last_verdict_;

@@ -82,6 +82,13 @@ struct SuperstepRecord {
   std::uint64_t msgs_delta = 0;
   std::uint64_t bytes_delta = 0;
   std::uint64_t fine_msgs_delta = 0;
+  /// FaultInjector counter deltas over this superstep (all zero when no
+  /// injector is attached): where resilience cost went.
+  std::uint64_t fault_drops_delta = 0;        ///< drops incl. outage drops
+  std::uint64_t fault_retransmits_delta = 0;
+  std::uint64_t fault_corruptions_delta = 0;
+  std::uint64_t fault_rollbacks_delta = 0;
+  std::uint64_t fault_wait_ns_delta = 0;      ///< ack timeouts + backoff
 };
 
 /// Interface the runtime reports into when tracing is enabled

@@ -24,6 +24,9 @@ class EventStream {
     return os_;
   }
 
+  /// Continue the event most recently started with begin().
+  std::ostream& out() { return os_; }
+
  private:
   std::ostream& os_;
   bool first_ = true;
@@ -99,7 +102,17 @@ void SuperstepTracer::write_chrome_trace(std::ostream& os) const {
                << ",\"msgs\":" << st.msgs_delta
                << ",\"bytes\":" << st.bytes_delta
                << ",\"fine_msgs\":" << st.fine_msgs_delta
-               << ",\"violations\":" << st.violations_delta << "}}";
+               << ",\"violations\":" << st.violations_delta;
+    // Fault-injection args only when the superstep saw any, so fault-free
+    // traces stay byte-identical.
+    if (st.fault_drops_delta != 0 || st.fault_retransmits_delta != 0 ||
+        st.fault_corruptions_delta != 0 || st.fault_rollbacks_delta != 0)
+      ev.out() << ",\"fault_drops\":" << st.fault_drops_delta
+               << ",\"fault_retransmits\":" << st.fault_retransmits_delta
+               << ",\"fault_corruptions\":" << st.fault_corruptions_delta
+               << ",\"fault_rollbacks\":" << st.fault_rollbacks_delta
+               << ",\"fault_wait_ns\":" << st.fault_wait_ns_delta;
+    ev.out() << "}}";
 
     // Per-thread category slices, back-to-back from the superstep start.
     for (std::size_t t = 0; t < st.cat_delta.size(); ++t) {

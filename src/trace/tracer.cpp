@@ -77,6 +77,11 @@ void SuperstepTracer::on_superstep(const pgas::SuperstepRecord& rec) {
   st.msgs_delta = rec.msgs_delta;
   st.bytes_delta = rec.bytes_delta;
   st.fine_msgs_delta = rec.fine_msgs_delta;
+  st.fault_drops_delta = rec.fault_drops_delta;
+  st.fault_retransmits_delta = rec.fault_retransmits_delta;
+  st.fault_corruptions_delta = rec.fault_corruptions_delta;
+  st.fault_rollbacks_delta = rec.fault_rollbacks_delta;
+  st.fault_wait_ns_delta = rec.fault_wait_ns_delta;
 #ifdef PGRAPH_CHECK_ACCESS
   // Compose with the access checker: a traced run under the checker tags
   // each superstep with the violations it surfaced instead of the trace

@@ -56,6 +56,13 @@ struct Superstep {
   std::uint64_t bytes_delta = 0;
   std::uint64_t fine_msgs_delta = 0;
   std::uint64_t violations_delta = 0;  ///< access checker (check builds)
+  // Fault-injection activity this superstep (all zero without an injector;
+  // see docs/ROBUSTNESS.md).
+  std::uint64_t fault_drops_delta = 0;
+  std::uint64_t fault_retransmits_delta = 0;
+  std::uint64_t fault_corruptions_delta = 0;
+  std::uint64_t fault_rollbacks_delta = 0;
+  std::uint64_t fault_wait_ns_delta = 0;
 };
 
 struct ScopeEvent {

@@ -93,3 +93,70 @@ TEST(ExchangeSim, DurationScalesWithServiceTime) {
                                             nodes, 4, 0.0);
   EXPECT_NEAR(t2 / t1, 2.0, 0.01);
 }
+
+TEST(ExchangeSim, SingleNodeEmptyListsAreFree) {
+  // One node, several threads, nothing posted: a degenerate but legal
+  // plan (all traffic was intra-node and got charged as memory copies).
+  const Topology topo = Topology::cluster(1, 4);
+  m::ExchangePlan plan(4);
+  EXPECT_DOUBLE_EQ(
+      m::exchange_duration_ns(plan, topo.thread_node_map(), 1, 1000.0), 0.0);
+}
+
+TEST(ExchangeSim, AllSameNodePlanWithNoMessagesIsFree) {
+  // Every thread maps to node 0 and the lists are empty — the sweep must
+  // not touch NIC state it never allocated.
+  const std::vector<std::int32_t> nodes = {0, 0, 0};
+  m::ExchangePlan plan(3);
+  EXPECT_DOUBLE_EQ(m::exchange_duration_ns(plan, nodes, 1, 500.0), 0.0);
+}
+
+TEST(ExchangeSim, ZeroLatencyConfig) {
+  // latency_ns = 0: duration is exactly send service + receive service.
+  const Topology topo = Topology::cluster(2, 1);
+  m::ExchangePlan plan(2);
+  plan[0].push_back({1, 500.0});
+  EXPECT_DOUBLE_EQ(
+      m::exchange_duration_ns(plan, topo.thread_node_map(), 2, 0.0), 1000.0);
+}
+
+TEST(ExchangeSim, DroppedMessageOccupiesSenderOnly) {
+  // A dropped message (fault injection) pays its send service but never
+  // arrives: no wire latency, no receive service in the duration.
+  const Topology topo = Topology::cluster(2, 1);
+  m::ExchangePlan plan(2);
+  plan[0].push_back({1, 500.0});
+  plan[0].back().dropped = true;
+  EXPECT_DOUBLE_EQ(
+      m::exchange_duration_ns(plan, topo.thread_node_map(), 2, 1000.0),
+      500.0);
+}
+
+TEST(ExchangeSim, ExtraDelayShiftsArrival) {
+  // extra_delay_ns (fault injection) adds to the wire time of exactly the
+  // delayed message.
+  const Topology topo = Topology::cluster(2, 1);
+  m::ExchangePlan plan(2);
+  plan[0].push_back({1, 500.0});
+  plan[0].back().extra_delay_ns = 250.0;
+  EXPECT_DOUBLE_EQ(
+      m::exchange_duration_ns(plan, topo.thread_node_map(), 2, 1000.0),
+      2250.0);
+}
+
+#ifdef NDEBUG
+TEST(ExchangeSim, OutOfRangeDstClampedInRelease) {
+  // Satellite of the fault-injection PR: a corrupted dst_node must not
+  // index out of bounds.  Release builds clamp (with a stderr note) and
+  // keep going; debug builds assert.
+  const Topology topo = Topology::cluster(2, 1);
+  m::ExchangePlan plan(2);
+  plan[0].push_back({99, 500.0});  // clamps to node 1
+  const double t =
+      m::exchange_duration_ns(plan, topo.thread_node_map(), 2, 1000.0);
+  EXPECT_DOUBLE_EQ(t, 2000.0);
+  plan[0].back().dst_node = -7;  // clamps to node 0 == sender's node
+  EXPECT_GT(m::exchange_duration_ns(plan, topo.thread_node_map(), 2, 1000.0),
+            0.0);
+}
+#endif

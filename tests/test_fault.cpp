@@ -1,0 +1,383 @@
+// Deterministic fault injection and the recovery machinery it exercises:
+// retry/backoff in the exchange phase, checksum-validate-retransmit in the
+// collectives, and checkpoint/restart in cc_coalesced / mst_pgas.  The
+// FaultChaos tests are the acceptance gate of docs/ROBUSTNESS.md: under a
+// seeded fault plan the algorithms must produce bit-identical results to a
+// fault-free run, at a (bounded) higher modeled cost.
+//
+// PGRAPH_CHAOS_SEED selects the fault seed (default 1); the chaos stage of
+// scripts/run_checks.sh sweeps seeds 1..3.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "core/cc_coalesced.hpp"
+#include "core/cc_seq.hpp"
+#include "core/mst_pgas.hpp"
+#include "fault/fault.hpp"
+#include "graph/generators.hpp"
+#include "machine/cost_params.hpp"
+#include "pgas/runtime.hpp"
+
+namespace g = pgraph::graph;
+namespace pg = pgraph::pgas;
+namespace m = pgraph::machine;
+namespace core = pgraph::core;
+namespace flt = pgraph::fault;
+
+namespace {
+
+std::uint64_t chaos_seed() {
+  const char* s = std::getenv("PGRAPH_CHAOS_SEED");
+  return s != nullptr ? std::strtoull(s, nullptr, 10) : 1;
+}
+
+pg::Runtime make_rt() {
+  return pg::Runtime(pg::Topology::cluster(4, 2),
+                     m::CostParams::hps_cluster());
+}
+
+/// One exchange superstep: every thread sends one message to the next node.
+void cross_node_round(pg::ThreadCtx& ctx, std::size_t bytes) {
+  const int tpn = ctx.topo().threads_per_node;
+  const int dst_node = (ctx.node() + 1) % ctx.nnodes();
+  ctx.post_exchange_msg(dst_node * tpn, bytes);
+  ctx.exchange_barrier();
+}
+
+}  // namespace
+
+// --- config / primitives -------------------------------------------------
+
+TEST(FaultConfig, ParseLandsValues) {
+  const auto c = flt::FaultConfig::parse(
+      "drop=0.25,dup=0.125,delay=0.5,delay_ns=777,corrupt=0.1,"
+      "straggle=0.2,straggle_ns=999,outage_every=40,outage_k=3,"
+      "retries=4,timeout_ns=1000,backoff_ns=500,cap_ns=8000",
+      9);
+  EXPECT_EQ(c.seed, 9u);
+  EXPECT_DOUBLE_EQ(c.drop_p, 0.25);
+  EXPECT_DOUBLE_EQ(c.dup_p, 0.125);
+  EXPECT_DOUBLE_EQ(c.delay_p, 0.5);
+  EXPECT_DOUBLE_EQ(c.delay_ns, 777.0);
+  EXPECT_DOUBLE_EQ(c.corrupt_p, 0.1);
+  EXPECT_DOUBLE_EQ(c.straggle_p, 0.2);
+  EXPECT_DOUBLE_EQ(c.straggle_ns, 999.0);
+  EXPECT_EQ(c.outage_every, 40u);
+  EXPECT_EQ(c.outage_k, 3);
+  EXPECT_EQ(c.max_retries, 4);
+  EXPECT_DOUBLE_EQ(c.ack_timeout_ns, 1000.0);
+  EXPECT_DOUBLE_EQ(c.retry_backoff_ns, 500.0);
+  EXPECT_DOUBLE_EQ(c.backoff_cap_ns, 8000.0);
+  EXPECT_TRUE(c.any_faults());
+}
+
+TEST(FaultConfig, RejectsUnknownAndMalformed) {
+  EXPECT_THROW(flt::FaultConfig::parse("nope=1", 1), std::invalid_argument);
+  EXPECT_THROW(flt::FaultConfig::parse("drop=zzz", 1),
+               std::invalid_argument);
+  EXPECT_THROW(flt::FaultConfig::parse("drop=1.5", 1),
+               std::invalid_argument);
+}
+
+TEST(FaultConfig, EmptySpecIsAllZero) {
+  const auto c = flt::FaultConfig::parse("", 3);
+  EXPECT_FALSE(c.any_faults());
+  EXPECT_FALSE(c.network_faults());
+  EXPECT_FALSE(c.corruption_enabled());
+}
+
+TEST(FaultConfig, BackoffIsExponentialAndCapped) {
+  auto c = flt::FaultConfig::parse("drop=0.1", 1);
+  c.retry_backoff_ns = 100.0;
+  c.backoff_cap_ns = 350.0;
+  EXPECT_DOUBLE_EQ(c.backoff_ns_for(0), 100.0);
+  EXPECT_DOUBLE_EQ(c.backoff_ns_for(1), 200.0);
+  EXPECT_DOUBLE_EQ(c.backoff_ns_for(2), 350.0);  // capped
+  EXPECT_DOUBLE_EQ(c.backoff_ns_for(10), 350.0);
+}
+
+TEST(FaultInjector, DrawsAreDeterministic) {
+  const auto cfg = flt::FaultConfig::parse("drop=0.3,dup=0.2,delay=0.2", 5);
+  const std::vector<std::int32_t> nodes = {0, 1};
+  const auto run_once = [&] {
+    flt::FaultInjector inj(cfg);
+    m::ExchangePlan plan(2);
+    for (int k = 0; k < 32; ++k) plan[0].push_back({1, 100.0});
+    inj.apply_exchange(plan, nodes, 2, /*epoch=*/7, /*attempt=*/0);
+    return plan;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a[0].size(), b[0].size());  // identical duplicates
+  for (std::size_t k = 0; k < a[0].size(); ++k) {
+    EXPECT_EQ(a[0][k].dropped, b[0][k].dropped) << k;
+    EXPECT_DOUBLE_EQ(a[0][k].extra_delay_ns, b[0][k].extra_delay_ns) << k;
+  }
+}
+
+TEST(FaultInjector, ChecksumDetectsFlipAndRepairRestores) {
+  std::vector<std::uint64_t> buf(64);
+  for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = i * 0x9e37ull;
+  const std::vector<std::uint64_t> orig = buf;
+  const std::uint64_t sum = flt::checksum_words(buf.data(), buf.size() * 8);
+
+  flt::FaultInjector inj(flt::FaultConfig::parse("corrupt=1.0", 11));
+  ASSERT_EQ(inj.corrupt(buf.data(), buf.size() * 8, /*epoch=*/3,
+                        /*thread=*/0, /*tag=*/0),
+            1);
+  EXPECT_NE(flt::checksum_words(buf.data(), buf.size() * 8), sum);
+  EXPECT_NE(buf, orig);
+  EXPECT_EQ(inj.repair(buf.data(), buf.size() * 8), 1);
+  EXPECT_EQ(buf, orig);
+  EXPECT_EQ(flt::checksum_words(buf.data(), buf.size() * 8), sum);
+  EXPECT_EQ(inj.counters().corruptions, 1u);
+  EXPECT_EQ(inj.counters().repairs, 1u);
+}
+
+TEST(FaultInjector, ChecksumCoversTrailingPartialWord) {
+  unsigned char buf[13];
+  std::memset(buf, 0x5a, sizeof buf);
+  const std::uint64_t sum = flt::checksum_words(buf, sizeof buf);
+  buf[12] ^= 1;  // inside the zero-padded tail word
+  EXPECT_NE(flt::checksum_words(buf, sizeof buf), sum);
+}
+
+TEST(FaultInjector, OutageScheduleArithmetic) {
+  flt::FaultInjector inj(flt::FaultConfig::parse("outage_every=10", 2));
+  ASSERT_EQ(inj.config().outage_k, 2);
+  // Window j=0 is warm-up: no outages before epoch outage_every.
+  for (std::uint64_t e = 0; e < 10; ++e) {
+    EXPECT_FALSE(inj.outage_active(e)) << e;
+    EXPECT_EQ(inj.down_node(4, e), -1) << e;
+  }
+  // Window j=1 covers epochs [10, 12): one deterministic down node.
+  EXPECT_TRUE(inj.outage_active(10));
+  EXPECT_TRUE(inj.outage_active(11));
+  EXPECT_FALSE(inj.outage_active(12));
+  const int down = inj.down_node(4, 10);
+  ASSERT_GE(down, 0);
+  EXPECT_LT(down, 4);
+  EXPECT_EQ(inj.down_node(4, 11), down);
+  EXPECT_FALSE(inj.outage_ends_at(10));
+  EXPECT_TRUE(inj.outage_ends_at(11));
+  EXPECT_FALSE(inj.outage_ends_at(12));
+}
+
+// --- runtime integration -------------------------------------------------
+
+TEST(FaultRuntime, RetryChargesModeledTime) {
+  const std::size_t kBytes = 4096;
+  const int kRounds = 20;
+  double clean_ns = 0.0;
+  {
+    pg::Runtime rt = make_rt();
+    rt.run([&](pg::ThreadCtx& ctx) {
+      for (int r = 0; r < kRounds; ++r) cross_node_round(ctx, kBytes);
+    });
+    clean_ns = rt.modeled_time_ns();
+  }
+  flt::FaultInjector inj(flt::FaultConfig::parse("drop=0.4", chaos_seed()));
+  pg::Runtime rt = make_rt();
+  rt.set_fault_injector(&inj);
+  rt.run([&](pg::ThreadCtx& ctx) {
+    for (int r = 0; r < kRounds; ++r) cross_node_round(ctx, kBytes);
+  });
+  // 160 message draws at p=0.4: losses are certain for any seed that
+  // draws at least one drop, and each loss costs timeout + backoff.
+  EXPECT_GT(inj.counters().drops, 0u);
+  EXPECT_GT(inj.counters().retransmits, 0u);
+  EXPECT_GT(inj.counters().retry_wait_ns, 0u);
+  EXPECT_GT(rt.modeled_time_ns(), clean_ns);
+}
+
+TEST(FaultRuntime, ExhaustionThrowsFaultErrorCollectively) {
+  flt::FaultInjector inj(flt::FaultConfig::parse("drop=1.0,retries=3", 1));
+  pg::Runtime rt = make_rt();
+  rt.set_fault_injector(&inj);
+  bool threw = false;
+  try {
+    rt.run([&](pg::ThreadCtx& ctx) { cross_node_round(ctx, 1024); });
+  } catch (const flt::FaultError& e) {
+    threw = true;
+    EXPECT_EQ(e.kind(), flt::FaultKind::RetryExhausted);
+  }
+  EXPECT_TRUE(threw);
+  // The runtime must remain usable: detach faults and run clean.
+  rt.set_fault_injector(nullptr);
+  rt.run([&](pg::ThreadCtx& ctx) { cross_node_round(ctx, 1024); });
+  EXPECT_GT(rt.modeled_time_ns(), 0.0);
+}
+
+TEST(FaultRuntime, StragglerPerturbsClocks) {
+  const auto work = [](pg::ThreadCtx& ctx) {
+    for (int r = 0; r < 10; ++r) {
+      ctx.compute(1000, m::Cat::Work);
+      ctx.barrier();
+    }
+  };
+  double clean_ns = 0.0;
+  {
+    pg::Runtime rt = make_rt();
+    rt.run(work);
+    clean_ns = rt.modeled_time_ns();
+  }
+  flt::FaultInjector inj(
+      flt::FaultConfig::parse("straggle=1.0,straggle_ns=50000", 1));
+  pg::Runtime rt = make_rt();
+  rt.set_fault_injector(&inj);
+  rt.run(work);
+  EXPECT_GT(inj.counters().straggles, 0u);
+  // Every barrier straggles every thread by >= straggle_ns/2.
+  EXPECT_GT(rt.modeled_time_ns(), clean_ns + 10 * 25000.0);
+}
+
+TEST(FaultRuntime, ZeroFaultInjectorIsFree) {
+  const auto work = [](pg::ThreadCtx& ctx) {
+    for (int r = 0; r < 6; ++r) {
+      ctx.compute(500, m::Cat::Work);
+      cross_node_round(ctx, 2048);
+    }
+  };
+  double clean_ns = 0.0;
+  {
+    pg::Runtime rt = make_rt();
+    rt.run(work);
+    clean_ns = rt.modeled_time_ns();
+  }
+  flt::FaultInjector inj(flt::FaultConfig::parse("", chaos_seed()));
+  pg::Runtime rt = make_rt();
+  rt.set_fault_injector(&inj);
+  rt.run(work);
+  EXPECT_DOUBLE_EQ(rt.modeled_time_ns(), clean_ns);
+}
+
+// --- chaos: end-to-end algorithms under faults ---------------------------
+
+TEST(FaultChaos, CcBitIdenticalUnderNetworkFaults) {
+  const auto el = g::random_graph(256, 1024, 7);
+  core::ParCCResult clean;
+  {
+    pg::Runtime rt = make_rt();
+    clean = core::cc_coalesced(rt, el, {});
+  }
+  flt::FaultInjector inj(flt::FaultConfig::parse(
+      "drop=0.05,dup=0.03,delay=0.1,straggle=0.05", chaos_seed()));
+  pg::Runtime rt = make_rt();
+  rt.set_fault_injector(&inj);
+  const auto chaotic = core::cc_coalesced(rt, el, {});
+  EXPECT_EQ(chaotic.labels, clean.labels);
+  EXPECT_EQ(chaotic.num_components, clean.num_components);
+  EXPECT_GT(inj.counters().retransmits, 0u);
+  // Bounded recovery: every drop is retransmitted at most max_retries
+  // times, and in practice far fewer.
+  EXPECT_LE(inj.counters().retransmits,
+            inj.counters().drops *
+                static_cast<std::uint64_t>(inj.config().max_retries));
+  EXPECT_GE(chaotic.costs.modeled_ns, clean.costs.modeled_ns);
+}
+
+TEST(FaultChaos, CcCorruptionDetectedRepairedBitIdentical) {
+  const auto el = g::random_graph(256, 1024, 8);
+  core::ParCCResult clean;
+  {
+    pg::Runtime rt = make_rt();
+    clean = core::cc_coalesced(rt, el, {});
+  }
+  flt::FaultInjector inj(
+      flt::FaultConfig::parse("corrupt=0.5", chaos_seed()));
+  pg::Runtime rt = make_rt();
+  rt.set_fault_injector(&inj);
+  const auto chaotic = core::cc_coalesced(rt, el, {});
+  EXPECT_EQ(chaotic.labels, clean.labels);
+  const auto c = inj.counters();
+  EXPECT_GT(c.corruptions, 0u);
+  EXPECT_GT(c.detected, 0u);
+  EXPECT_EQ(c.repairs, c.corruptions);  // every flip repaired before use
+  EXPECT_GT(chaotic.costs.modeled_ns, clean.costs.modeled_ns);
+}
+
+TEST(FaultChaos, CcOutageRollsBackAndMatches) {
+  const auto el = g::random_graph(256, 1024, 9);
+  core::ParCCResult clean;
+  {
+    pg::Runtime rt = make_rt();
+    clean = core::cc_coalesced(rt, el, {});
+  }
+  flt::FaultInjector inj(
+      flt::FaultConfig::parse("outage_every=40,outage_k=2", chaos_seed()));
+  pg::Runtime rt = make_rt();
+  rt.set_fault_injector(&inj);
+  const auto chaotic = core::cc_coalesced(rt, el, {});
+  EXPECT_EQ(chaotic.labels, clean.labels);
+  const auto c = inj.counters();
+  EXPECT_GT(c.checkpoints, 0u);
+  EXPECT_GT(c.outage_events, 0u);
+  EXPECT_GT(c.rollbacks, 0u);
+  EXPECT_GE(chaotic.iterations, clean.iterations);
+}
+
+TEST(FaultChaos, MstWeightAndEdgesIdenticalUnderFaults) {
+  const auto el =
+      g::with_random_weights(g::random_graph(256, 1024, 10), 11);
+  core::ParMstResult clean;
+  {
+    pg::Runtime rt = make_rt();
+    clean = core::mst_pgas(rt, el, {});
+  }
+  flt::FaultInjector inj(flt::FaultConfig::parse(
+      "drop=0.05,delay=0.1,corrupt=0.25,straggle=0.05", chaos_seed()));
+  pg::Runtime rt = make_rt();
+  rt.set_fault_injector(&inj);
+  auto chaotic = core::mst_pgas(rt, el, {});
+  EXPECT_EQ(chaotic.total_weight, clean.total_weight);
+  auto ce = chaotic.edges;
+  auto ke = clean.edges;
+  std::sort(ce.begin(), ce.end());
+  std::sort(ke.begin(), ke.end());
+  EXPECT_EQ(ce, ke);
+  EXPECT_GT(inj.counters().retransmits + inj.counters().repairs, 0u);
+}
+
+TEST(FaultChaos, MstOutageRollsBackAndMatches) {
+  const auto el =
+      g::with_random_weights(g::random_graph(256, 1024, 12), 13);
+  core::ParMstResult clean;
+  {
+    pg::Runtime rt = make_rt();
+    clean = core::mst_pgas(rt, el, {});
+  }
+  flt::FaultInjector inj(
+      flt::FaultConfig::parse("outage_every=40,outage_k=2", chaos_seed()));
+  pg::Runtime rt = make_rt();
+  rt.set_fault_injector(&inj);
+  auto chaotic = core::mst_pgas(rt, el, {});
+  EXPECT_EQ(chaotic.total_weight, clean.total_weight);
+  auto ce = chaotic.edges;
+  auto ke = clean.edges;
+  std::sort(ce.begin(), ce.end());
+  std::sort(ke.begin(), ke.end());
+  EXPECT_EQ(ce, ke);
+  EXPECT_GT(inj.counters().checkpoints, 0u);
+  EXPECT_GT(inj.counters().rollbacks, 0u);
+}
+
+TEST(FaultChaos, ZeroFaultPlanLeavesCcModeledTimeUnchanged) {
+  const auto el = g::random_graph(200, 800, 14);
+  core::ParCCResult clean;
+  {
+    pg::Runtime rt = make_rt();
+    clean = core::cc_coalesced(rt, el, {});
+  }
+  flt::FaultInjector inj(flt::FaultConfig::parse("drop=0", chaos_seed()));
+  pg::Runtime rt = make_rt();
+  rt.set_fault_injector(&inj);
+  const auto attached = core::cc_coalesced(rt, el, {});
+  EXPECT_EQ(attached.labels, clean.labels);
+  EXPECT_DOUBLE_EQ(attached.costs.modeled_ns, clean.costs.modeled_ns);
+  EXPECT_EQ(inj.counters().drops, 0u);
+  EXPECT_EQ(inj.counters().checkpoints, 0u);
+}
