@@ -113,7 +113,12 @@ class Report {
   /// this unconditionally after constructing each runtime).
   void attach(pgas::Runtime& rt) {
     if (rep_.preset.empty()) rep_.preset = rt.params().preset;
-    if (injector_) rt.set_fault_injector(injector_.get());
+    if (injector_) {
+      rt.set_fault_injector(injector_.get());
+      // Attaching resets the injector's counters; re-baseline the per-row
+      // delta origin or the first row after a re-attach would underflow.
+      prev_faults_ = injector_->counters();
+    }
     if (tracer_) tracer_->attach(rt);
   }
 
@@ -195,6 +200,11 @@ class Report {
     d("fault_rollbacks", c.rollbacks, prev_faults_.rollbacks);
     d("fault_checkpoints", c.checkpoints, prev_faults_.checkpoints);
     d("fault_retry_wait_ns", c.retry_wait_ns, prev_faults_.retry_wait_ns);
+    d("fault_loss_drops", c.loss_drops, prev_faults_.loss_drops);
+    d("fault_shrinks", c.loss_events, prev_faults_.loss_events);
+    d("fault_replications", c.replications, prev_faults_.replications);
+    d("fault_replica_bytes", c.replica_bytes, prev_faults_.replica_bytes);
+    d("fault_promoted_bytes", c.promoted_bytes, prev_faults_.promoted_bytes);
     prev_faults_ = c;
   }
 

@@ -14,7 +14,11 @@ infinite modeled_ns on either side is a failure, never a silent pass
 (NaN compares false against every threshold).  Breakdown fields are
 validated tolerantly: absent or non-finite per-category entries are
 warned about and ignored, since partial reports are still comparable
-on modeled time.
+on modeled time.  Row `extra` counters present in the candidate but not
+in the baseline (e.g. new fault telemetry after a tooling upgrade) are
+warned about, never failed: the chaos invariance gate compares a
+faulted-but-zero-rate candidate against a fault-free baseline, and new
+telemetry keys must not break it.
 
 Exit codes: 0 ok, 1 regression/missing rows, 2 malformed input.
 Only the Python standard library is used.
@@ -58,7 +62,10 @@ def load(path):
         if label in by_label:
             sys.exit(f"bench_diff: {path}: duplicate row label {label!r}")
         check_breakdown(path, i, row)
-        by_label[label] = float(t)
+        extra = row.get("extra")
+        if extra is not None and not isinstance(extra, dict):
+            sys.exit(f"bench_diff: {path}: row {i} extra is not an object")
+        by_label[label] = (float(t), frozenset(extra or ()))
     return doc, by_label
 
 
@@ -112,12 +119,20 @@ def main():
         return 1
 
     failures = 0
-    for label, t_base in base.items():
+    for label, (t_base, extras_base) in base.items():
         if label not in cand:
             print(f"MISSING  {label!r}: row absent from candidate")
             failures += 1
             continue
-        t_cand = cand[label]
+        t_cand, extras_cand = cand[label]
+        new_extras = sorted(extras_cand - extras_base)
+        if new_extras:
+            print(
+                f"bench_diff: warning: {label!r}: candidate-only extra "
+                f"counter(s) {new_extras}; regenerate the baseline to "
+                f"track them",
+                file=sys.stderr,
+            )
         if not math.isfinite(t_base) or not math.isfinite(t_cand):
             print(
                 f"NON-FINITE  {label!r}: baseline {t_base!r}, "

@@ -95,6 +95,22 @@ EOF
             -R '^Fault' --output-on-failure -j "$JOBS"
         done
       done
+      # Node-loss shrink matrix: the degraded-mode tests (buddy
+      # replication, topology shrink, bit-identical recovery on the 4x2
+      # cluster fixture) under each fault seed, called out separately so a
+      # loss-specific regression is attributable at a glance.
+      for seed in 1 2 3; do
+        echo "---- [chaos] node-loss shrink, fault seed=$seed ----"
+        PGRAPH_CHAOS_SEED=$seed ctest --preset default \
+          -R 'Loss' --output-on-failure -j "$JOBS"
+      done
+      # One chaos seed under asan: the shrink path moves ownership and
+      # replays mirrors, exactly where lifetime bugs would hide.
+      echo "---- [chaos] fault suite under asan, seed=2 ----"
+      cmake --preset asan
+      cmake --build --preset asan -j "$JOBS" --target test_fault
+      PGRAPH_CHAOS_SEED=2 ctest --preset asan \
+        -R '^Fault' --output-on-failure -j "$JOBS"
       if command -v python3 > /dev/null 2>&1; then
         echo "---- [chaos] zero-fault plan leaves bench times unchanged ----"
         cmake --build --preset default -j "$JOBS" \

@@ -110,10 +110,15 @@ inline void write_matrices(pgas::ThreadCtx& ctx, CollectiveContext& cc,
     return;
   }
 
-  const int tpn = ctx.topo().threads_per_node;
+  const pgas::Topology& topo = ctx.topo();
   const int p = ctx.nnodes();
   const int mynode = ctx.node();
-  const int leader = mynode * tpn;
+  // Leaders and per-node thread sets resolve through the live owner map:
+  // after a permanent-loss shrink the buddy's leader covers the adopted
+  // threads, and dead nodes (no hosted threads) get no tile message.  With
+  // the identity layout this reduces exactly to leader = mynode * tpn.
+  const int leader = topo.leader_of_node(mynode);
+  const int my_tpn = topo.threads_on_node(mynode);
   ctx.publish(kSlotCnt, const_cast<std::size_t*>(thr_off.data()));
   ctx.barrier();  // intra-node staging (a full barrier in this runtime)
   if (me == leader) {
@@ -121,7 +126,8 @@ inline void write_matrices(pgas::ThreadCtx& ctx, CollectiveContext& cc,
     // t threads; one coalesced message per remote node carries the t*t
     // tile pair.
     for (int j = 0; j < s; ++j) {
-      for (int r = leader; r < leader + tpn; ++r) {
+      for (int r = 0; r < s; ++r) {
+        if (topo.node_of(r) != mynode) continue;
         const auto* ro = ctx.peer_as<const std::size_t>(r, kSlotCnt);
         const std::size_t row = static_cast<std::size_t>(j) *
                                     static_cast<std::size_t>(s) +
@@ -132,14 +138,16 @@ inline void write_matrices(pgas::ThreadCtx& ctx, CollectiveContext& cc,
         cc.pmatrix.store_relaxed(row, ro[static_cast<std::size_t>(j)]);
       }
     }
-    const std::size_t tile_bytes = static_cast<std::size_t>(tpn) *
-                                   static_cast<std::size_t>(tpn) * 2 * 8;
     for (int step = 1; step < p; ++step) {
       const int nd = (mynode + step) % p;  // circular over nodes
-      ctx.post_exchange_msg(nd * tpn, tile_bytes);
+      const int nd_tpn = topo.threads_on_node(nd);
+      if (nd_tpn == 0) continue;  // dead node: nothing to ship
+      const std::size_t tile_bytes = static_cast<std::size_t>(my_tpn) *
+                                     static_cast<std::size_t>(nd_tpn) * 2 * 8;
+      ctx.post_exchange_msg(topo.leader_of_node(nd), tile_bytes);
     }
-    ctx.mem_seq(static_cast<std::size_t>(s) * tpn * 16, Cat::Setup);
-    ctx.compute(static_cast<std::size_t>(s) * tpn * 4, Cat::Setup);
+    ctx.mem_seq(static_cast<std::size_t>(s) * my_tpn * 16, Cat::Setup);
+    ctx.compute(static_cast<std::size_t>(s) * my_tpn * 4, Cat::Setup);
   }
 }
 

@@ -177,12 +177,14 @@ void getd(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
   }
   if (opt.hierarchical) {
     // One combined message per node pair, visited in circular node order.
+    // Targets resolve through the live leader map so a post-shrink run
+    // addresses the buddy that adopted a lost node's threads; a dead node
+    // accumulates no bytes (node_of never maps a thread to it).
     const int p = ctx.nnodes();
-    const int tpn = ctx.topo().threads_per_node;
     for (int step = 0; step < p; ++step) {
       const int nd = (ctx.node() + step) % p;
       if (node_bytes[static_cast<std::size_t>(nd)] > 0)
-        ctx.post_exchange_msg(nd * tpn,
+        ctx.post_exchange_msg(ctx.topo().leader_of_node(nd),
                               node_bytes[static_cast<std::size_t>(nd)]);
     }
   }

@@ -208,11 +208,10 @@ void setd_combine(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
   }
   if (opt.hierarchical) {
     const int p = ctx.nnodes();
-    const int tpn = ctx.topo().threads_per_node;
     for (int step = 0; step < p; ++step) {
       const int nd = (ctx.node() + step) % p;
       if (node_bytes[static_cast<std::size_t>(nd)] > 0)
-        ctx.post_exchange_msg(nd * tpn,
+        ctx.post_exchange_msg(ctx.topo().leader_of_node(nd),
                               node_bytes[static_cast<std::size_t>(nd)]);
     }
   }

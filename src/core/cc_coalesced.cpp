@@ -11,6 +11,7 @@
 #include "core/pointer_jump.hpp"
 #include "pgas/coll.hpp"
 #include "pgas/global_array.hpp"
+#include "pgas/replica.hpp"
 
 namespace pgraph::core {
 
@@ -42,12 +43,14 @@ ParCCResult cc_coalesced(pgas::Runtime& rt, const graph::EdgeList& el,
   CcRun run(rt, n);
   const coll::CollectiveOptions& copt = opt.coll;
   const coll::KnownElement known{0, 0};  // D[0] stays 0 (offload target)
-  // Superstep checkpoint/restart (docs/ROBUSTNESS.md): with outages
-  // configured, snapshot D and the surviving edge lists each iteration
-  // outside an outage window, and roll back to the last snapshot when a
-  // window ends.
+  // Superstep checkpoint/restart (docs/ROBUSTNESS.md): with outages or
+  // permanent loss configured, snapshot D and the surviving edge lists each
+  // iteration outside an outage window, and roll back to the last snapshot
+  // when an outage window closes or the runtime shrinks after a node loss.
   fault::FaultInjector* const finj = rt.fault_injector();
-  const bool ckpt_on = finj != nullptr && finj->config().outage_every > 0;
+  const bool ckpt_on =
+      finj != nullptr &&
+      (finj->config().outage_every > 0 || finj->config().loss_enabled());
 
   rt.run([&](pgas::ThreadCtx& ctx) {
     const int s = ctx.nthreads();
@@ -69,14 +72,15 @@ ParCCResult cc_coalesced(pgas::Runtime& rt, const graph::EdgeList& el,
     // Per-thread checkpoint: this thread's D block plus its private edge
     // lists (they shrink under compaction, so a rollback must restore
     // them too).  All threads checkpoint/roll back in lockstep: the
-    // outage-event counter is written only in barrier completion steps
-    // and every thread reads it at the same program point.
+    // recovery-event counter (outages + node-loss shrinks) is written only
+    // in barrier completion steps and every thread reads it at the same
+    // program point.
     struct Checkpoint {
       std::vector<std::uint64_t> d, eu, ev;
       int it = 0;
       bool valid = false;
     } ck;
-    std::uint64_t seen_outages = ckpt_on ? finj->outage_events() : 0;
+    std::uint64_t seen_recovery = ckpt_on ? finj->recovery_events() : 0;
 
     int it = 0;
     // `executed` counts real trips (it rolls back with the checkpoint);
@@ -87,12 +91,14 @@ ParCCResult cc_coalesced(pgas::Runtime& rt, const graph::EdgeList& el,
         break;
       }
 
+      bool fresh_ckpt = false;
       if (ckpt_on) {
-        const std::uint64_t ev_now = finj->outage_events();
-        if (ev_now != seen_outages && ck.valid) {
-          // An outage window closed since we last looked: the affected
-          // node's recent superstep work is suspect, so every thread
-          // rolls back to the last pre-outage snapshot and re-runs.
+        const std::uint64_t ev_now = finj->recovery_events();
+        if (ev_now != seen_recovery && ck.valid) {
+          // An outage window closed (or the runtime shrank after a
+          // permanent node loss) since we last looked: the recent
+          // superstep work is suspect, so every thread rolls back to the
+          // last snapshot and re-runs over the surviving topology.
           auto blk = run.d.local_span(me);
           std::copy(ck.d.begin(), ck.d.end(), blk.begin());
           eu = ck.eu;
@@ -107,7 +113,7 @@ ParCCResult cc_coalesced(pgas::Runtime& rt, const graph::EdgeList& el,
                       Cat::Copy);
           if (me == 0) finj->count_rollback();
           ctx.barrier();  // restores visible before the next getd serves
-        } else if (ev_now == seen_outages &&
+        } else if (ev_now == seen_recovery &&
                    !finj->outage_active(ctx.epoch())) {
           auto blk = run.d.local_span(me);
           ck.d.assign(blk.begin(), blk.end());
@@ -119,76 +125,93 @@ ParCCResult cc_coalesced(pgas::Runtime& rt, const graph::EdgeList& el,
                           sizeof(std::uint64_t),
                       Cat::Copy);
           if (me == 0) finj->count_checkpoint();
+          fresh_ckpt = true;
         }
-        seen_outages = ev_now;
+        seen_recovery = ev_now;
       }
 
-      // --- read endpoint labels (coalesced; keys cacheable via `id`).
-      du.resize(eu.size());
-      dv.resize(ev.size());
-      coll::getd(ctx, run.d, eu, std::span<std::uint64_t>(du), copt, run.cc,
-                 ws_u, known);
-      coll::getd(ctx, run.d, ev, std::span<std::uint64_t>(dv), copt, run.cc,
-                 ws_v, known);
+      try {
+        // Buddy replication rides on checkpoint boundaries: mirror the
+        // fresh snapshot's GlobalArray partitions onto each node's
+        // predecessor (no-op unless a loss plan is configured).
+        if (fresh_ckpt) pgas::replicate_to_buddy(ctx);
 
-      // --- graft requests: hook the larger root under the smaller.
-      gi.clear();
-      gv.clear();
-      for (std::size_t k = 0; k < eu.size(); ++k) {
-        if (du[k] == dv[k]) continue;
-        if (du[k] < dv[k]) {
-          gi.push_back(dv[k]);
-          gv.push_back(du[k]);
-        } else {
-          gi.push_back(du[k]);
-          gv.push_back(dv[k]);
-        }
-      }
-      ctx.mem_seq(eu.size() * 2 * sizeof(std::uint64_t), Cat::Work);
-      ctx.compute(eu.size() * 3, Cat::Work);
+        // --- read endpoint labels (coalesced; keys cacheable via `id`).
+        du.resize(eu.size());
+        dv.resize(ev.size());
+        coll::getd(ctx, run.d, eu, std::span<std::uint64_t>(du), copt,
+                   run.cc, ws_u, known);
+        coll::getd(ctx, run.d, ev, std::span<std::uint64_t>(dv), copt,
+                   run.cc, ws_v, known);
 
-      if (!pgas::allreduce_or(ctx, !gi.empty())) break;
-
-      ws_set.invalidate_keys();
-      // Arbitrary concurrent write, as in the paper's CC ("SetD implements
-      // arbitrary concurrent writes").  All targets are star roots and all
-      // proposals are smaller labels, so any winner preserves monotone
-      // convergence.
-      coll::setd(ctx, run.d, gi, std::span<const std::uint64_t>(gv), copt,
-                 run.cc, ws_set);
-
-      // --- lock-step pointer jumping until rooted stars.  CC hooks larger
-      // labels under smaller ones, so D[0] == 0 forever and the offload
-      // optimization applies to the jump requests (the paper's hotspot).
-      jump_to_stars(ctx, run.d, copt, run.cc, ws_jump, par, grand, known);
-
-      // --- compact: drop edges already inside one component, keeping the
-      // cached target keys aligned with the surviving requests.
-      if (opt.compact) {
-        std::size_t kept = 0;
-        const bool keys_ok = ws_u.keys_valid && ws_v.keys_valid &&
-                             ws_u.keys.size() == eu.size() &&
-                             ws_v.keys.size() == ev.size();
+        // --- graft requests: hook the larger root under the smaller.
+        gi.clear();
+        gv.clear();
         for (std::size_t k = 0; k < eu.size(); ++k) {
           if (du[k] == dv[k]) continue;
-          eu[kept] = eu[k];
-          ev[kept] = ev[k];
-          if (keys_ok) {
-            ws_u.keys[kept] = ws_u.keys[k];
-            ws_v.keys[kept] = ws_v.keys[k];
+          if (du[k] < dv[k]) {
+            gi.push_back(dv[k]);
+            gv.push_back(du[k]);
+          } else {
+            gi.push_back(du[k]);
+            gv.push_back(dv[k]);
           }
-          ++kept;
-        }
-        eu.resize(kept);
-        ev.resize(kept);
-        if (keys_ok) {
-          ws_u.keys.resize(kept);
-          ws_v.keys.resize(kept);
-        } else {
-          ws_u.invalidate_keys();
-          ws_v.invalidate_keys();
         }
         ctx.mem_seq(eu.size() * 2 * sizeof(std::uint64_t), Cat::Work);
+        ctx.compute(eu.size() * 3, Cat::Work);
+
+        if (!pgas::allreduce_or(ctx, !gi.empty())) break;
+
+        ws_set.invalidate_keys();
+        // Arbitrary concurrent write, as in the paper's CC ("SetD
+        // implements arbitrary concurrent writes").  All targets are star
+        // roots and all proposals are smaller labels, so any winner
+        // preserves monotone convergence.
+        coll::setd(ctx, run.d, gi, std::span<const std::uint64_t>(gv), copt,
+                   run.cc, ws_set);
+
+        // --- lock-step pointer jumping until rooted stars.  CC hooks
+        // larger labels under smaller ones, so D[0] == 0 forever and the
+        // offload optimization applies to the jump requests (the paper's
+        // hotspot).
+        jump_to_stars(ctx, run.d, copt, run.cc, ws_jump, par, grand, known);
+
+        // --- compact: drop edges already inside one component, keeping
+        // the cached target keys aligned with the surviving requests.
+        if (opt.compact) {
+          std::size_t kept = 0;
+          const bool keys_ok = ws_u.keys_valid && ws_v.keys_valid &&
+                               ws_u.keys.size() == eu.size() &&
+                               ws_v.keys.size() == ev.size();
+          for (std::size_t k = 0; k < eu.size(); ++k) {
+            if (du[k] == dv[k]) continue;
+            eu[kept] = eu[k];
+            ev[kept] = ev[k];
+            if (keys_ok) {
+              ws_u.keys[kept] = ws_u.keys[k];
+              ws_v.keys[kept] = ws_v.keys[k];
+            }
+            ++kept;
+          }
+          eu.resize(kept);
+          ev.resize(kept);
+          if (keys_ok) {
+            ws_u.keys.resize(kept);
+            ws_v.keys.resize(kept);
+          } else {
+            ws_u.invalidate_keys();
+            ws_v.invalidate_keys();
+          }
+          ctx.mem_seq(eu.size() * 2 * sizeof(std::uint64_t), Cat::Work);
+        }
+      } catch (const fault::FaultError& fe) {
+        // A permanent node loss surfaced collectively: the runtime already
+        // promoted the buddy's mirrors and shrank the topology.  Roll back
+        // to the last checkpoint (loop top) and re-run the superstep over
+        // the survivors; without a checkpoint the loss is unrecoverable.
+        if (fe.kind() != fault::FaultKind::PermanentLoss || !ck.valid)
+          throw;
+        continue;
       }
     }
     if (me == 0) run.iterations.store(it + 1, std::memory_order_relaxed);

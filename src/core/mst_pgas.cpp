@@ -12,6 +12,7 @@
 #include "core/pointer_jump.hpp"
 #include "pgas/coll.hpp"
 #include "pgas/global_array.hpp"
+#include "pgas/replica.hpp"
 
 namespace pgraph::core {
 
@@ -69,7 +70,9 @@ ParMstResult mst_pgas(pgas::Runtime& rt, const graph::WEdgeList& el,
   // snapshots the marked-edge list and accumulated weight, since a rolled
   // back iteration re-marks its edges.
   fault::FaultInjector* const finj = rt.fault_injector();
-  const bool ckpt_on = finj != nullptr && finj->config().outage_every > 0;
+  const bool ckpt_on =
+      finj != nullptr &&
+      (finj->config().outage_every > 0 || finj->config().loss_enabled());
 
   rt.run([&](pgas::ThreadCtx& ctx) {
     const int me = ctx.id();
@@ -105,7 +108,7 @@ ParMstResult mst_pgas(pgas::Runtime& rt, const graph::WEdgeList& el,
       int it = 0;
       bool valid = false;
     } ck;
-    std::uint64_t seen_outages = ckpt_on ? finj->outage_events() : 0;
+    std::uint64_t seen_recovery = ckpt_on ? finj->recovery_events() : 0;
 
     int it = 0;
     for (int executed = 0;; ++it, ++executed) {
@@ -114,9 +117,10 @@ ParMstResult mst_pgas(pgas::Runtime& rt, const graph::WEdgeList& el,
         break;
       }
 
+      bool fresh_ckpt = false;
       if (ckpt_on) {
-        const std::uint64_t ev_now = finj->outage_events();
-        if (ev_now != seen_outages && ck.valid) {
+        const std::uint64_t ev_now = finj->recovery_events();
+        if (ev_now != seen_recovery && ck.valid) {
           auto blk = d.local_span(me);
           std::copy(ck.d.begin(), ck.d.end(), blk.begin());
           eu = ck.eu;
@@ -137,7 +141,7 @@ ParMstResult mst_pgas(pgas::Runtime& rt, const graph::WEdgeList& el,
               Cat::Copy);
           if (me == 0) finj->count_rollback();
           ctx.barrier();  // restores visible before the next getd serves
-        } else if (ev_now == seen_outages &&
+        } else if (ev_now == seen_recovery &&
                    !finj->outage_active(ctx.epoch())) {
           auto blk = d.local_span(me);
           ck.d.assign(blk.begin(), blk.end());
@@ -154,119 +158,135 @@ ParMstResult mst_pgas(pgas::Runtime& rt, const graph::WEdgeList& el,
                   sizeof(std::uint64_t),
               Cat::Copy);
           if (me == 0) finj->count_checkpoint();
+          fresh_ckpt = true;
         }
-        seen_outages = ev_now;
+        seen_recovery = ev_now;
       }
 
-      // --- step 1: labels of both endpoints of every active edge.
-      du.resize(eu.size());
-      dv.resize(ev.size());
-      coll::getd(ctx, d, eu, std::span<std::uint64_t>(du), copt, cc, ws_u);
-      coll::getd(ctx, d, ev, std::span<std::uint64_t>(dv), copt, cc, ws_v);
+      try {
+        // Buddy replication at checkpoint boundaries (no-op without a
+        // loss plan); see cc_coalesced.
+        if (fresh_ckpt) pgas::replicate_to_buddy(ctx);
 
-      bool active = false;
-      for (std::size_t k = 0; k < eu.size(); ++k)
-        if (du[k] != dv[k]) {
-          active = true;
-          break;
-        }
-      if (!pgas::allreduce_or(ctx, active)) break;
+        // --- step 1: labels of both endpoints of every active edge.
+        du.resize(eu.size());
+        dv.resize(ev.size());
+        coll::getd(ctx, d, eu, std::span<std::uint64_t>(du), copt, cc, ws_u);
+        coll::getd(ctx, d, ev, std::span<std::uint64_t>(dv), copt, cc, ws_v);
 
-      // --- step 2: reset candidates, then priority-write the minimum
-      // incident edge of every supervertex (SetDMin replaces MST-SMP's
-      // fine-grained locks).
-      {
-        auto cb = cand.local_span(me);
-        for (auto& rec : cb) rec = CandRec{};
-        ctx.mem_seq(cb.size() * sizeof(CandRec), Cat::Work);
-      }
-      gi.clear();
-      gval.clear();
-      for (std::size_t k = 0; k < eu.size(); ++k) {
-        if (du[k] == dv[k]) continue;
-        const std::uint64_t key = (ew[k] << 32) | eid[k];
-        gi.push_back(du[k]);
-        gval.push_back({key, dv[k]});
-        gi.push_back(dv[k]);
-        gval.push_back({key, du[k]});
-      }
-      ctx.compute(eu.size() * 6, Cat::Work);
-      ws_cand.invalidate_keys();
-      coll::setd_min(ctx, cand, gi, std::span<const CandRec>(gval), copt, cc,
-                     ws_cand);
-
-      // --- step 3: graft every winning supervertex along its edge.
-      {
-        auto cb = cand.local_span(me);
-        auto db = d.local_span(me);
-        const std::uint64_t base = d.block_begin(me);
-        roots.clear();
-        rpar.clear();
-        rkey.clear();
-        for (std::size_t k = 0; k < cb.size(); ++k) {
-          if (cb[k].key == kInfKey) continue;
-          // Targets of SetDMin are star roots, so base+k is a root.
-          db[k] = cb[k].parent;
-          roots.push_back(base + k);
-          rpar.push_back(cb[k].parent);
-          rkey.push_back(cb[k].key);
-        }
-        ctx.mem_seq(cb.size() * sizeof(CandRec), Cat::Copy);
-        ctx.barrier();  // all grafts visible before the 2-cycle check
-
-        // --- step 4: break 2-cycles (two components choosing edges that
-        // hook them onto each other); the smaller root reverts and does
-        // not mark its edge, so each connecting edge is counted once.
-        grand.resize(rpar.size());
-        ws_misc.invalidate_keys();
-        coll::getd(ctx, d, rpar, std::span<std::uint64_t>(grand), copt, cc,
-                   ws_misc);
-        for (std::size_t k = 0; k < roots.size(); ++k) {
-          const bool two_cycle = grand[k] == roots[k];
-          if (two_cycle && roots[k] < rpar[k]) {
-            db[roots[k] - base] = roots[k];  // stay root, unmark
-            continue;
+        bool active = false;
+        for (std::size_t k = 0; k < eu.size(); ++k)
+          if (du[k] != dv[k]) {
+            active = true;
+            break;
           }
-          my_mst.push_back(rkey[k] & 0xffffffffULL);
-          mst_weight[static_cast<std::size_t>(me)] += rkey[k] >> 32;
+        if (!pgas::allreduce_or(ctx, active)) break;
+
+        // --- step 2: reset candidates, then priority-write the minimum
+        // incident edge of every supervertex (SetDMin replaces MST-SMP's
+        // fine-grained locks).
+        {
+          auto cb = cand.local_span(me);
+          for (auto& rec : cb) rec = CandRec{};
+          ctx.mem_seq(cb.size() * sizeof(CandRec), Cat::Work);
         }
-        ctx.compute(roots.size() * 3, Cat::Work);
-        ctx.barrier();
-      }
-
-      // --- step 5: collapse the new trees to rooted stars.
-      jump_to_stars(ctx, d, copt, cc, ws_jump, par, grand);
-
-      // --- step 6: compact.
-      if (opt.compact) {
-        const bool keys_ok = ws_u.keys_valid && ws_v.keys_valid &&
-                             ws_u.keys.size() == eu.size() &&
-                             ws_v.keys.size() == ev.size();
-        std::size_t kept = 0;
+        gi.clear();
+        gval.clear();
         for (std::size_t k = 0; k < eu.size(); ++k) {
           if (du[k] == dv[k]) continue;
-          eu[kept] = eu[k];
-          ev[kept] = ev[k];
-          ew[kept] = ew[k];
-          eid[kept] = eid[k];
-          if (keys_ok) {
-            ws_u.keys[kept] = ws_u.keys[k];
-            ws_v.keys[kept] = ws_v.keys[k];
+          const std::uint64_t key = (ew[k] << 32) | eid[k];
+          gi.push_back(du[k]);
+          gval.push_back({key, dv[k]});
+          gi.push_back(dv[k]);
+          gval.push_back({key, du[k]});
+        }
+        ctx.compute(eu.size() * 6, Cat::Work);
+        ws_cand.invalidate_keys();
+        coll::setd_min(ctx, cand, gi, std::span<const CandRec>(gval), copt,
+                       cc, ws_cand);
+
+        // --- step 3: graft every winning supervertex along its edge.
+        {
+          auto cb = cand.local_span(me);
+          auto db = d.local_span(me);
+          const std::uint64_t base = d.block_begin(me);
+          roots.clear();
+          rpar.clear();
+          rkey.clear();
+          for (std::size_t k = 0; k < cb.size(); ++k) {
+            if (cb[k].key == kInfKey) continue;
+            // Targets of SetDMin are star roots, so base+k is a root.
+            db[k] = cb[k].parent;
+            roots.push_back(base + k);
+            rpar.push_back(cb[k].parent);
+            rkey.push_back(cb[k].key);
           }
-          ++kept;
+          ctx.mem_seq(cb.size() * sizeof(CandRec), Cat::Copy);
+          ctx.barrier();  // all grafts visible before the 2-cycle check
+
+          // --- step 4: break 2-cycles (two components choosing edges that
+          // hook them onto each other); the smaller root reverts and does
+          // not mark its edge, so each connecting edge is counted once.
+          grand.resize(rpar.size());
+          ws_misc.invalidate_keys();
+          coll::getd(ctx, d, rpar, std::span<std::uint64_t>(grand), copt, cc,
+                     ws_misc);
+          for (std::size_t k = 0; k < roots.size(); ++k) {
+            const bool two_cycle = grand[k] == roots[k];
+            if (two_cycle && roots[k] < rpar[k]) {
+              db[roots[k] - base] = roots[k];  // stay root, unmark
+              continue;
+            }
+            my_mst.push_back(rkey[k] & 0xffffffffULL);
+            mst_weight[static_cast<std::size_t>(me)] += rkey[k] >> 32;
+          }
+          ctx.compute(roots.size() * 3, Cat::Work);
+          ctx.barrier();
         }
-        eu.resize(kept);
-        ev.resize(kept);
-        ew.resize(kept);
-        eid.resize(kept);
-        if (keys_ok) {
-          ws_u.keys.resize(kept);
-          ws_v.keys.resize(kept);
-        } else {
-          ws_u.invalidate_keys();
-          ws_v.invalidate_keys();
+
+        // --- step 5: collapse the new trees to rooted stars.
+        jump_to_stars(ctx, d, copt, cc, ws_jump, par, grand);
+
+        // --- step 6: compact.
+        if (opt.compact) {
+          const bool keys_ok = ws_u.keys_valid && ws_v.keys_valid &&
+                               ws_u.keys.size() == eu.size() &&
+                               ws_v.keys.size() == ev.size();
+          std::size_t kept = 0;
+          for (std::size_t k = 0; k < eu.size(); ++k) {
+            if (du[k] == dv[k]) continue;
+            eu[kept] = eu[k];
+            ev[kept] = ev[k];
+            ew[kept] = ew[k];
+            eid[kept] = eid[k];
+            if (keys_ok) {
+              ws_u.keys[kept] = ws_u.keys[k];
+              ws_v.keys[kept] = ws_v.keys[k];
+            }
+            ++kept;
+          }
+          eu.resize(kept);
+          ev.resize(kept);
+          ew.resize(kept);
+          eid.resize(kept);
+          if (keys_ok) {
+            ws_u.keys.resize(kept);
+            ws_v.keys.resize(kept);
+          } else {
+            ws_u.invalidate_keys();
+            ws_v.invalidate_keys();
+          }
+          ctx.mem_seq(eu.size() * 4 * sizeof(std::uint64_t), Cat::Work);
         }
-        ctx.mem_seq(eu.size() * 4 * sizeof(std::uint64_t), Cat::Work);
+      } catch (const fault::FaultError& fe) {
+        // Permanent node loss: the runtime shrank onto the buddy; roll
+        // back to the last checkpoint at the loop top and re-run over the
+        // survivors.  A mid-superstep D (e.g. partway through pointer
+        // jumping) must not be continued, only rolled back — without a
+        // checkpoint the loss is unrecoverable.
+        if (fe.kind() != fault::FaultKind::PermanentLoss || !ck.valid)
+          throw;
+        continue;
       }
     }
     if (me == 0) iterations.store(it + 1, std::memory_order_relaxed);

@@ -16,6 +16,7 @@ enum Stream : std::uint64_t {
   kStreamCorrupt = 0x44,
   kStreamStraggle = 0x55,
   kStreamOutage = 0x66,
+  kStreamLoss = 0x77,
 };
 
 }  // namespace
@@ -46,6 +47,7 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::Straggler: return "straggler";
     case FaultKind::Outage: return "outage";
     case FaultKind::RetryExhausted: return "retry-exhausted";
+    case FaultKind::PermanentLoss: return "permanent-loss";
   }
   return "?";
 }
@@ -90,6 +92,8 @@ FaultConfig FaultConfig::parse(const std::string& spec, std::uint64_t seed) {
     else if (key == "straggle_ns") cfg.straggle_ns = v;
     else if (key == "outage_every") cfg.outage_every = static_cast<std::uint64_t>(v);
     else if (key == "outage_k") cfg.outage_k = static_cast<int>(v);
+    else if (key == "loss_at") cfg.loss_at = static_cast<std::uint64_t>(v);
+    else if (key == "loss_node") cfg.loss_node = static_cast<int>(v);
     else if (key == "retries") cfg.max_retries = static_cast<int>(v);
     else if (key == "timeout_ns") cfg.ack_timeout_ns = v;
     else if (key == "backoff_ns") cfg.retry_backoff_ns = v;
@@ -106,8 +110,26 @@ FaultConfig FaultConfig::parse(const std::string& spec, std::uint64_t seed) {
     cfg.outage_k = std::clamp<int>(cfg.outage_k, 1,
                                    static_cast<int>(cfg.outage_every) - 1);
   }
+  if (cfg.loss_at == 0 && cfg.loss_node >= 0)
+    throw std::invalid_argument(
+        "faults: loss_node requires loss_at > 0");
   cfg.max_retries = std::max(cfg.max_retries, 0);
   return cfg;
+}
+
+void FaultConfig::validate_topology(int nodes) const {
+  if (outage_every > 0 && nodes < 2)
+    throw std::invalid_argument(
+        "faults: outage_* plans need at least 2 nodes (got " +
+        std::to_string(nodes) + "); a 1-node outage can never recover");
+  if (loss_at > 0 && nodes < 2)
+    throw std::invalid_argument(
+        "faults: loss_* plans need at least 2 nodes (got " +
+        std::to_string(nodes) + "); there is no buddy to fail over to");
+  if (loss_node >= nodes)
+    throw std::invalid_argument(
+        "faults: loss_node=" + std::to_string(loss_node) +
+        " does not exist on " + std::to_string(nodes) + " node(s)");
 }
 
 std::uint64_t FaultInjector::draw(std::uint64_t stream, std::uint64_t a,
@@ -144,12 +166,26 @@ void FaultInjector::raise_outage_event() {
   c_outage_events_.fetch_add(1, std::memory_order_acq_rel);
 }
 
+int FaultInjector::perm_lost_node(int nodes, std::uint64_t epoch) const {
+  if (cfg_.loss_at == 0 || nodes <= 1 || epoch < cfg_.loss_at) return -1;
+  if (cfg_.loss_node >= 0) return cfg_.loss_node % nodes;
+  // Drawn once from the plan (keyed on loss_at, not epoch): the same node
+  // is lost at every epoch >= loss_at.
+  return static_cast<int>(draw(kStreamLoss, cfg_.loss_at, 0, 0) %
+                          static_cast<std::uint64_t>(nodes));
+}
+
+void FaultInjector::raise_loss_event() {
+  c_loss_events_.fetch_add(1, std::memory_order_acq_rel);
+}
+
 ExchangeFaults FaultInjector::apply_exchange(
     machine::ExchangePlan& plan, const std::vector<std::int32_t>& thread_node,
     int nodes, std::uint64_t epoch, int attempt) {
   ExchangeFaults out;
   if (!cfg_.network_faults()) return out;
   const int down = down_node(nodes, epoch);
+  const int lost = perm_lost_node(nodes, epoch);
   const std::uint64_t att = static_cast<std::uint64_t>(attempt);
   for (std::size_t thr = 0; thr < plan.size(); ++thr) {
     auto& lst = plan[thr];
@@ -158,6 +194,20 @@ ExchangeFaults FaultInjector::apply_exchange(
     for (std::size_t k = 0; k < base_n; ++k) {
       machine::ExchangeMsg m = lst[k];
       const std::uint64_t actor = (static_cast<std::uint64_t>(thr) << 32) | k;
+      if (lost >= 0 && (src == lost || m.dst_node == lost)) {
+        // Unlike outage drops, loss drops ARE retried: the sender cannot
+        // know the peer is gone for good, so it burns the full ack-timeout
+        // + backoff ladder before the runtime declares the node lost and
+        // shrinks (Runtime::on_barrier).
+        m.dropped = true;
+        lst[k] = m;
+        c_loss_drops_.fetch_add(1, std::memory_order_relaxed);
+        machine::ExchangeMsg clean = m;
+        clean.dropped = false;
+        clean.extra_delay_ns = 0.0;
+        out.retry.emplace_back(thr, clean);
+        continue;
+      }
       if (down >= 0 && (src == down || m.dst_node == down)) {
         m.dropped = true;
         lst[k] = m;
@@ -271,6 +321,18 @@ void FaultInjector::count_checkpoint() {
   c_checkpoints_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void FaultInjector::count_replication() {
+  c_replications_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::count_replica_bytes(std::size_t bytes) {
+  c_replica_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void FaultInjector::count_promoted(std::size_t bytes) {
+  c_promoted_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
 FaultCounters FaultInjector::counters() const {
   FaultCounters c;
   c.drops = c_drops_.load(std::memory_order_relaxed);
@@ -286,6 +348,11 @@ FaultCounters FaultInjector::counters() const {
   c.rollbacks = c_rollbacks_.load(std::memory_order_relaxed);
   c.checkpoints = c_checkpoints_.load(std::memory_order_relaxed);
   c.retry_wait_ns = c_retry_wait_ns_.load(std::memory_order_relaxed);
+  c.loss_drops = c_loss_drops_.load(std::memory_order_relaxed);
+  c.loss_events = c_loss_events_.load(std::memory_order_acquire);
+  c.replications = c_replications_.load(std::memory_order_relaxed);
+  c.replica_bytes = c_replica_bytes_.load(std::memory_order_relaxed);
+  c.promoted_bytes = c_promoted_bytes_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -303,6 +370,11 @@ void FaultInjector::reset_counters() {
   c_rollbacks_ = 0;
   c_checkpoints_ = 0;
   c_retry_wait_ns_ = 0;
+  c_loss_drops_ = 0;
+  c_loss_events_ = 0;
+  c_replications_ = 0;
+  c_replica_bytes_ = 0;
+  c_promoted_bytes_ = 0;
   std::lock_guard<std::mutex> lock(corrupt_mu_);
   corrupt_events_.clear();
 }

@@ -52,6 +52,7 @@ enum class FaultKind : std::uint8_t {
   Straggler,
   Outage,
   RetryExhausted,
+  PermanentLoss,  ///< node never comes back; runtime shrank to the buddy
 };
 
 const char* fault_kind_name(FaultKind k);
@@ -73,7 +74,7 @@ class FaultError : public std::runtime_error {
 /// harness `--faults` spec: comma-separated key=value pairs, e.g.
 ///   drop=0.02,dup=0.01,delay=0.05,corrupt=0.1,straggle=0.1,outage_every=50
 /// Keys: drop dup delay delay_ns corrupt straggle straggle_ns outage_every
-/// outage_k retries timeout_ns backoff_ns cap_ns.
+/// outage_k loss_at loss_node retries timeout_ns backoff_ns cap_ns.
 struct FaultConfig {
   std::uint64_t seed = 1;
 
@@ -96,6 +97,13 @@ struct FaultConfig {
   std::uint64_t outage_every = 0;
   int outage_k = 2;
 
+  // Permanent node loss: from epoch `loss_at` on, one node is down for
+  // good (0 disables).  `loss_node` pins the victim; -1 draws it from the
+  // seeded plan.  Recovery is the buddy-replication shrink protocol
+  // (docs/ROBUSTNESS.md "Degraded mode").
+  std::uint64_t loss_at = 0;
+  int loss_node = -1;
+
   // Recovery protocol (modeled time).
   int max_retries = 6;
   double ack_timeout_ns = 8000.0;
@@ -103,8 +111,10 @@ struct FaultConfig {
   double backoff_cap_ns = 262144.0;
 
   bool corruption_enabled() const { return corrupt_p > 0.0; }
+  bool loss_enabled() const { return loss_at > 0; }
   bool network_faults() const {
-    return drop_p > 0.0 || dup_p > 0.0 || delay_p > 0.0 || outage_every > 0;
+    return drop_p > 0.0 || dup_p > 0.0 || delay_p > 0.0 || outage_every > 0 ||
+           loss_at > 0;
   }
   bool any_faults() const {
     return network_faults() || corruption_enabled() || straggle_p > 0.0;
@@ -114,6 +124,11 @@ struct FaultConfig {
   /// Parse a `--faults` spec; throws std::invalid_argument on unknown keys
   /// or malformed values.  An empty spec is a valid all-zero plan.
   static FaultConfig parse(const std::string& spec, std::uint64_t seed);
+
+  /// Reject plans that cannot run on `nodes` nodes: outages and permanent
+  /// loss need at least 2 nodes (there is nobody to fail over to on one),
+  /// and a pinned loss_node must exist.  Throws std::invalid_argument.
+  void validate_topology(int nodes) const;
 };
 
 /// Monotone event counters (snapshot; see FaultInjector::counters).
@@ -132,6 +147,11 @@ struct FaultCounters {
   std::uint64_t rollbacks = 0;
   std::uint64_t checkpoints = 0;
   std::uint64_t retry_wait_ns = 0; ///< modeled ack-timeout + backoff time
+  std::uint64_t loss_drops = 0;    ///< drops caused by a permanently lost node
+  std::uint64_t loss_events = 0;   ///< shrink events (one per lost node)
+  std::uint64_t replications = 0;  ///< buddy replication passes completed
+  std::uint64_t replica_bytes = 0; ///< bytes mirrored to buddies
+  std::uint64_t promoted_bytes = 0;///< mirror bytes promoted at a shrink
 };
 
 /// What one fault pass over an exchange plan produced: the retryable lost
@@ -174,6 +194,20 @@ class FaultInjector {
     return c_outage_events_.load(std::memory_order_acquire);
   }
 
+  // --- permanent node loss ----------------------------------------------
+  /// Node that is permanently lost as of `epoch`, or -1.  Stable: the same
+  /// node for every epoch >= loss_at.
+  int perm_lost_node(int nodes, std::uint64_t epoch) const;
+  void raise_loss_event();
+  std::uint64_t loss_events() const {
+    return c_loss_events_.load(std::memory_order_acquire);
+  }
+  /// Rollback triggers for checkpointing loops: outage windows that ended
+  /// plus shrink events.
+  std::uint64_t recovery_events() const {
+    return outage_events() + loss_events();
+  }
+
   // --- stragglers -------------------------------------------------------
   /// Extra modeled delay for `thread` in the superstep ending at `epoch`
   /// (0 for non-straggling threads); counts the event when it fires.
@@ -196,6 +230,9 @@ class FaultInjector {
   void count_detected();
   void count_rollback();
   void count_checkpoint();
+  void count_replication();  ///< one buddy-replication pass completed
+  void count_replica_bytes(std::size_t bytes);
+  void count_promoted(std::size_t bytes);
 
   FaultCounters counters() const;
   void reset_counters();
@@ -230,6 +267,11 @@ class FaultInjector {
   std::atomic<std::uint64_t> c_rollbacks_{0};
   std::atomic<std::uint64_t> c_checkpoints_{0};
   std::atomic<std::uint64_t> c_retry_wait_ns_{0};
+  std::atomic<std::uint64_t> c_loss_drops_{0};
+  std::atomic<std::uint64_t> c_loss_events_{0};
+  std::atomic<std::uint64_t> c_replications_{0};
+  std::atomic<std::uint64_t> c_replica_bytes_{0};
+  std::atomic<std::uint64_t> c_promoted_bytes_{0};
 };
 
 }  // namespace pgraph::fault

@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+
+#include "fault/fault.hpp"
 
 namespace pgraph::harness {
 
@@ -51,6 +54,20 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag %s (try --help)\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  // Fail fast on a bad fault plan: parse the spec now, and when the node
+  // count is known at the command line, reject plans that the topology
+  // cannot honour (outages and permanent loss need a second node) before
+  // the bench builds its graph.
+  if (!a.faults.empty()) {
+    try {
+      const fault::FaultConfig cfg =
+          fault::FaultConfig::parse(a.faults, a.fault_seed);
+      if (a.nodes > 0) cfg.validate_topology(a.nodes);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "invalid --faults spec: %s\n", e.what());
       std::exit(2);
     }
   }

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <type_traits>
 #include <vector>
@@ -34,7 +35,7 @@ namespace pgraph::pgas {
 ///    verification; uninstrumented (callers charge via ThreadCtx, which is
 ///    what the `localcpy` optimization controls).
 template <class T>
-class GlobalArray {
+class GlobalArray final : public ReplicaSite {
   static_assert(std::is_trivially_copyable_v<T>);
 
  public:
@@ -47,7 +48,13 @@ class GlobalArray {
 #ifdef PGRAPH_CHECK_ACCESS
     shadow_ = analysis::AccessChecker::instance().register_array(n, sizeof(T));
 #endif
+    rt_->register_replica_site(this);
   }
+
+  ~GlobalArray() override { rt_->unregister_replica_site(this); }
+
+  GlobalArray(const GlobalArray&) = delete;
+  GlobalArray& operator=(const GlobalArray&) = delete;
 
   std::size_t size() const { return n_; }
   std::size_t block_size() const { return blk_; }
@@ -223,6 +230,32 @@ class GlobalArray {
     return blk_ * static_cast<std::size_t>(tpn) * sizeof(T);
   }
 
+  /// --- ReplicaSite (buddy replication, docs/ROBUSTNESS.md) --------------
+  /// The mirror is a lazily allocated second buffer; a snapshot copies one
+  /// thread's block into it and a restore copies it back (the promotion a
+  /// shrink performs).  Cost is charged by the callers; untouched mirrors
+  /// cost nothing, preserving zero-loss invariance.
+  std::size_t replica_thread_bytes(int thr) const override {
+    return local_size(thr) * sizeof(T);
+  }
+  void replica_snapshot_thread(int thr) override {
+    {
+      // Threads snapshot disjoint blocks concurrently; only the one-time
+      // allocation needs the lock.
+      std::lock_guard<std::mutex> lock(mirror_mu_);
+      if (mirror_.size() != n_) mirror_.resize(n_);
+    }
+    const std::size_t b = block_begin(thr);
+    std::memcpy(mirror_.data() + b, data_.data() + b,
+                local_size(thr) * sizeof(T));
+  }
+  void replica_restore_thread(int thr) override {
+    if (mirror_.size() != n_) return;  // never snapshotted: nothing to do
+    const std::size_t b = block_begin(thr);
+    std::memcpy(data_.data() + b, mirror_.data() + b,
+                local_size(thr) * sizeof(T));
+  }
+
  private:
   /// Shared cost path of all fine-grained single-element operations
   /// (get/put/put_min): a node-local access is one random probe over the
@@ -363,6 +396,8 @@ class GlobalArray {
   std::size_t nthreads_;
   std::size_t blk_;
   std::vector<T> data_;
+  std::vector<T> mirror_;  ///< buddy-replication mirror (lazy)
+  std::mutex mirror_mu_;
 #ifdef PGRAPH_CHECK_ACCESS
   std::shared_ptr<analysis::ArrayShadow> shadow_;
 #endif

@@ -46,11 +46,12 @@ TraceScope::~TraceScope() {
 // ThreadCtx
 // ---------------------------------------------------------------------------
 
-ThreadCtx::ThreadCtx(Runtime& rt, int id)
-    : rt_(&rt), id_(id), node_(rt.topo().node_of(id)) {
+ThreadCtx::ThreadCtx(Runtime& rt, int id) : rt_(&rt), id_(id) {
   clock_ = rt.saved_clocks_[static_cast<std::size_t>(id)];
   stats_ = rt.saved_stats_[static_cast<std::size_t>(id)];
 }
+
+int ThreadCtx::node() const { return rt_->topo().node_of(id_); }
 
 std::uint64_t ThreadCtx::epoch() const { return rt_->epoch_; }
 
@@ -66,8 +67,8 @@ void ThreadCtx::compute(std::size_t ops, machine::Cat c) {
 
 void ThreadCtx::mem_seq(std::size_t bytes, machine::Cat c) {
   charge(c, rt_->mem().seq_ns(bytes));
-  rt_->accrue_bus(node_, static_cast<double>(bytes) *
-                             rt_->params().mem_bus_inv_bw_ns_per_byte);
+  rt_->accrue_bus(node(), static_cast<double>(bytes) *
+                              rt_->params().mem_bus_inv_bw_ns_per_byte);
   checker_charged(id_, bytes);
 }
 
@@ -75,9 +76,9 @@ void ThreadCtx::mem_random(std::size_t count, std::size_t working_set_bytes,
                            std::size_t elem_bytes, machine::Cat c) {
   charge(c, rt_->mem().random_ns(count, working_set_bytes, elem_bytes));
   rt_->accrue_bus(
-      node_, rt_->mem().random_traffic_bytes(count, working_set_bytes,
-                                             elem_bytes) *
-                 rt_->params().mem_bus_inv_bw_ns_per_byte);
+      node(), rt_->mem().random_traffic_bytes(count, working_set_bytes,
+                                              elem_bytes) *
+                  rt_->params().mem_bus_inv_bw_ns_per_byte);
   checker_charged(id_, count * elem_bytes);
 }
 
@@ -86,9 +87,9 @@ void ThreadCtx::mem_random_write(std::size_t count,
                                  std::size_t elem_bytes, machine::Cat c) {
   charge(c, rt_->mem().random_write_ns(count, working_set_bytes, elem_bytes));
   rt_->accrue_bus(
-      node_, rt_->mem().random_traffic_bytes(count, working_set_bytes,
-                                             elem_bytes) *
-                 rt_->params().mem_bus_inv_bw_ns_per_byte);
+      node(), rt_->mem().random_traffic_bytes(count, working_set_bytes,
+                                              elem_bytes) *
+                  rt_->params().mem_bus_inv_bw_ns_per_byte);
   checker_charged(id_, count * elem_bytes);
 }
 
@@ -98,10 +99,10 @@ void ThreadCtx::mem_compulsory(std::size_t count, std::size_t elem_bytes,
   charge(c, static_cast<double>(count) *
                 (p.mem_latency_ns +
                  static_cast<double>(elem_bytes) * p.mem_inv_bw_ns_per_byte));
-  rt_->accrue_bus(node_, static_cast<double>(count) *
-                             static_cast<double>(p.cache_line_bytes) *
-                             p.dram_random_penalty *
-                             p.mem_bus_inv_bw_ns_per_byte);
+  rt_->accrue_bus(node(), static_cast<double>(count) *
+                              static_cast<double>(p.cache_line_bytes) *
+                              p.dram_random_penalty *
+                              p.mem_bus_inv_bw_ns_per_byte);
   checker_charged(id_, count * elem_bytes);
 }
 
@@ -111,52 +112,56 @@ void ThreadCtx::locks(std::size_t n, machine::Cat c) {
 
 void ThreadCtx::remote_get_cost(int owner_thread, std::size_t bytes,
                                 machine::Cat c) {
+  const int me = node();
   const int dst = rt_->topo().node_of(owner_thread);
-  if (dst == node_) {
+  if (dst == me) {
     // Same node: a random access into the owner's block.
     mem_random(1, rt_->params().cache_bytes * 4, bytes, c);
     return;
   }
-  charge(c, rt_->net().fine_get_ns(node_, dst, bytes));
+  charge(c, rt_->net().fine_get_ns(me, dst, bytes));
   checker_charged(id_, bytes);
 }
 
 void ThreadCtx::remote_put_cost(int owner_thread, std::size_t bytes,
                                 machine::Cat c) {
+  const int me = node();
   const int dst = rt_->topo().node_of(owner_thread);
-  if (dst == node_) {
+  if (dst == me) {
     mem_random(1, rt_->params().cache_bytes * 4, bytes, c);
     return;
   }
-  charge(c, rt_->net().fine_put_ns(node_, dst, bytes));
+  charge(c, rt_->net().fine_put_ns(me, dst, bytes));
   checker_charged(id_, bytes);
 }
 
 void ThreadCtx::bulk_get_cost(int owner_thread, std::size_t bytes,
                               machine::Cat c) {
   checker_charged(id_, bytes);
+  const int me = node();
   const int dst = rt_->topo().node_of(owner_thread);
-  if (dst == node_) {
+  if (dst == me) {
     charge(c, rt_->mem().seq_ns(bytes));
     return;
   }
-  charge(c, rt_->net().bulk_get_ns(node_, dst, bytes));
+  charge(c, rt_->net().bulk_get_ns(me, dst, bytes));
 }
 
 void ThreadCtx::bulk_put_cost(int owner_thread, std::size_t bytes,
                               machine::Cat c) {
   checker_charged(id_, bytes);
+  const int me = node();
   const int dst = rt_->topo().node_of(owner_thread);
-  if (dst == node_) {
+  if (dst == me) {
     charge(c, rt_->mem().seq_ns(bytes));
     return;
   }
-  charge(c, rt_->net().bulk_put_ns(node_, dst, bytes));
+  charge(c, rt_->net().bulk_put_ns(me, dst, bytes));
 }
 
 void ThreadCtx::post_exchange_msg(int dst_thread, std::size_t bytes) {
   const int dst_node = rt_->topo().node_of(dst_thread);
-  if (dst_node == node_) {
+  if (dst_node == node()) {
     // Intra-node "message": a streamed memory copy, no NIC involvement.
     mem_seq(bytes, machine::Cat::Comm);
     return;
@@ -173,6 +178,15 @@ void ThreadCtx::post_exchange_msg(int dst_thread, std::size_t bytes) {
 
 void ThreadCtx::exchange_barrier() {
   rt_->barrier_sync(*this, true);
+  // A shrink in the completion step tags its epoch; the threads returning
+  // from exactly that barrier (epoch advanced by one) throw together so
+  // checkpointing algorithms can roll back onto the surviving nodes.
+  if (rt_->loss_throw_epoch_ + 1 == rt_->epoch_) {
+    throw fault::FaultError(
+        fault::FaultKind::PermanentLoss,
+        "permanent node loss; runtime shrank onto the buddy (epoch " +
+            std::to_string(rt_->loss_throw_epoch_) + ")");
+  }
   // Retry exhaustion is detected in the completion step, so every thread
   // of this barrier observes it and throws together (collective failure;
   // Runtime::run unwinds without deadlock).
@@ -293,6 +307,31 @@ void Runtime::trace_crcw(const char* label, bool begin) {
   sink_->on_crcw(c->id(), label, c->now_ns(), begin);
 }
 
+void Runtime::set_fault_injector(fault::FaultInjector* inj) {
+  if (inj != nullptr) {
+    inj->config().validate_topology(topo_.nodes);
+    // Per-attach counter lifetime: bench reports delta per row, so a
+    // previously attached runtime's events must not leak into this one.
+    inj->reset_counters();
+  }
+  fault_ = inj;
+  fault_failed_.store(false, std::memory_order_relaxed);
+  trace_prev_faults_ =
+      inj != nullptr ? inj->counters() : fault::FaultCounters{};
+}
+
+void Runtime::register_replica_site(ReplicaSite* site) {
+  std::lock_guard<std::mutex> lock(replica_mu_);
+  replica_sites_.push_back(site);
+  replicas_valid_.store(false, std::memory_order_release);
+}
+
+void Runtime::unregister_replica_site(ReplicaSite* site) {
+  std::lock_guard<std::mutex> lock(replica_mu_);
+  std::erase(replica_sites_, site);
+  replicas_valid_.store(false, std::memory_order_release);
+}
+
 void Runtime::set_trace_sink(TraceSink* sink) {
   sink_ = sink;
   if (sink_ == nullptr) return;
@@ -339,6 +378,60 @@ machine::PhaseStats Runtime::total_stats() const {
 void Runtime::barrier_sync(ThreadCtx& ctx, bool /*exchange*/) {
   (void)ctx;
   bar_->arrive_and_wait();
+}
+
+bool Runtime::try_shrink_after_exhaustion(
+    const std::vector<std::pair<std::size_t, machine::ExchangeMsg>>& retry,
+    double& exch_dur) {
+  if (fault_ == nullptr) return false;
+  const int lost = fault_->perm_lost_node(topo_.nodes, epoch_);
+  if (lost < 0 || !topo_.node_alive(lost)) return false;
+  if (topo_.live_node_count() < 2) return false;
+  // Only shrink when the dead node explains every undelivered message;
+  // anything else is a genuine retry exhaustion.
+  for (const auto& [thr, msg] : retry) {
+    const int src = thread_node_[static_cast<std::size_t>(thr)];
+    if (src != lost && msg.dst_node != lost) return false;
+  }
+  const int buddy = topo_.prev_live_node(lost);
+  if (buddy < 0) return false;
+  std::size_t promoted = 0;
+  {
+    std::lock_guard<std::mutex> lock(replica_mu_);
+    // Without valid mirrors there is nothing to promote; refuse rather
+    // than resume on stale data (the run fails with RetryExhausted).
+    if (!replica_sites_.empty() &&
+        !replicas_valid_.load(std::memory_order_acquire))
+      return false;
+    // Promote the buddy's mirrors: the dead node's partitions reappear as
+    // the checkpoint-time copies the buddy holds.  Threads are parked in
+    // the barrier, so the restore is ordered against all of them.
+    for (int t = 0; t < topo_.total_threads(); ++t) {
+      if (topo_.node_of(t) != lost) continue;
+      for (ReplicaSite* site : replica_sites_) {
+        site->replica_restore_thread(t);
+        promoted += site->replica_thread_bytes(t);
+      }
+    }
+  }
+  // Promotion cost: a streamed read of the mirror plus a write of the
+  // block, on the buddy.  It extends this barrier's exchange term and
+  // occupies the buddy's memory bus.
+  if (promoted > 0) {
+    exch_dur += mem_model_.seq_ns(2 * promoted);
+    accrue_bus(buddy, static_cast<double>(2 * promoted) *
+                          params_.mem_bus_inv_bw_ns_per_byte);
+  }
+  // The buddy adopts the dead node's threads: every affinity query,
+  // exchange route and collective target id now resolves through the
+  // updated owner map.  Thread count is unchanged (the SPMD barrier needs
+  // all of them); live node count drops by one.
+  topo_.remap_node(lost, buddy);
+  thread_node_ = topo_.thread_node_map();
+  fault_->count_promoted(promoted);
+  fault_->raise_loss_event();
+  loss_throw_epoch_ = epoch_;
+  return true;
 }
 
 void Runtime::on_barrier() {
@@ -440,7 +533,11 @@ void Runtime::on_barrier() {
       }
       if (ef.retry.empty()) break;
       if (attempt >= fc.max_retries) {
-        fault_failed_.store(true, std::memory_order_relaxed);
+        // When every surviving retransmission targets (or originates on) a
+        // permanently lost node, the retry budget exhausting is the
+        // failure detector: shrink onto the buddy instead of giving up.
+        if (!try_shrink_after_exhaustion(ef.retry, exch_dur))
+          fault_failed_.store(true, std::memory_order_relaxed);
         break;
       }
       const double backoff = fc.backoff_ns_for(attempt);
@@ -547,8 +644,11 @@ void Runtime::on_barrier() {
       rec.fault_corruptions_delta = fc.corruptions - pv.corruptions;
       rec.fault_rollbacks_delta = fc.rollbacks - pv.rollbacks;
       rec.fault_wait_ns_delta = fc.retry_wait_ns - pv.retry_wait_ns;
+      rec.fault_loss_drops_delta = fc.loss_drops - pv.loss_drops;
+      rec.fault_shrinks_delta = fc.loss_events - pv.loss_events;
       trace_prev_faults_ = fc;
     }
+    rec.live_nodes = topo_.live_node_count();
     sink_->on_superstep(rec);
   }
   // One recovery event per outage window, raised at the barrier that ends

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "fault/fault.hpp"
@@ -20,6 +21,23 @@ namespace pgraph::pgas {
 
 class Runtime;
 
+/// A data structure whose per-thread partitions can be mirrored on a buddy
+/// node and restored after a permanent node loss (GlobalArray implements
+/// this).  Snapshot/restore move real bytes; the *cost* of the movement is
+/// charged by the callers (pgas::replicate_to_buddy at checkpoints, the
+/// runtime's shrink protocol at promotion).
+class ReplicaSite {
+ public:
+  virtual ~ReplicaSite() = default;
+  /// Bytes of thread `thr`'s partition (what a snapshot/restore moves).
+  virtual std::size_t replica_thread_bytes(int thr) const = 0;
+  /// Copy thread `thr`'s partition into the mirror.
+  virtual void replica_snapshot_thread(int thr) = 0;
+  /// Restore thread `thr`'s partition from the mirror (no-op if no
+  /// snapshot was ever taken).
+  virtual void replica_restore_thread(int thr) = 0;
+};
+
 /// Per-thread execution context handed to every SPMD function.
 ///
 /// Carries the thread's identity, its BSP cost clock, and its per-category
@@ -30,7 +48,9 @@ class ThreadCtx {
   ThreadCtx(Runtime& rt, int id);
 
   int id() const { return id_; }
-  int node() const { return node_; }
+  /// Node currently hosting this thread.  Resolved through the live owner
+  /// map, so it changes when the runtime shrinks after a permanent loss.
+  int node() const;
   int nthreads() const;
   int nnodes() const;
   const Topology& topo() const;
@@ -109,7 +129,6 @@ class ThreadCtx {
   friend class Runtime;
   Runtime* rt_;
   int id_;
-  int node_;
   double clock_ = 0.0;
   machine::PhaseStats stats_;
   // Pending exchange messages for the next exchange_barrier().
@@ -197,8 +216,36 @@ class Runtime {
   /// attachment.  With an all-zero FaultConfig attached, modeled times are
   /// bit-identical to running with no injector at all (every fault cost is
   /// gated on its rate being nonzero).
-  void set_fault_injector(fault::FaultInjector* inj) { fault_ = inj; }
+  ///
+  /// Attaching a non-null injector validates its plan against this
+  /// runtime's topology (std::invalid_argument on e.g. outage/loss plans
+  /// with one node) and resets its counters, so per-attach deltas in bench
+  /// reports never double-count a previous runtime's events.
+  void set_fault_injector(fault::FaultInjector* inj);
   fault::FaultInjector* fault_injector() const { return fault_; }
+
+  /// --- buddy replication (degraded mode) -------------------------------
+  /// GlobalArrays register themselves so the shrink protocol can promote
+  /// their mirrors.  Registration is free on the modeled clock; mirrors
+  /// are only materialized when a replication pass runs.
+  void register_replica_site(ReplicaSite* site);
+  void unregister_replica_site(ReplicaSite* site);
+  /// Snapshot of the registered sites (replication passes iterate this
+  /// from SPMD threads; the set is stable while run() executes because
+  /// arrays are constructed host-side).
+  std::vector<ReplicaSite*> replica_sites() const {
+    std::lock_guard<std::mutex> lock(replica_mu_);
+    return replica_sites_;
+  }
+  /// True once a full replication pass covered the current set of sites
+  /// (reset whenever the set changes); the shrink protocol refuses to
+  /// promote stale or missing mirrors.
+  bool replicas_valid() const {
+    return replicas_valid_.load(std::memory_order_acquire);
+  }
+  void mark_replicas_valid() {
+    replicas_valid_.store(true, std::memory_order_release);
+  }
 
   /// True iff a TraceSink is attached.
   bool tracing() const;
@@ -223,6 +270,15 @@ class Runtime {
 
   void barrier_sync(ThreadCtx& ctx, bool exchange);
   void on_barrier();  // completion step, runs on one thread
+  /// Called from the completion step when the exchange retry budget is
+  /// exhausted.  If every surviving retransmission involves a permanently
+  /// lost node and valid buddy mirrors exist, promotes the mirrors, remaps
+  /// the dead node's threads onto the buddy and returns true (the threads
+  /// of this barrier then throw FaultError{PermanentLoss} collectively);
+  /// otherwise returns false and the caller falls back to RetryExhausted.
+  bool try_shrink_after_exhaustion(
+      const std::vector<std::pair<std::size_t, machine::ExchangeMsg>>& retry,
+      double& exch_dur);
   void accrue_bus(int node, double ns);
   /// Drain per-node DRAM-bus accumulators; when `out` is non-null, writes
   /// each node's busy time into out[0..nodes).
@@ -251,6 +307,16 @@ class Runtime {
   /// their retry budget; every thread of that barrier throws FaultError.
   std::atomic<bool> fault_failed_{false};
   fault::FaultCounters trace_prev_faults_;
+
+  // --- degraded mode (permanent node loss) ------------------------------
+  mutable std::mutex replica_mu_;
+  std::vector<ReplicaSite*> replica_sites_;
+  std::atomic<bool> replicas_valid_{false};
+  /// Epoch whose completion step performed a shrink; the threads returning
+  /// from that exchange barrier (epoch_ == loss_throw_epoch_ + 1) all
+  /// throw FaultError{PermanentLoss} so checkpointing algorithms roll
+  /// back.  ~0 means "no shrink pending".
+  std::uint64_t loss_throw_epoch_ = ~0ull;
 
   // --- bottleneck attribution / tracing --------------------------------
   BarrierVerdict last_verdict_;

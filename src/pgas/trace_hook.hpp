@@ -89,6 +89,11 @@ struct SuperstepRecord {
   std::uint64_t fault_corruptions_delta = 0;
   std::uint64_t fault_rollbacks_delta = 0;
   std::uint64_t fault_wait_ns_delta = 0;      ///< ack timeouts + backoff
+  std::uint64_t fault_loss_drops_delta = 0;   ///< drops to/from a lost node
+  std::uint64_t fault_shrinks_delta = 0;      ///< permanent-loss shrinks
+  /// Nodes still hosting threads after this superstep (== topology nodes
+  /// until a shrink; each shrink decrements it — the degraded-epoch mark).
+  int live_nodes = 0;
 };
 
 /// Interface the runtime reports into when tracing is enabled

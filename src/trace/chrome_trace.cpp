@@ -112,7 +112,23 @@ void SuperstepTracer::write_chrome_trace(std::ostream& os) const {
                << ",\"fault_corruptions\":" << st.fault_corruptions_delta
                << ",\"fault_rollbacks\":" << st.fault_rollbacks_delta
                << ",\"fault_wait_ns\":" << st.fault_wait_ns_delta;
+    // Degraded-epoch marks: only emitted once a loss touched the step, so
+    // loss-free traces stay byte-identical.
+    if (st.fault_loss_drops_delta != 0 || st.fault_shrinks_delta != 0)
+      ev.out() << ",\"fault_loss_drops\":" << st.fault_loss_drops_delta
+               << ",\"fault_shrinks\":" << st.fault_shrinks_delta
+               << ",\"live_nodes\":" << st.live_nodes;
     ev.out() << "}}";
+
+    // A shrink is a global topology event; mark it as an instant so it is
+    // findable at a glance in the viewer (instants add no slice time, so
+    // per-category totals still equal PhaseStats exactly).
+    if (st.fault_shrinks_delta != 0)
+      ev.begin() << "{\"ph\":\"i\",\"pid\":" << pid
+                 << ",\"tid\":" << kVerdictTid
+                 << ",\"name\":\"node-loss shrink (" << st.live_nodes
+                 << " nodes live)\",\"ts\":"
+                 << json::number(v.t_final / kNsPerUs) << ",\"s\":\"g\"}";
 
     // Per-thread category slices, back-to-back from the superstep start.
     for (std::size_t t = 0; t < st.cat_delta.size(); ++t) {

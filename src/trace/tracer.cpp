@@ -82,6 +82,9 @@ void SuperstepTracer::on_superstep(const pgas::SuperstepRecord& rec) {
   st.fault_corruptions_delta = rec.fault_corruptions_delta;
   st.fault_rollbacks_delta = rec.fault_rollbacks_delta;
   st.fault_wait_ns_delta = rec.fault_wait_ns_delta;
+  st.fault_loss_drops_delta = rec.fault_loss_drops_delta;
+  st.fault_shrinks_delta = rec.fault_shrinks_delta;
+  st.live_nodes = rec.live_nodes;
 #ifdef PGRAPH_CHECK_ACCESS
   // Compose with the access checker: a traced run under the checker tags
   // each superstep with the violations it surfaced instead of the trace

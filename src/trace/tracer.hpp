@@ -63,6 +63,9 @@ struct Superstep {
   std::uint64_t fault_corruptions_delta = 0;
   std::uint64_t fault_rollbacks_delta = 0;
   std::uint64_t fault_wait_ns_delta = 0;
+  std::uint64_t fault_loss_drops_delta = 0;
+  std::uint64_t fault_shrinks_delta = 0;  ///< permanent-loss shrink events
+  int live_nodes = 0;  ///< surviving nodes after this superstep
 };
 
 struct ScopeEvent {

@@ -14,18 +14,23 @@
 #include <cstring>
 #include <vector>
 
+#include "collectives/getd.hpp"
+#include "collectives/setd.hpp"
 #include "core/cc_coalesced.hpp"
 #include "core/cc_seq.hpp"
 #include "core/mst_pgas.hpp"
 #include "fault/fault.hpp"
 #include "graph/generators.hpp"
 #include "machine/cost_params.hpp"
+#include "pgas/global_array.hpp"
+#include "pgas/replica.hpp"
 #include "pgas/runtime.hpp"
 
 namespace g = pgraph::graph;
 namespace pg = pgraph::pgas;
 namespace m = pgraph::machine;
 namespace core = pgraph::core;
+namespace coll = pgraph::coll;
 namespace flt = pgraph::fault;
 
 namespace {
@@ -363,6 +368,371 @@ TEST(FaultChaos, MstOutageRollsBackAndMatches) {
   EXPECT_EQ(ce, ke);
   EXPECT_GT(inj.counters().checkpoints, 0u);
   EXPECT_GT(inj.counters().rollbacks, 0u);
+}
+
+// --- permanent node loss: config, shrink, and degraded-mode recovery -----
+
+TEST(FaultConfig, ParseLossKeys) {
+  const auto c = flt::FaultConfig::parse("loss_at=24,loss_node=2", 3);
+  EXPECT_EQ(c.loss_at, 24u);
+  EXPECT_EQ(c.loss_node, 2);
+  EXPECT_TRUE(c.loss_enabled());
+  EXPECT_TRUE(c.network_faults());
+  EXPECT_TRUE(c.any_faults());
+  // A pinned victim without a loss epoch is a meaningless plan.
+  EXPECT_THROW(flt::FaultConfig::parse("loss_node=2", 3),
+               std::invalid_argument);
+  // loss_at=0 keeps the whole subsystem disabled.
+  EXPECT_FALSE(flt::FaultConfig::parse("loss_at=0", 3).loss_enabled());
+}
+
+TEST(FaultConfig, ValidateTopologyRejectsImpossiblePlans) {
+  const auto loss = flt::FaultConfig::parse("loss_at=8", 1);
+  EXPECT_THROW(loss.validate_topology(1), std::invalid_argument);
+  EXPECT_NO_THROW(loss.validate_topology(2));
+  const auto outage = flt::FaultConfig::parse("outage_every=10", 1);
+  EXPECT_THROW(outage.validate_topology(1), std::invalid_argument);
+  EXPECT_NO_THROW(outage.validate_topology(2));
+  const auto pinned = flt::FaultConfig::parse("loss_at=8,loss_node=7", 1);
+  EXPECT_THROW(pinned.validate_topology(4), std::invalid_argument);
+  EXPECT_NO_THROW(pinned.validate_topology(8));
+  // Plans without node-grained faults run anywhere, including 1 node.
+  EXPECT_NO_THROW(flt::FaultConfig::parse("corrupt=0.5", 1)
+                      .validate_topology(1));
+}
+
+TEST(FaultRuntime, AttachRejectsPlanTheTopologyCannotHonour) {
+  pg::Runtime rt(pg::Topology::cluster(1, 4), m::CostParams::hps_cluster());
+  flt::FaultInjector loss(flt::FaultConfig::parse("loss_at=8", 1));
+  EXPECT_THROW(rt.set_fault_injector(&loss), std::invalid_argument);
+  flt::FaultInjector outage(flt::FaultConfig::parse("outage_every=10", 1));
+  EXPECT_THROW(rt.set_fault_injector(&outage), std::invalid_argument);
+  // The rejected attach must leave the runtime clean and usable.
+  rt.run([](pg::ThreadCtx& ctx) { ctx.barrier(); });
+  EXPECT_GT(rt.modeled_time_ns(), 0.0);
+}
+
+TEST(FaultRuntime, AttachResetsCountersPerRuntime) {
+  flt::FaultInjector inj(flt::FaultConfig::parse("drop=0.4", chaos_seed()));
+  pg::Runtime rt1 = make_rt();
+  rt1.set_fault_injector(&inj);
+  rt1.run([&](pg::ThreadCtx& ctx) {
+    for (int r = 0; r < 20; ++r) cross_node_round(ctx, 4096);
+  });
+  EXPECT_GT(inj.counters().drops, 0u);
+  // Attaching the same injector to a fresh runtime starts counters from
+  // zero, so per-row bench deltas cannot double-count the previous run.
+  pg::Runtime rt2 = make_rt();
+  rt2.set_fault_injector(&inj);
+  EXPECT_EQ(inj.counters().drops, 0u);
+  EXPECT_EQ(inj.counters().retransmits, 0u);
+  EXPECT_EQ(inj.counters().retry_wait_ns, 0u);
+}
+
+TEST(FaultRuntime, ReplicaMirrorRoundTrip) {
+  pg::Runtime rt(pg::Topology::cluster(2, 2), m::CostParams::hps_cluster());
+  pg::GlobalArray<std::uint64_t> arr(rt, 64);
+  std::vector<int> bad(4, 0);
+  rt.run([&](pg::ThreadCtx& ctx) {
+    const int me = ctx.id();
+    auto blk = arr.local_span(me);
+    for (std::size_t i = 0; i < blk.size(); ++i)
+      blk[i] = 1000 + i + static_cast<std::size_t>(me) * 100;
+    arr.replica_snapshot_thread(me);
+    for (auto& v : blk) v = 0;  // "lose" the partition
+    arr.replica_restore_thread(me);
+    for (std::size_t i = 0; i < blk.size(); ++i)
+      if (blk[i] != 1000 + i + static_cast<std::size_t>(me) * 100)
+        bad[static_cast<std::size_t>(me)] = 1;
+    ctx.barrier();
+  });
+  EXPECT_EQ(bad, std::vector<int>(4, 0));
+}
+
+TEST(FaultRuntime, LossShrinksOntoBuddyAndStaysUsable) {
+  flt::FaultInjector inj(
+      flt::FaultConfig::parse("loss_at=4,loss_node=2", chaos_seed()));
+  pg::Runtime rt = make_rt();
+  rt.set_fault_injector(&inj);
+  pg::GlobalArray<std::uint64_t> arr(rt, 256);
+  bool threw = false;
+  try {
+    rt.run([&](pg::ThreadCtx& ctx) {
+      const int me = ctx.id();
+      auto blk = arr.local_span(me);
+      for (std::size_t i = 0; i < blk.size(); ++i) blk[i] = i;
+      ctx.barrier();
+      pg::replicate_to_buddy(ctx);
+      for (int r = 0; r < 10; ++r) cross_node_round(ctx, 1024);
+    });
+  } catch (const flt::FaultError& e) {
+    threw = true;
+    EXPECT_EQ(e.kind(), flt::FaultKind::PermanentLoss);
+  }
+  ASSERT_TRUE(threw);
+  // Node 2 is gone; its predecessor (node 1) adopted threads 4 and 5.
+  EXPECT_EQ(rt.topo().live_node_count(), 3);
+  EXPECT_FALSE(rt.topo().node_alive(2));
+  EXPECT_EQ(rt.topo().node_of(4), 1);
+  EXPECT_EQ(rt.topo().node_of(5), 1);
+  const auto c = inj.counters();
+  EXPECT_EQ(c.loss_events, 1u);
+  EXPECT_GT(c.loss_drops, 0u);
+  EXPECT_GE(c.replications, 1u);
+  EXPECT_GT(c.replica_bytes, 0u);
+  // Promotion restored the two dead-hosted 32-element blocks (256 B each).
+  EXPECT_EQ(c.promoted_bytes, 512u);
+  // The shrunk runtime keeps working (messages reroute to the buddy).
+  rt.run([&](pg::ThreadCtx& ctx) {
+    for (int r = 0; r < 4; ++r) cross_node_round(ctx, 1024);
+  });
+  EXPECT_GT(rt.modeled_time_ns(), 0.0);
+  EXPECT_EQ(inj.counters().loss_events, 1u);  // no second shrink
+}
+
+TEST(FaultChaos, CcLossBitIdenticalAfterShrink) {
+  const auto el = g::random_graph(256, 1024, 15);
+  core::ParCCResult clean;
+  {
+    pg::Runtime rt = make_rt();
+    clean = core::cc_coalesced(rt, el, {});
+  }
+  flt::FaultInjector inj(
+      flt::FaultConfig::parse("loss_at=24", chaos_seed()));
+  pg::Runtime rt = make_rt();
+  rt.set_fault_injector(&inj);
+  const auto chaotic = core::cc_coalesced(rt, el, {});
+  EXPECT_EQ(chaotic.labels, clean.labels);
+  EXPECT_EQ(chaotic.num_components, clean.num_components);
+  const auto c = inj.counters();
+  EXPECT_EQ(c.loss_events, 1u);
+  EXPECT_GT(c.loss_drops, 0u);
+  EXPECT_GE(c.replications, 1u);
+  EXPECT_GT(c.replica_bytes, 0u);
+  EXPECT_GT(c.promoted_bytes, 0u);
+  EXPECT_GE(c.rollbacks, 1u);
+  EXPECT_EQ(rt.topo().live_node_count(), 3);
+  // Degraded mode is not free: timeouts, the replication traffic and the
+  // re-run supersteps all land on the modeled clock.
+  EXPECT_GT(chaotic.costs.modeled_ns, clean.costs.modeled_ns);
+}
+
+TEST(FaultChaos, MstLossBitIdenticalAfterShrink) {
+  const auto el =
+      g::with_random_weights(g::random_graph(256, 1024, 16), 17);
+  core::ParMstResult clean;
+  {
+    pg::Runtime rt = make_rt();
+    clean = core::mst_pgas(rt, el, {});
+  }
+  flt::FaultInjector inj(
+      flt::FaultConfig::parse("loss_at=24", chaos_seed()));
+  pg::Runtime rt = make_rt();
+  rt.set_fault_injector(&inj);
+  auto chaotic = core::mst_pgas(rt, el, {});
+  EXPECT_EQ(chaotic.total_weight, clean.total_weight);
+  auto ce = chaotic.edges;
+  auto ke = clean.edges;
+  std::sort(ce.begin(), ce.end());
+  std::sort(ke.begin(), ke.end());
+  EXPECT_EQ(ce, ke);
+  const auto c = inj.counters();
+  EXPECT_EQ(c.loss_events, 1u);
+  EXPECT_GE(c.rollbacks, 1u);
+  EXPECT_GE(c.replications, 1u);
+  EXPECT_EQ(rt.topo().live_node_count(), 3);
+}
+
+TEST(FaultChaos, ZeroLossPlanLeavesCcModeledTimeUnchanged) {
+  const auto el = g::random_graph(200, 800, 18);
+  core::ParCCResult clean;
+  {
+    pg::Runtime rt = make_rt();
+    clean = core::cc_coalesced(rt, el, {});
+  }
+  flt::FaultInjector inj(
+      flt::FaultConfig::parse("loss_at=0", chaos_seed()));
+  pg::Runtime rt = make_rt();
+  rt.set_fault_injector(&inj);
+  const auto attached = core::cc_coalesced(rt, el, {});
+  EXPECT_EQ(attached.labels, clean.labels);
+  EXPECT_DOUBLE_EQ(attached.costs.modeled_ns, clean.costs.modeled_ns);
+  EXPECT_EQ(inj.counters().loss_drops, 0u);
+  EXPECT_EQ(inj.counters().replications, 0u);
+  EXPECT_EQ(inj.counters().checkpoints, 0u);
+}
+
+// --- collective exhaustion leaves the runtime reusable -------------------
+//
+// One thread on one node with corrupt=1.0 and retries=0: the first
+// checksum mismatch exhausts immediately (the per-thread throw cannot
+// deadlock a 1-thread barrier), and the runtime must afterwards produce a
+// clean run bit-identical to one that was never faulted.
+
+namespace {
+
+pg::Runtime make_rt1() {
+  return pg::Runtime(pg::Topology::cluster(1, 1),
+                     m::CostParams::hps_cluster());
+}
+
+}  // namespace
+
+TEST(FaultRecovery, GetdExhaustionLeavesRuntimeReusable) {
+  const std::size_t n = 64;
+  std::vector<std::uint64_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = (i * 7) % n;
+  const coll::CollectiveOptions copt{};
+  const auto fill_and_getd = [&](pg::Runtime& rt,
+                                 pg::GlobalArray<std::uint64_t>& D,
+                                 coll::CollectiveContext& ccx,
+                                 std::vector<std::uint64_t>& out) {
+    rt.run([&](pg::ThreadCtx& ctx) {
+      auto blk = D.local_span(0);
+      for (std::size_t i = 0; i < n; ++i) blk[i] = i * 3 + 1;
+      ctx.barrier();
+      coll::CollWorkspace<std::uint64_t> ws;
+      coll::getd(ctx, D, idx, std::span<std::uint64_t>(out), copt, ccx, ws);
+    });
+  };
+
+  std::vector<std::uint64_t> ref_out(n);
+  double ref_ns = 0.0;
+  {
+    pg::Runtime rt = make_rt1();
+    pg::GlobalArray<std::uint64_t> D(rt, n);
+    coll::CollectiveContext ccx(rt);
+    fill_and_getd(rt, D, ccx, ref_out);
+    ref_ns = rt.modeled_time_ns();
+  }
+
+  pg::Runtime rt = make_rt1();
+  flt::FaultInjector inj(flt::FaultConfig::parse("corrupt=1.0,retries=0", 1));
+  rt.set_fault_injector(&inj);
+  pg::GlobalArray<std::uint64_t> D(rt, n);
+  coll::CollectiveContext ccx(rt);
+  std::vector<std::uint64_t> out(n);
+  bool threw = false;
+  try {
+    fill_and_getd(rt, D, ccx, out);
+  } catch (const flt::FaultError& e) {
+    threw = true;
+    EXPECT_EQ(e.kind(), flt::FaultKind::Corruption);
+  }
+  ASSERT_TRUE(threw);
+  rt.set_fault_injector(nullptr);
+  rt.reset_costs();
+  fill_and_getd(rt, D, ccx, out);
+  EXPECT_EQ(out, ref_out);
+  EXPECT_DOUBLE_EQ(rt.modeled_time_ns(), ref_ns);
+}
+
+TEST(FaultRecovery, SetdExhaustionLeavesRuntimeReusable) {
+  const std::size_t n = 64;
+  std::vector<std::uint64_t> gi(n);
+  std::vector<std::uint64_t> gv(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    gi[i] = (i * 5) % n;
+    gv[i] = i + 7;
+  }
+  const coll::CollectiveOptions copt{};
+  const auto fill_and_setd = [&](pg::Runtime& rt,
+                                 pg::GlobalArray<std::uint64_t>& D,
+                                 coll::CollectiveContext& ccx) {
+    rt.run([&](pg::ThreadCtx& ctx) {
+      auto blk = D.local_span(0);
+      for (std::size_t i = 0; i < n; ++i) blk[i] = i;
+      ctx.barrier();
+      coll::CollWorkspace<std::uint64_t> ws;
+      coll::setd(ctx, D, gi, std::span<const std::uint64_t>(gv), copt, ccx,
+                 ws);
+    });
+  };
+
+  std::vector<std::uint64_t> ref_labels;
+  double ref_ns = 0.0;
+  {
+    pg::Runtime rt = make_rt1();
+    pg::GlobalArray<std::uint64_t> D(rt, n);
+    coll::CollectiveContext ccx(rt);
+    fill_and_setd(rt, D, ccx);
+    ref_labels.assign(D.raw_all().begin(), D.raw_all().end());
+    ref_ns = rt.modeled_time_ns();
+  }
+
+  pg::Runtime rt = make_rt1();
+  flt::FaultInjector inj(flt::FaultConfig::parse("corrupt=1.0,retries=0", 1));
+  rt.set_fault_injector(&inj);
+  pg::GlobalArray<std::uint64_t> D(rt, n);
+  coll::CollectiveContext ccx(rt);
+  bool threw = false;
+  try {
+    fill_and_setd(rt, D, ccx);
+  } catch (const flt::FaultError& e) {
+    threw = true;
+    EXPECT_EQ(e.kind(), flt::FaultKind::Corruption);
+  }
+  ASSERT_TRUE(threw);
+  rt.set_fault_injector(nullptr);
+  rt.reset_costs();
+  fill_and_setd(rt, D, ccx);
+  EXPECT_TRUE(std::equal(ref_labels.begin(), ref_labels.end(),
+                         D.raw_all().begin()));
+  EXPECT_DOUBLE_EQ(rt.modeled_time_ns(), ref_ns);
+}
+
+TEST(FaultRecovery, SetdMinExhaustionLeavesRuntimeReusable) {
+  const std::size_t n = 64;
+  std::vector<std::uint64_t> gi(n);
+  std::vector<std::uint64_t> gv(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    gi[i] = (i * 3) % n;
+    gv[i] = (i * 11) % 50;
+  }
+  const coll::CollectiveOptions copt{};
+  const auto fill_and_setd_min = [&](pg::Runtime& rt,
+                                     pg::GlobalArray<std::uint64_t>& D,
+                                     coll::CollectiveContext& ccx) {
+    rt.run([&](pg::ThreadCtx& ctx) {
+      auto blk = D.local_span(0);
+      for (std::size_t i = 0; i < n; ++i) blk[i] = 1000;
+      ctx.barrier();
+      coll::CollWorkspace<std::uint64_t> ws;
+      coll::setd_min(ctx, D, gi, std::span<const std::uint64_t>(gv), copt,
+                     ccx, ws);
+    });
+  };
+
+  std::vector<std::uint64_t> ref_labels;
+  double ref_ns = 0.0;
+  {
+    pg::Runtime rt = make_rt1();
+    pg::GlobalArray<std::uint64_t> D(rt, n);
+    coll::CollectiveContext ccx(rt);
+    fill_and_setd_min(rt, D, ccx);
+    ref_labels.assign(D.raw_all().begin(), D.raw_all().end());
+    ref_ns = rt.modeled_time_ns();
+  }
+
+  pg::Runtime rt = make_rt1();
+  flt::FaultInjector inj(flt::FaultConfig::parse("corrupt=1.0,retries=0", 1));
+  rt.set_fault_injector(&inj);
+  pg::GlobalArray<std::uint64_t> D(rt, n);
+  coll::CollectiveContext ccx(rt);
+  bool threw = false;
+  try {
+    fill_and_setd_min(rt, D, ccx);
+  } catch (const flt::FaultError& e) {
+    threw = true;
+    EXPECT_EQ(e.kind(), flt::FaultKind::Corruption);
+  }
+  ASSERT_TRUE(threw);
+  rt.set_fault_injector(nullptr);
+  rt.reset_costs();
+  fill_and_setd_min(rt, D, ccx);
+  EXPECT_TRUE(std::equal(ref_labels.begin(), ref_labels.end(),
+                         D.raw_all().begin()));
+  EXPECT_DOUBLE_EQ(rt.modeled_time_ns(), ref_ns);
 }
 
 TEST(FaultChaos, ZeroFaultPlanLeavesCcModeledTimeUnchanged) {
