@@ -12,6 +12,11 @@
 #   lint     clang-tidy over src/tests/examples (skipped if not installed)
 #   perf     traced smoke bench + bench_diff.py vs the committed baseline
 #            (scripts/baselines/BENCH_smoke.json; skipped without python3)
+#   stream   dynamic-graph smoke: Stream* tests in the default and check
+#            (PGRAPH_CHECK_ACCESS) presets, then the str01 bench at a fixed
+#            small configuration gated against
+#            scripts/baselines/BENCH_stream_smoke.json (the bench itself
+#            self-checks bit-identity against a fresh cc_coalesced run)
 #   chaos    fault-injection suite (tests/test_fault.cpp) across fixed fault
 #            seeds 1..3, in the default and check (PGRAPH_CHECK_ACCESS)
 #            presets, plus the zero-fault bench-invariance gate: a bench run
@@ -24,7 +29,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(default check tsan asan lint perf chaos)
+  STAGES=(default check tsan asan lint perf stream chaos)
 fi
 
 run_preset() {
@@ -84,6 +89,30 @@ EOF
         echo "==== [perf] python3 not found on PATH; skipping ===="
       fi
       ;;
+    stream)
+      echo "==== [stream] dynamic-graph suite + incremental-vs-rebuild gate ===="
+      for preset in default check; do
+        cmake --preset "$preset"
+        cmake --build --preset "$preset" -j "$JOBS" --target test_stream
+        ctest --preset "$preset" -R '^Stream' --output-on-failure -j "$JOBS"
+      done
+      if command -v python3 > /dev/null 2>&1; then
+        cmake --build --preset default -j "$JOBS" \
+          --target str01_incremental_vs_rebuild
+        out=build/BENCH_stream_smoke.json
+        # Same fixed configuration the committed baseline was generated
+        # with (regenerate it with this exact command after intentional
+        # model changes).  A nonzero exit here is also the bench's own
+        # bit-identity / speedup self-check failing.
+        build/bench/str01_incremental_vs_rebuild \
+          --n 2000 --m 8000 --nodes 4 --threads 2 --seed 1 \
+          --json "$out" --trace build/stream_trace.json > /dev/null
+        python3 scripts/bench_diff.py \
+          scripts/baselines/BENCH_stream_smoke.json "$out"
+      else
+        echo "==== [stream] python3 not found; skipping bench gate ===="
+      fi
+      ;;
     chaos)
       echo "==== [chaos] fault-injection suite, seeds 1..3 ===="
       for preset in default check; do
@@ -126,7 +155,7 @@ EOF
       fi
       ;;
     *)
-      echo "unknown stage: $stage (want: default check tsan asan lint perf chaos)" >&2
+      echo "unknown stage: $stage (want: default check tsan asan lint perf stream chaos)" >&2
       exit 2
       ;;
   esac

@@ -63,6 +63,8 @@ const char* to_string(AccessKind k) {
       return "combine-min";
     case AccessKind::CombineOverwrite:
       return "combine-overwrite";
+    case AccessKind::CombineAdd:
+      return "combine-add";
   }
   return "?";
 }

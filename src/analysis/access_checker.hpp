@@ -28,6 +28,7 @@ enum class AccessKind : std::uint8_t {
   Write,             ///< plain write: conflicts with any other-thread access
   CombineMin,        ///< priority CRCW (SetDMin / put_min): min wins
   CombineOverwrite,  ///< arbitrary CRCW (SetD): one concurrent writer wins
+  CombineAdd,        ///< combining CRCW (SetDAdd): concurrent writes sum
 };
 
 const char* to_string(AccessKind k);

@@ -32,9 +32,23 @@ struct CollectiveContext {
   pgas::GlobalArray<std::uint64_t> smatrix;
   pgas::GlobalArray<std::uint64_t> pmatrix;
 
+  /// last_cnt[requester][owner]: the count this requester published to
+  /// that owner on its previous collective over this context.  Because
+  /// the matrices persist across calls, a requester whose batch for an
+  /// owner is empty now *and* was empty last time can skip the setup put
+  /// entirely (the remote entry already reads zero) — degenerate batches
+  /// must not pay the s^2 all-to-all burst.  Row r is written only by
+  /// thread r (flat) or by r's node leader (hierarchical), and the two
+  /// cases are barrier-separated, so no synchronization is needed.
+  std::vector<std::vector<std::uint64_t>> last_cnt;
+
   explicit CollectiveContext(pgas::Runtime& rt)
       : smatrix(rt, square(rt.topo().total_threads())),
-        pmatrix(rt, square(rt.topo().total_threads())) {}
+        pmatrix(rt, square(rt.topo().total_threads())),
+        last_cnt(static_cast<std::size_t>(rt.topo().total_threads()),
+                 std::vector<std::uint64_t>(
+                     static_cast<std::size_t>(rt.topo().total_threads()), 0)) {
+  }
 
  private:
   static std::size_t square(int s) {

@@ -11,15 +11,31 @@ namespace pgraph::coll {
 enum class CrcwMode {
   Overwrite,  ///< arbitrary: one concurrent writer wins
   Min,        ///< priority: the minimum value wins
+  Add,        ///< combining: concurrent writes sum (SetDAdd)
 };
 
 inline analysis::AccessKind to_access_kind(CrcwMode m) {
-  return m == CrcwMode::Min ? analysis::AccessKind::CombineMin
-                            : analysis::AccessKind::CombineOverwrite;
+  switch (m) {
+    case CrcwMode::Min:
+      return analysis::AccessKind::CombineMin;
+    case CrcwMode::Add:
+      return analysis::AccessKind::CombineAdd;
+    case CrcwMode::Overwrite:
+      break;
+  }
+  return analysis::AccessKind::CombineOverwrite;
 }
 
 inline const char* crcw_trace_label(CrcwMode m) {
-  return m == CrcwMode::Min ? "crcw.min" : "crcw.overwrite";
+  switch (m) {
+    case CrcwMode::Min:
+      return "crcw.min";
+    case CrcwMode::Add:
+      return "crcw.add";
+    case CrcwMode::Overwrite:
+      break;
+  }
+  return "crcw.overwrite";
 }
 
 /// RAII annotation telling the access checker that writes to `a` are

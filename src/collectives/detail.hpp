@@ -52,6 +52,11 @@ inline void compute_keys(pgas::ThreadCtx& ctx, const sched::VBlocks& vb,
 /// gains", Section IV).
 inline void charge_group_sort(pgas::ThreadCtx& ctx, std::size_t m,
                               std::size_t w, std::size_t rec_bytes) {
+  // Degenerate batch: nothing to histogram, nothing to scatter.  The
+  // W-bucket passes only exist to order the m records, so an empty
+  // request vector pays nothing (late CC iterations and idle stream
+  // threads hit this constantly).
+  if (m == 0) return;
   ctx.mem_seq(m * rec_bytes, Cat::Sort);
   ctx.mem_seq(m * rec_bytes, Cat::Sort);
   ctx.mem_random(2 * w, w * sizeof(std::uint64_t), sizeof(std::uint64_t),
@@ -96,17 +101,29 @@ inline void write_matrices(pgas::ThreadCtx& ctx, CollectiveContext& cc,
   const int s = ctx.nthreads();
   const int me = ctx.id();
   if (!opt.hierarchical) {
+    // The matrices persist across calls, so a (requester, owner) pair
+    // whose batch is empty now and was empty on the previous call can
+    // skip the fine-grained put: the remote entry already reads zero.
+    // A nonzero -> zero transition must still publish the zero count
+    // (owners would otherwise serve the stale batch); the offset entry
+    // is never read when the count is zero, so pmatrix is left alone.
+    auto& last = cc.last_cnt[static_cast<std::size_t>(me)];
+    std::size_t writes = 0;
     for (int j = 0; j < s; ++j) {
       const std::size_t cnt = thr_off[static_cast<std::size_t>(j) + 1] -
                               thr_off[static_cast<std::size_t>(j)];
+      if (cnt == 0 && last[static_cast<std::size_t>(j)] == 0) continue;
       const std::size_t row = static_cast<std::size_t>(j) *
                                   static_cast<std::size_t>(s) +
                               static_cast<std::size_t>(me);
       cc.smatrix.put(ctx, row, cnt, Cat::Setup);
-      cc.pmatrix.put(ctx, row, thr_off[static_cast<std::size_t>(j)],
-                     Cat::Setup);
+      if (cnt != 0)
+        cc.pmatrix.put(ctx, row, thr_off[static_cast<std::size_t>(j)],
+                       Cat::Setup);
+      last[static_cast<std::size_t>(j)] = cnt;
+      ++writes;
     }
-    ctx.compute(static_cast<std::size_t>(2 * s), Cat::Setup);
+    ctx.compute(2 * writes, Cat::Setup);
     return;
   }
 
@@ -122,6 +139,22 @@ inline void write_matrices(pgas::ThreadCtx& ctx, CollectiveContext& cc,
   ctx.publish(kSlotCnt, const_cast<std::size_t*>(thr_off.data()));
   ctx.barrier();  // intra-node staging (a full barrier in this runtime)
   if (me == leader) {
+    // Node-level degenerate-batch skip: when every thread hosted here has
+    // an empty request vector now *and* published all-zero counts on the
+    // previous call, the remote tiles already read zero — skip the
+    // stores, the tile messages, and the setup charges entirely.
+    bool degenerate = true;
+    for (int r = 0; r < s && degenerate; ++r) {
+      if (topo.node_of(r) != mynode) continue;
+      const auto* ro = ctx.peer_as<const std::size_t>(r, kSlotCnt);
+      if (ro[static_cast<std::size_t>(s)] != 0) degenerate = false;
+      for (const std::uint64_t c : cc.last_cnt[static_cast<std::size_t>(r)])
+        if (c != 0) {
+          degenerate = false;
+          break;
+        }
+    }
+    if (degenerate) return;
     // Write the whole node's columns of SMatrix/PMatrix on behalf of its
     // t threads; one coalesced message per remote node carries the t*t
     // tile pair.
@@ -132,10 +165,12 @@ inline void write_matrices(pgas::ThreadCtx& ctx, CollectiveContext& cc,
         const std::size_t row = static_cast<std::size_t>(j) *
                                     static_cast<std::size_t>(s) +
                                 static_cast<std::size_t>(r);
-        cc.smatrix.store_relaxed(
-            row, ro[static_cast<std::size_t>(j) + 1] -
-                     ro[static_cast<std::size_t>(j)]);
+        const std::uint64_t cnt = ro[static_cast<std::size_t>(j) + 1] -
+                                  ro[static_cast<std::size_t>(j)];
+        cc.smatrix.store_relaxed(row, cnt);
         cc.pmatrix.store_relaxed(row, ro[static_cast<std::size_t>(j)]);
+        cc.last_cnt[static_cast<std::size_t>(r)][static_cast<std::size_t>(j)] =
+            cnt;
       }
     }
     for (int step = 1; step < p; ++step) {

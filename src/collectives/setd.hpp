@@ -33,6 +33,15 @@ struct Min {
   }
 };
 
+/// Combining CRCW: concurrent writes to the same location sum — the
+/// classic combining-network semantics, used by the streaming layer to
+/// accumulate per-component sizes in one collective pass.
+template <class T>
+struct Add {
+  static constexpr CrcwMode kMode = CrcwMode::Add;
+  void operator()(T& dst, T v) const { dst += v; }
+};
+
 }  // namespace detail_combine
 
 /// Common machinery of SetD / SetDMin: bulk concurrent write of
@@ -237,6 +246,17 @@ void setd_min(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
               CollectiveContext& cc, CollWorkspace<T>& ws) {
   setd_combine(ctx, D, indices, values, opt, cc, ws,
                detail_combine::Min<T>{});
+}
+
+/// SetDAdd: combining concurrent write (values sum).  The targets must be
+/// pre-zeroed (or hold the running totals the caller wants to extend).
+template <class T>
+void setd_add(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
+              std::span<const std::uint64_t> indices,
+              std::span<const T> values, const CollectiveOptions& opt,
+              CollectiveContext& cc, CollWorkspace<T>& ws) {
+  setd_combine(ctx, D, indices, values, opt, cc, ws,
+               detail_combine::Add<T>{});
 }
 
 }  // namespace pgraph::coll

@@ -215,6 +215,92 @@ EdgeList disjoint_cliques(std::size_t k, std::size_t sz) {
   return el;
 }
 
+TemporalStream temporal_stream(std::size_t n, std::size_t n_ops,
+                               std::uint64_t seed,
+                               const TemporalStreamParams& p) {
+  if (n < 2) throw std::invalid_argument("temporal_stream: need n >= 2");
+  if (p.delete_frac < 0.0 || p.delete_frac >= 1.0)
+    throw std::invalid_argument("temporal_stream: delete_frac in [0, 1)");
+
+  TemporalStream ts;
+  switch (p.base) {
+    case TemporalBase::Rmat: {
+      RmatParams rp = p.rmat;
+      rp.dedupe = true;  // deletions need a simple graph to name edges in
+      ts.base = rmat_graph(n, p.base_edges, seed, rp);
+      break;
+    }
+    case TemporalBase::Hybrid:
+      ts.base = hybrid_graph(n, p.base_edges, seed);
+      break;
+    case TemporalBase::Random:
+      ts.base = random_graph(n, p.base_edges, seed);
+      break;
+  }
+  const std::size_t nv = ts.base.n;  // Rmat rounds n up to a power of two
+
+  // Live edge set: a vector for O(1) uniform picks (swap-remove on erase)
+  // plus a key set so inserts keep it a simple graph.
+  std::vector<Edge> live = ts.base.edges;
+  std::unordered_set<std::uint64_t> live_keys;
+  live_keys.reserve((live.size() + n_ops) * 2);
+  for (const Edge& e : live) live_keys.insert(pair_key(e.u, e.v));
+
+  // A distinct stream from the base graph's so growing the base does not
+  // reshuffle the updates.
+  Xoshiro256 rng(seed ^ 0x6a09e667f3bcc908ULL);
+  std::size_t levels = 0;
+  while ((1ULL << levels) < nv) ++levels;
+  const double ab = p.rmat.a + p.rmat.b;
+  const double abc = ab + p.rmat.c;
+  const auto draw_pair = [&](VertexId& u, VertexId& v) {
+    if (p.base == TemporalBase::Rmat) {
+      u = v = 0;
+      for (std::size_t l = 0; l < levels; ++l) {
+        const double r = rng.next_double();
+        if (r < p.rmat.a) {
+        } else if (r < ab) {
+          v |= (1ULL << l);
+        } else if (r < abc) {
+          u |= (1ULL << l);
+        } else {
+          u |= (1ULL << l);
+          v |= (1ULL << l);
+        }
+      }
+    } else {
+      u = rng.next_below(nv);
+      v = rng.next_below(nv);
+    }
+  };
+
+  ts.updates.reserve(n_ops);
+  std::uint64_t t = 0;
+  std::size_t rejects = 0;
+  while (ts.updates.size() < n_ops) {
+    if (p.delete_frac > 0.0 && !live.empty() &&
+        rng.next_double() < p.delete_frac) {
+      const std::size_t k = rng.next_below(live.size());
+      const Edge e = live[k];
+      live[k] = live.back();
+      live.pop_back();
+      live_keys.erase(pair_key(e.u, e.v));
+      ts.updates.push_back({e.u, e.v, ++t, UpdateKind::Erase});
+      continue;
+    }
+    VertexId u = 0, v = 0;
+    draw_pair(u, v);
+    if (u == v || !live_keys.insert(pair_key(u, v)).second) {
+      if (++rejects > 64 * (n_ops + 16))
+        throw std::runtime_error("temporal_stream: edge space saturated");
+      continue;
+    }
+    live.push_back({u, v});
+    ts.updates.push_back({u, v, ++t, UpdateKind::Insert});
+  }
+  return ts;
+}
+
 std::size_t max_degree(const EdgeList& el) {
   std::vector<std::size_t> deg(el.n, 0);
   for (const Edge& e : el.edges) {

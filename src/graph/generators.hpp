@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/edge_list.hpp"
 
@@ -41,5 +42,37 @@ EdgeList disjoint_cliques(std::size_t k, std::size_t sz);
 /// Maximum degree of the graph (diagnostic; hybrid graphs should show
 /// Theta(sqrt(n)) hubs).
 std::size_t max_degree(const EdgeList& el);
+
+/// Which distribution the temporal stream's base graph and inserted edges
+/// are drawn from.
+enum class TemporalBase {
+  Random,  ///< uniform random simple graph
+  Rmat,    ///< R-MAT (deduplicated so deletions are well defined)
+  Hybrid,  ///< the paper's hybrid generator
+};
+
+struct TemporalStreamParams {
+  TemporalBase base = TemporalBase::Random;
+  std::size_t base_edges = 0;   ///< edges materialized before the stream
+  double delete_frac = 0.0;     ///< probability an update is a deletion
+  RmatParams rmat;              ///< quadrant probabilities for Rmat
+};
+
+/// A reproducible dynamic-graph workload: a base graph plus `n_ops`
+/// timestamped updates over it.
+struct TemporalStream {
+  EdgeList base;                         ///< edge set at ts = 0
+  std::vector<EdgeUpdate> updates;       ///< strictly increasing ts
+};
+
+/// Temporal edge-stream generator: same seed -> same base graph and same
+/// update sequence, across runs and thread counts (fully sequential).
+/// Inserts are drawn from the base distribution (self loops and edges
+/// already live are rejected, keeping the live set a simple graph);
+/// deletions pick a uniformly random live edge, so every Erase names an
+/// edge that exists at its timestamp.
+TemporalStream temporal_stream(std::size_t n, std::size_t n_ops,
+                               std::uint64_t seed,
+                               const TemporalStreamParams& params = {});
 
 }  // namespace pgraph::graph

@@ -25,4 +25,22 @@ struct WEdge {
   friend bool operator==(const WEdge&, const WEdge&) = default;
 };
 
+/// What a timestamped stream update does to the dynamic edge set.
+enum class UpdateKind : std::uint8_t {
+  Insert = 0,  ///< add edge {u, v}
+  Erase = 1,   ///< remove edge {u, v} (must currently exist)
+};
+
+/// One timestamped update of a dynamic graph (src/stream/).  Timestamps
+/// are strictly increasing within a stream, so a batch cut at any point
+/// yields a well-defined materialized edge set.
+struct EdgeUpdate {
+  VertexId u = 0;
+  VertexId v = 0;
+  std::uint64_t ts = 0;
+  UpdateKind kind = UpdateKind::Insert;
+
+  friend bool operator==(const EdgeUpdate&, const EdgeUpdate&) = default;
+};
+
 }  // namespace pgraph::graph

@@ -9,16 +9,20 @@
 
 namespace pgraph::harness {
 
-BenchArgs BenchArgs::parse(int argc, char** argv) {
+std::string BenchArgs::try_parse(int argc, char** argv, BenchArgs& out,
+                                 const BenchCaps& caps) {
   BenchArgs a;
-  for (int i = 1; i < argc; ++i) {
+  bool saw_batch_size = false;
+  bool saw_query_mix = false;
+  std::string err;
+  for (int i = 1; i < argc && err.empty(); ++i) {
     const auto is = [&](const char* flag) {
       return std::strcmp(argv[i], flag) == 0;
     };
     const auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", argv[i]);
-        std::exit(2);
+        err = std::string("missing value for ") + argv[i];
+        return "";
       }
       return argv[++i];
     };
@@ -46,17 +50,45 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
       a.faults = next();
     else if (is("--fault-seed"))
       a.fault_seed = std::strtoull(next(), nullptr, 10);
-    else if (is("--help") || is("-h")) {
+    else if (is("--stream"))
+      a.stream = true;
+    else if (is("--batch-size")) {
+      a.batch_size = std::strtoull(next(), nullptr, 10);
+      saw_batch_size = true;
+    } else if (is("--query-mix")) {
+      a.query_mix = std::atof(next());
+      saw_query_mix = true;
+    } else if (is("--help") || is("-h")) {
       std::printf(
           "flags: --n N --m M --nodes P --threads T --tprime T' "
           "--seed S --scale F --csv --json PATH --trace PATH "
-          "--faults SPEC --fault-seed S\n");
+          "--faults SPEC --fault-seed S%s\n",
+          caps.stream ? " --stream --batch-size OPS --query-mix F" : "");
       std::exit(0);
     } else {
-      std::fprintf(stderr, "unknown flag %s (try --help)\n", argv[i]);
-      std::exit(2);
+      err = std::string("unknown flag ") + argv[i] + " (try --help)";
     }
   }
+  if (!err.empty()) return err;
+
+  // Streaming flags: reject contradictory combinations up front instead of
+  // silently ignoring them.
+  if (!caps.stream) {
+    if (a.stream) return "--stream is not supported by this bench";
+    if (saw_batch_size)
+      return "--batch-size is not supported by this bench";
+    if (saw_query_mix)
+      return "--query-mix is not supported by this bench";
+  }
+  if (saw_batch_size && !a.stream)
+    return "--batch-size requires --stream";
+  if (saw_query_mix && !a.stream)
+    return "--query-mix requires --stream";
+  if (saw_batch_size && a.batch_size == 0)
+    return "--batch-size must be > 0 (a batch has to carry updates)";
+  if (saw_query_mix && (a.query_mix < 0.0 || a.query_mix > 1.0))
+    return "--query-mix must be in [0, 1]";
+
   // Fail fast on a bad fault plan: parse the spec now, and when the node
   // count is known at the command line, reject plans that the topology
   // cannot honour (outages and permanent loss need a second node) before
@@ -67,9 +99,19 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
           fault::FaultConfig::parse(a.faults, a.fault_seed);
       if (a.nodes > 0) cfg.validate_topology(a.nodes);
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "invalid --faults spec: %s\n", e.what());
-      std::exit(2);
+      return std::string("invalid --faults spec: ") + e.what();
     }
+  }
+  out = a;
+  return {};
+}
+
+BenchArgs BenchArgs::parse(int argc, char** argv, const BenchCaps& caps) {
+  BenchArgs a;
+  const std::string err = try_parse(argc, argv, a, caps);
+  if (!err.empty()) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    std::exit(2);
   }
   return a;
 }

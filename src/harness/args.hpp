@@ -5,6 +5,13 @@
 
 namespace pgraph::harness {
 
+/// What the bench binary can actually do with the flags it accepts.
+/// Batch benches leave `stream` false, so streaming flags are rejected at
+/// parse time with a clear message instead of being silently ignored.
+struct BenchCaps {
+  bool stream = false;  ///< bench understands --stream / --batch-size / --query-mix
+};
+
 /// Common CLI flags for bench binaries, so every figure can be re-run at
 /// paper scale on a big machine (`--scale`) while defaulting to sizes that
 /// finish in seconds inside CI.
@@ -17,6 +24,13 @@ namespace pgraph::harness {
 ///   --faults <spec>   (fault-injection plan, e.g. "drop=0.01,corrupt=0.005";
 ///                      see fault::FaultConfig::parse and docs/ROBUSTNESS.md)
 ///   --fault-seed <s>  (seed of the deterministic fault plan; default 1)
+///
+/// Streaming benches (BenchCaps::stream) additionally accept:
+///   --stream            (drive the dynamic-graph update/query loop)
+///   --batch-size <ops>  (updates per ingested batch; requires --stream,
+///                        must be > 0)
+///   --query-mix <f>     (queries issued per update, in [0, 1]; requires
+///                        --stream)
 struct BenchArgs {
   std::uint64_t n = 0;  ///< 0 = bench default
   std::uint64_t m = 0;
@@ -30,8 +44,18 @@ struct BenchArgs {
   std::string trace_path;  ///< empty = no trace
   std::string faults;      ///< empty = no fault injection
   std::uint64_t fault_seed = 1;
+  bool stream = false;          ///< drive the streaming loop
+  std::uint64_t batch_size = 0; ///< 0 = bench default (flag must be > 0)
+  double query_mix = 0.0;       ///< queries per update, in [0, 1]
 
-  static BenchArgs parse(int argc, char** argv);
+  /// Parse into `out`.  Returns an empty string on success and the error
+  /// message (flag included) on failure; `out` is unspecified on failure.
+  /// Exits(0) only for --help.
+  static std::string try_parse(int argc, char** argv, BenchArgs& out,
+                               const BenchCaps& caps = {});
+
+  /// try_parse that prints the error to stderr and exits(2) on failure.
+  static BenchArgs parse(int argc, char** argv, const BenchCaps& caps = {});
 
   std::uint64_t scaled(std::uint64_t base) const {
     return static_cast<std::uint64_t>(static_cast<double>(base) * scale);

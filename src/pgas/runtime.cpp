@@ -361,6 +361,9 @@ void Runtime::reset_costs() {
   trace_prev_faults_ =
       fault_ != nullptr ? fault_->counters() : fault::FaultCounters{};
   fault_failed_.store(false, std::memory_order_relaxed);
+  // An attached sink baselines its deltas on cumulative stats; tell it the
+  // clocks restarted so it can re-baseline (and rebase its timeline).
+  if (sink_ != nullptr) sink_->on_reset();
 }
 
 machine::PhaseStats Runtime::critical_stats() const {

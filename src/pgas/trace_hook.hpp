@@ -110,6 +110,12 @@ class TraceSink {
   /// tracer across many bench configurations), so this is how the
   /// attachment ends without an explicit detach.
   virtual void on_runtime_gone() noexcept {}
+  /// The attached runtime's clocks and stats were reset to zero
+  /// (Runtime::reset_costs) while the sink stays attached.  Sinks that
+  /// baseline deltas against cumulative stats must re-baseline here, or
+  /// the first superstep after the reset computes negative deltas.
+  /// Called outside run() (no SPMD threads live).
+  virtual void on_reset() noexcept {}
   /// A named modeled-time interval [t0_ns, t1_ns] on `thread`'s clock
   /// (collective phases: "getd.serve", "setd.apply", ...).
   virtual void on_scope(int thread, const char* name, double t0_ns,

@@ -46,6 +46,18 @@ void SuperstepTracer::detach() {
   }
 }
 
+void SuperstepTracer::on_reset() noexcept {
+  if (attached_ == nullptr || cur_segment_ < 0) return;
+  // The runtime's clocks and cumulative stats just restarted at zero while
+  // we stay attached (Runtime::reset_costs between bench rows / stream
+  // batches).  Rebase the segment offset so post-reset events continue the
+  // global timeline where it left off, and re-baseline the per-thread
+  // stats so the next superstep's deltas start from zero, not from the
+  // pre-reset cumulative values.
+  offset_ns_ = end_ns_;
+  for (auto& st : prev_stats_) st.reset();
+}
+
 void SuperstepTracer::on_superstep(const pgas::SuperstepRecord& rec) {
   assert(cur_segment_ >= 0);
   Superstep st;

@@ -123,6 +123,7 @@ class SuperstepTracer final : public pgas::TraceSink {
   void on_crcw(int thread, const char* label, double ts_ns,
                bool begin) override;
   void on_runtime_gone() noexcept override { attached_ = nullptr; }
+  void on_reset() noexcept override;
 
   // --- recorded data ---------------------------------------------------
   const std::vector<Superstep>& supersteps() const { return steps_; }

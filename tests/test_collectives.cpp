@@ -344,3 +344,119 @@ TEST(CollectiveCosts, HierarchicalEliminatesTheFineMessageBurst) {
   EXPECT_GT(flat, 200u);
   EXPECT_EQ(hier, 0u);
 }
+
+// --- degenerate batches ----------------------------------------------------
+// Threads with an empty request vector must not charge exchange setup or
+// emit zero-length messages once the counts matrix is already zero (the
+// steady state of a stream that stopped touching a partition), and a
+// nonzero -> zero transition must still publish the zero counts so owners
+// never re-serve a stale batch.
+
+#include "core/par_common.hpp"
+
+namespace {
+
+namespace core_ns = pgraph::core;
+
+core_ns::RunCosts empty_setd_round(pg::Runtime& rt,
+                                   pg::GlobalArray<std::uint64_t>& d,
+                                   c::CollectiveContext& cc,
+                                   const c::CollectiveOptions& opt) {
+  rt.reset_costs();
+  rt.run([&](pg::ThreadCtx& ctx) {
+    const std::vector<std::uint64_t> idx;
+    const std::vector<std::uint64_t> val;
+    c::CollWorkspace<std::uint64_t> ws;
+    c::setd_add(ctx, d, idx, std::span<const std::uint64_t>(val), opt, cc,
+                ws);
+  });
+  return core_ns::collect_costs(rt, 0.0);
+}
+
+}  // namespace
+
+TEST(CollectivesDegenerate, EmptyBatchesSkipExchangeAndNeverReapply) {
+  for (const bool hier : {false, true}) {
+    auto opt = c::CollectiveOptions::optimized(2);
+    opt.hierarchical = hier;
+    pg::Runtime rt(pg::Topology::cluster(4, 2),
+                   m::CostParams::hps_cluster());
+    pg::GlobalArray<std::uint64_t> d(rt, 512);
+    c::CollectiveContext cc(rt);
+
+    const auto busy_round = [&] {
+      rt.run([&](pg::ThreadCtx& ctx) {
+        const std::uint64_t me = static_cast<std::uint64_t>(ctx.id());
+        const std::vector<std::uint64_t> idx = {me * 7, 300 + me};
+        const std::vector<std::uint64_t> val = {1, 1};
+        c::CollWorkspace<std::uint64_t> ws;
+        c::setd_add(ctx, d, idx, std::span<const std::uint64_t>(val), opt,
+                    cc, ws);
+      });
+    };
+    const auto snapshot = [&] {
+      const auto sp = d.raw_all();
+      return std::vector<std::uint64_t>(sp.begin(), sp.end());
+    };
+
+    busy_round();
+    const auto want = snapshot();
+
+    // Transition round (counts nonzero -> zero): with a combining-add
+    // payload, serving the stale batch would double every touched slot.
+    const auto trans = empty_setd_round(rt, d, cc, opt);
+    EXPECT_EQ(snapshot(), want) << "stale counts re-served (hier=" << hier
+                                << ")";
+
+    // Steady-state round (zero -> zero): the setup writes and the
+    // zero-length exchange disappear entirely.
+    const auto steady = empty_setd_round(rt, d, cc, opt);
+    EXPECT_EQ(snapshot(), want);
+    EXPECT_EQ(steady.messages, 0u) << "hier=" << hier;
+    EXPECT_EQ(steady.fine_messages, 0u) << "hier=" << hier;
+    EXPECT_LT(steady.modeled_ns, trans.modeled_ns) << "hier=" << hier;
+
+    // Waking up again after the skip must go through the full path.
+    busy_round();
+    auto doubled = want;
+    rt.run([&](pg::ThreadCtx&) {});  // no-op; values checked host-side
+    for (std::size_t i = 0; i < doubled.size(); ++i)
+      doubled[i] = 2 * want[i];
+    EXPECT_EQ(snapshot(), doubled) << "hier=" << hier;
+  }
+}
+
+TEST(CollectivesDegenerate, EmptyGetDSteadyStateIsMessageFree) {
+  pg::Runtime rt(pg::Topology::cluster(4, 2), m::CostParams::hps_cluster());
+  const std::size_t n = 256;
+  pg::GlobalArray<std::uint64_t> d(rt, n);
+  for (std::size_t i = 0; i < n; ++i) d.raw(i) = 10 * i;
+  d.raw(0) = 0;
+  c::CollectiveContext cc(rt);
+  const auto opt = c::CollectiveOptions::optimized(2);
+
+  std::vector<int> bad(8, 0);
+  const auto round = [&](bool empty) {
+    rt.reset_costs();
+    rt.run([&](pg::ThreadCtx& ctx) {
+      const std::uint64_t me = static_cast<std::uint64_t>(ctx.id());
+      std::vector<std::uint64_t> idx;
+      if (!empty) idx = {me * 13 % n, (me * 31 + 5) % n};
+      std::vector<std::uint64_t> out(idx.size());
+      c::CollWorkspace<std::uint64_t> ws;
+      c::getd(ctx, d, idx, std::span<std::uint64_t>(out), opt, cc, ws);
+      for (std::size_t k = 0; k < idx.size(); ++k)
+        if (out[k] != 10 * idx[k])
+          bad[static_cast<std::size_t>(ctx.id())] = 1;
+    });
+    return core_ns::collect_costs(rt, 0.0);
+  };
+
+  round(false);
+  round(true);  // transition: zero counts land
+  const auto steady = round(true);
+  EXPECT_EQ(steady.messages, 0u);
+  EXPECT_EQ(steady.fine_messages, 0u);
+  round(false);  // wake up again: values must still be served fresh
+  EXPECT_EQ(bad, std::vector<int>(8, 0));
+}

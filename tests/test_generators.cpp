@@ -153,3 +153,66 @@ TEST(Permute, RelabelPreservesStructure) {
   }
   EXPECT_EQ(g::max_degree(rel), g::max_degree(el));
 }
+
+TEST(TemporalStream, SameSeedSameStream) {
+  g::TemporalStreamParams p;
+  p.base_edges = 200;
+  p.delete_frac = 0.3;
+  const auto a = g::temporal_stream(100, 300, 42, p);
+  const auto b = g::temporal_stream(100, 300, 42, p);
+  EXPECT_EQ(a.base.edges, b.base.edges);
+  EXPECT_EQ(a.updates, b.updates);
+  const auto c = g::temporal_stream(100, 300, 43, p);
+  EXPECT_NE(a.updates, c.updates);
+}
+
+TEST(TemporalStream, ReplayIsWellFormed) {
+  // Timestamps strictly increase; every Erase names an edge that is live
+  // at its timestamp; every Insert is a fresh non-loop edge.
+  for (const auto base :
+       {g::TemporalBase::Random, g::TemporalBase::Rmat, g::TemporalBase::Hybrid}) {
+    g::TemporalStreamParams p;
+    p.base = base;
+    p.base_edges = 150;
+    p.delete_frac = 0.4;
+    const auto ts = g::temporal_stream(128, 250, 5, p);
+    std::unordered_set<std::uint64_t> live;
+    for (const auto& e : ts.base.edges) {
+      EXPECT_NE(e.u, e.v);
+      EXPECT_TRUE(live.insert(key(e)).second) << "duplicate base edge";
+    }
+    std::uint64_t prev_ts = 0;
+    std::size_t erases = 0;
+    for (const auto& u : ts.updates) {
+      EXPECT_GT(u.ts, prev_ts);
+      prev_ts = u.ts;
+      EXPECT_NE(u.u, u.v);
+      const auto k = key({u.u, u.v});
+      if (u.kind == g::UpdateKind::Insert) {
+        EXPECT_TRUE(live.insert(k).second) << "insert of a live edge";
+      } else {
+        EXPECT_EQ(live.erase(k), 1u) << "erase of a dead edge";
+        ++erases;
+      }
+    }
+    EXPECT_EQ(ts.updates.size(), 250u);
+    EXPECT_GT(erases, 0u);
+  }
+}
+
+TEST(TemporalStream, InsertOnlyByDefault) {
+  const auto ts = g::temporal_stream(64, 100, 8);
+  EXPECT_TRUE(ts.base.edges.empty());  // base_edges defaults to 0
+  for (const auto& u : ts.updates)
+    EXPECT_EQ(u.kind, g::UpdateKind::Insert);
+}
+
+TEST(TemporalStream, RejectsBadParameters) {
+  EXPECT_THROW(g::temporal_stream(1, 10, 1), std::invalid_argument);
+  g::TemporalStreamParams p;
+  p.delete_frac = 1.0;
+  EXPECT_THROW(g::temporal_stream(64, 10, 1, p), std::invalid_argument);
+  // A tiny vertex set saturates: the generator must fail loudly instead
+  // of spinning on rejected duplicate inserts.
+  EXPECT_THROW(g::temporal_stream(3, 100, 1), std::runtime_error);
+}

@@ -93,3 +93,70 @@ TEST(BenchArgs, Defaults) {
   EXPECT_FALSE(a.csv);
   EXPECT_EQ(a.scaled(64), 64u);
 }
+
+namespace {
+
+/// try_parse against an argv literal; returns the error string ("" = ok).
+template <std::size_t N>
+std::string tparse(const char* (&argv)[N], h::BenchArgs& out,
+                   h::BenchCaps caps = {}) {
+  return h::BenchArgs::try_parse(static_cast<int>(N),
+                                 const_cast<char**>(argv), out, caps);
+}
+
+}  // namespace
+
+TEST(BenchArgsStream, AcceptedWithCapability) {
+  const char* argv[] = {"prog",         "--stream", "--batch-size", "128",
+                        "--query-mix",  "0.25"};
+  h::BenchArgs a;
+  ASSERT_EQ(tparse(argv, a, {.stream = true}), "");
+  EXPECT_TRUE(a.stream);
+  EXPECT_EQ(a.batch_size, 128u);
+  EXPECT_DOUBLE_EQ(a.query_mix, 0.25);
+}
+
+TEST(BenchArgsStream, RejectedOnBatchBenches) {
+  // A bench without the streaming capability must refuse the flags with a
+  // clear message instead of silently ignoring them.
+  const char* s1[] = {"prog", "--stream"};
+  const char* s2[] = {"prog", "--batch-size", "64"};
+  const char* s3[] = {"prog", "--query-mix", "0.5"};
+  h::BenchArgs a;
+  EXPECT_NE(tparse(s1, a).find("--stream"), std::string::npos);
+  EXPECT_NE(tparse(s2, a).find("--batch-size"), std::string::npos);
+  EXPECT_NE(tparse(s3, a).find("--query-mix"), std::string::npos);
+}
+
+TEST(BenchArgsStream, StreamFlagsRequireStream) {
+  const char* s1[] = {"prog", "--batch-size", "64"};
+  const char* s2[] = {"prog", "--query-mix", "0.5"};
+  h::BenchArgs a;
+  EXPECT_NE(tparse(s1, a, {.stream = true}).find("requires --stream"),
+            std::string::npos);
+  EXPECT_NE(tparse(s2, a, {.stream = true}).find("requires --stream"),
+            std::string::npos);
+}
+
+TEST(BenchArgsStream, BatchSizeZeroAndBadMixRejected) {
+  const char* s1[] = {"prog", "--stream", "--batch-size", "0"};
+  const char* s2[] = {"prog", "--stream", "--query-mix", "1.5"};
+  const char* s3[] = {"prog", "--stream", "--query-mix", "-0.1"};
+  h::BenchArgs a;
+  EXPECT_NE(tparse(s1, a, {.stream = true}).find("--batch-size"),
+            std::string::npos);
+  EXPECT_NE(tparse(s2, a, {.stream = true}).find("--query-mix"),
+            std::string::npos);
+  EXPECT_NE(tparse(s3, a, {.stream = true}).find("--query-mix"),
+            std::string::npos);
+}
+
+TEST(BenchArgsStream, TryParseReportsUnknownFlagWithoutExit) {
+  const char* argv[] = {"prog", "--bogus"};
+  h::BenchArgs a;
+  const std::string err = tparse(argv, a);
+  EXPECT_NE(err.find("--bogus"), std::string::npos);
+  const char* ok[] = {"prog", "--n", "10"};
+  EXPECT_EQ(tparse(ok, a), "");
+  EXPECT_EQ(a.n, 10u);
+}
