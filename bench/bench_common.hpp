@@ -96,7 +96,10 @@ class Report {
 
   Report(const BenchArgs& a, std::string bench_name) : args_(a) {
     rep_.bench = std::move(bench_name);
-    if (!args_.json_path.empty() || !args_.trace_path.empty())
+    // --digest needs the tracer too: digests flow runtime -> superstep
+    // records -> rows, even when neither --json nor --trace is given (the
+    // run still validates determinism; finish() just writes no file).
+    if (!args_.json_path.empty() || !args_.trace_path.empty() || args_.digest)
       tracer_ = std::make_unique<trace::SuperstepTracer>();
     if (!args_.faults.empty())
       injector_ = std::make_unique<fault::FaultInjector>(
@@ -119,6 +122,7 @@ class Report {
       // delta origin or the first row after a re-attach would underflow.
       prev_faults_ = injector_->counters();
     }
+    rt.set_digest_enabled(args_.digest);
     if (tracer_) tracer_->attach(rt);
   }
 
@@ -135,7 +139,10 @@ class Report {
     r.barriers = c.barriers;
     r.extra = std::move(extra);
     append_fault_extras(r.extra);
-    if (tracer_) r.attribution = tracer_->take_row_attribution();
+    if (tracer_) {
+      r.attribution = tracer_->take_row_attribution();
+      r.digests = tracer_->take_row_digests();
+    }
     rep_.rows.push_back(std::move(r));
   }
 
@@ -146,7 +153,10 @@ class Report {
     r.modeled_ns = modeled_ns;
     r.extra = std::move(extra);
     append_fault_extras(r.extra);
-    if (tracer_) r.attribution = tracer_->take_row_attribution();
+    if (tracer_) {
+      r.attribution = tracer_->take_row_attribution();
+      r.digests = tracer_->take_row_digests();
+    }
     rep_.rows.push_back(std::move(r));
   }
 

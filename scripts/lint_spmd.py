@@ -1,0 +1,286 @@
+#!/usr/bin/env python3
+"""Static SPMD-discipline lint — the compile-time companion of the runtime
+conformance verifier (src/analysis/conformance).
+
+Two checks over src/, bench/ and tests/:
+
+  affinity    A raw `.local_span(` on a GlobalArray outside src/pgas/ and
+              src/collectives/.  Private-pointer block access is the
+              `localcpy` optimization and is legal, but every site outside
+              the runtime/collectives layers must be deliberate: it
+              bypasses GetD/SetD and the access discipline only catches
+              misuse at runtime in check builds.  New sites must either
+              move behind a collective or be added to the allowlist with a
+              reason.
+
+  uniformity  A collective call (getd / setd / setd_min / setd_add /
+              setd_combine / replicate_to_buddy) or a barrier lexically
+              inside an `if` whose condition reads the thread id
+              (`ctx.id()`, `ctx.tid()`, ...).  Collectives are called by
+              every thread or by none; a thread-dependent branch around
+              one deadlocks the barrier or corrupts the exchange.  (The
+              runtime verifier catches the dynamic case; this catches it
+              before the code ever runs.)
+
+Allowlist: scripts/lint_spmd_allow.txt.  Each non-comment line is
+  <glob>[:<check>]   [# reason]
+matching repo-relative paths (fnmatch); a bare glob suppresses both
+checks for matching files, `:affinity` / `:uniformity` suppresses one.
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+`--self-test` runs the built-in fixture snippets instead of the tree.
+"""
+
+import fnmatch
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCAN_DIRS = ("src", "bench", "tests")
+EXEMPT_PREFIXES = ("src/pgas/", "src/collectives/")
+ALLOWLIST = os.path.join("scripts", "lint_spmd_allow.txt")
+
+AFFINITY_RE = re.compile(r"[.\->]\s*local_span\s*\(")
+THREAD_ID_RE = re.compile(r"\b\w+\s*(?:\.|->)\s*(?:id|tid)\s*\(\s*\)")
+COLLECTIVE_RE = re.compile(
+    r"(?:\b(?:getd|setd|setd_min|setd_add|setd_combine|replicate_to_buddy)"
+    r"\s*\(|(?:\.|->)\s*(?:barrier|exchange_barrier)\s*\()"
+)
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments, string and char literals, preserving newlines
+    and column positions so findings carry real line numbers."""
+    out = []
+    i, n = 0, len(text)
+    mode = None  # None | "line" | "block" | '"' | "'"
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode is None:
+            if ch == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+            elif ch == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+            elif ch in ('"', "'"):
+                mode = ch
+                out.append(ch)
+                i += 1
+            else:
+                out.append(ch)
+                i += 1
+        elif mode == "line":
+            if ch == "\n":
+                mode = None
+                out.append(ch)
+            else:
+                out.append(" ")
+            i += 1
+        elif mode == "block":
+            if ch == "*" and nxt == "/":
+                mode = None
+                out.append("  ")
+                i += 2
+            else:
+                out.append(ch if ch == "\n" else " ")
+                i += 1
+        else:  # inside a string/char literal
+            if ch == "\\":
+                out.append("  ")
+                i += 2
+            elif ch == mode:
+                mode = None
+                out.append(ch)
+                i += 1
+            else:
+                out.append(ch if ch == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def line_of(text, pos):
+    return text.count("\n", 0, pos) + 1
+
+
+def find_matching(text, open_pos, open_ch, close_ch):
+    """Index just past the bracket matching text[open_pos], or len(text)."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == open_ch:
+            depth += 1
+        elif text[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def check_affinity(path, clean):
+    out = []
+    for m in AFFINITY_RE.finditer(clean):
+        out.append(
+            (path, line_of(clean, m.start()), "affinity",
+             "raw GlobalArray local_span() outside src/pgas//"
+             "src/collectives/ — route through a collective or allowlist "
+             "with a reason"))
+    return out
+
+
+IF_RE = re.compile(r"\bif\s*\(")
+
+
+def check_uniformity(path, clean):
+    out = []
+    for m in IF_RE.finditer(clean):
+        cond_open = m.end() - 1
+        cond_close = find_matching(clean, cond_open, "(", ")")
+        cond = clean[cond_open:cond_close]
+        if not THREAD_ID_RE.search(cond):
+            continue
+        # Branch extent: the brace block, or the single statement up to ';'.
+        j = cond_close
+        while j < len(clean) and clean[j] in " \t\n":
+            j += 1
+        if j < len(clean) and clean[j] == "{":
+            body_end = find_matching(clean, j, "{", "}")
+        else:
+            body_end = clean.find(";", j)
+            body_end = len(clean) if body_end < 0 else body_end + 1
+        body = clean[j:body_end]
+        for c in COLLECTIVE_RE.finditer(body):
+            out.append(
+                (path, line_of(clean, j + c.start()), "uniformity",
+                 "collective/barrier inside a thread-id-dependent branch "
+                 "(condition at line %d: `%s`) — collectives must be "
+                 "called by every thread" %
+                 (line_of(clean, cond_open), " ".join(cond.split()))))
+    return out
+
+
+def load_allowlist(repo):
+    rules = []
+    path = os.path.join(repo, ALLOWLIST)
+    if not os.path.exists(path):
+        return rules
+    with open(path) as f:
+        for raw in f:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            if ":" in line:
+                glob, check = line.rsplit(":", 1)
+                if check not in ("affinity", "uniformity"):
+                    glob, check = line, None
+            else:
+                glob, check = line, None
+            rules.append((glob, check))
+    return rules
+
+
+def allowed(rules, path, check):
+    return any(
+        fnmatch.fnmatch(path, glob) and (c is None or c == check)
+        for glob, c in rules)
+
+
+def scan_file(relpath, text):
+    if any(relpath.startswith(p) for p in EXEMPT_PREFIXES):
+        return []
+    clean = strip_comments_and_strings(text)
+    return check_affinity(relpath, clean) + check_uniformity(relpath, clean)
+
+
+def run_tree(repo):
+    rules = load_allowlist(repo)
+    findings = []
+    for d in SCAN_DIRS:
+        for root, _, files in os.walk(os.path.join(repo, d)):
+            for name in sorted(files):
+                if not name.endswith((".hpp", ".cpp", ".h", ".cc")):
+                    continue
+                full = os.path.join(root, name)
+                rel = os.path.relpath(full, repo).replace(os.sep, "/")
+                with open(full, errors="replace") as f:
+                    text = f.read()
+                for path, line, check, msg in scan_file(rel, text):
+                    if not allowed(rules, path, check):
+                        findings.append((path, line, check, msg))
+    for path, line, check, msg in findings:
+        print("%s:%d: [%s] %s" % (path, line, check, msg))
+    if findings:
+        print("lint_spmd: %d finding(s)" % len(findings), file=sys.stderr)
+        return 1
+    print("lint_spmd: clean")
+    return 0
+
+
+# --- self test -------------------------------------------------------------
+
+SELF_TESTS = [
+    # (name, path, source, expected check names)
+    ("raw local_span outside runtime layers", "src/core/x.cpp",
+     "void f(Ctx& ctx) { auto blk = d.local_span(ctx.id()); }",
+     ["affinity"]),
+    ("local_span inside pgas is the implementation", "src/pgas/x.hpp",
+     "auto blk = d.local_span(me);", []),
+    ("collective under a thread-id branch", "src/core/y.cpp",
+     "void f(Ctx& ctx) {\n  if (ctx.id() == 0) {\n    ctx.barrier();\n  }\n}",
+     ["uniformity"]),
+    ("braceless thread-id branch", "src/core/y2.cpp",
+     "void f(Ctx& ctx) { if (ctx.tid() != 0) ctx.exchange_barrier(); }",
+     ["uniformity"]),
+    ("setd under a thread-id branch", "tests/t.cpp",
+     "if (ctx.id() == 1) c::setd_min(ctx, d, idx, val, opt, cc, ws);",
+     ["uniformity"]),
+    ("uniform branch around a collective is fine", "src/core/z.cpp",
+     "if (frontier_empty) { ctx.barrier(); }", []),
+    ("thread-id branch without a collective is fine", "src/core/w.cpp",
+     "if (ctx.id() == 0) std::printf(\"leader\\n\");", []),
+    ("commented-out collective is ignored", "src/core/v.cpp",
+     "if (ctx.id() == 0) {\n  // ctx.barrier();\n  int x = 0;\n}", []),
+    ("local_span in a string literal is ignored", "src/core/u.cpp",
+     'const char* s = "d.local_span(me)";', []),
+]
+
+
+def self_test():
+    failures = 0
+    for name, path, source, expect in SELF_TESTS:
+        got = sorted({check for _, _, check, _ in scan_file(path, source)})
+        if got != sorted(set(expect)):
+            print("SELF-TEST FAIL: %s — expected %s, got %s" %
+                  (name, expect or "clean", got or "clean"))
+            failures += 1
+    # Allowlist semantics: a matching rule suppresses exactly its check.
+    rules = [("src/core/x.cpp", "affinity"), ("tests/*", None)]
+    if not allowed(rules, "src/core/x.cpp", "affinity"):
+        print("SELF-TEST FAIL: scoped allowlist rule did not match")
+        failures += 1
+    if allowed(rules, "src/core/x.cpp", "uniformity"):
+        print("SELF-TEST FAIL: scoped allowlist rule leaked across checks")
+        failures += 1
+    if not allowed(rules, "tests/t.cpp", "uniformity"):
+        print("SELF-TEST FAIL: bare allowlist glob did not match")
+        failures += 1
+    if failures:
+        return 1
+    print("lint_spmd: self-test passed (%d cases)" % len(SELF_TESTS))
+    return 0
+
+
+def main(argv):
+    if "--self-test" in argv:
+        return self_test()
+    if len(argv) > 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    return run_tree(REPO)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

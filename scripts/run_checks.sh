@@ -9,7 +9,12 @@
 #   check    PGRAPH_CHECK_ACCESS=ON build + ctest (access-discipline checker)
 #   tsan     -fsanitize=thread build + ctest
 #   asan     -fsanitize=address,undefined build + ctest
-#   lint     clang-tidy over src/tests/examples (skipped if not installed)
+#   lint     scripts/lint_spmd.py (SPMD-discipline static lint; self-test
+#            first, then the tree against scripts/lint_spmd_allow.txt),
+#            plus clang-tidy over src/tests/examples (skipped if not
+#            installed)
+#   ubsan    -fsanitize=undefined (non-recoverable) build; collectives,
+#            fault and stream test binaries under it
 #   perf     traced smoke bench + bench_diff.py vs the committed baseline
 #            (scripts/baselines/BENCH_smoke.json; skipped without python3)
 #   stream   dynamic-graph smoke: Stream* tests in the default and check
@@ -29,7 +34,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(default check tsan asan lint perf stream chaos)
+  STAGES=(default check tsan asan ubsan lint perf stream chaos)
 fi
 
 run_preset() {
@@ -46,6 +51,13 @@ for stage in "${STAGES[@]}"; do
       run_preset "$stage"
       ;;
     lint)
+      if command -v python3 > /dev/null 2>&1; then
+        echo "==== [lint] SPMD-discipline lint (scripts/lint_spmd.py) ===="
+        python3 scripts/lint_spmd.py --self-test
+        python3 scripts/lint_spmd.py
+      else
+        echo "==== [lint] python3 not found on PATH; skipping SPMD lint ===="
+      fi
       if command -v clang-tidy > /dev/null 2>&1; then
         echo "==== [lint] clang-tidy ===="
         cmake --preset default
@@ -53,6 +65,14 @@ for stage in "${STAGES[@]}"; do
       else
         echo "==== [lint] clang-tidy not found on PATH; skipping ===="
       fi
+      ;;
+    ubsan)
+      echo "==== [ubsan] undefined-behavior sanitizer, collectives/fault/stream ===="
+      cmake --preset ubsan
+      cmake --build --preset ubsan -j "$JOBS" \
+        --target test_collectives --target test_fault --target test_stream
+      ctest --preset ubsan -R '^(Collectives|Fault|Stream)' \
+        --output-on-failure -j "$JOBS"
       ;;
     perf)
       if command -v python3 > /dev/null 2>&1; then
@@ -155,7 +175,7 @@ EOF
       fi
       ;;
     *)
-      echo "unknown stage: $stage (want: default check tsan asan lint perf stream chaos)" >&2
+      echo "unknown stage: $stage (want: default check tsan asan ubsan lint perf stream chaos)" >&2
       exit 2
       ;;
   esac

@@ -4,6 +4,7 @@
 #include <optional>
 #include <span>
 
+#include "collectives/conformance_hook.hpp"
 #include "collectives/detail.hpp"
 #include "pgas/trace_hook.hpp"
 
@@ -49,6 +50,12 @@ void getd(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
   const sched::VBlocks vb(D.size(), s, tprime);
   const std::size_t w = vb.nbuckets();
   const bool offload = opt.offload && known.has_value();
+#ifdef PGRAPH_CHECK_ACCESS
+  conformance_note(ctx, analysis::CollOp::GetD, opt.site,
+                   collective_sig(D.uid(), D.size(), sizeof(T), /*combine=*/0,
+                                  tprime, opt,
+                                  offload ? known->index : ~0ull));
+#endif
   // Checksum protocol (docs/ROBUSTNESS.md): when payload corruption is in
   // the fault plan, owners deposit a per-batch checksum next to the reply
   // (8B rides on each message) and the requester validates after the

@@ -48,6 +48,13 @@ struct CollectiveOptions {
   /// default: the paper's measured configurations do not include it.
   bool hierarchical = false;
 
+  /// Conformance-verifier site tag: distinguishes textually distinct call
+  /// sites that are otherwise identical (same op, same arrays).  Must be a
+  /// string literal (the verifier interns by content, but never copies the
+  /// lifetime burden onto callers mid-collective).  nullptr = anonymous
+  /// site, fingerprinted by op kind and argument signature alone.
+  const char* site = nullptr;
+
   /// The Figure 5 "base" configuration: two recursion levels (cluster +
   /// node via the by-thread grouping), no engineering optimizations.
   static CollectiveOptions base() { return CollectiveOptions{}; }

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <span>
 
+#include "collectives/conformance_hook.hpp"
 #include "collectives/crcw.hpp"
 #include "collectives/detail.hpp"
 #include "pgas/trace_hook.hpp"
@@ -63,6 +64,12 @@ void setd_combine(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
   const int tprime = detail::resolve_tprime(ctx, opt, D.size(), sizeof(T));
   const sched::VBlocks vb(D.size(), s, tprime);
   const std::size_t w = vb.nbuckets();
+#ifdef PGRAPH_CHECK_ACCESS
+  conformance_note(ctx, crcw_coll_op(Combine::kMode), opt.site,
+                   collective_sig(D.uid(), D.size(), sizeof(T),
+                                  static_cast<int>(Combine::kMode), tprime,
+                                  opt));
+#endif
   // Checksum protocol (docs/ROBUSTNESS.md): the requester seals each
   // outgoing (index, value) batch with a checksum before it is exposed;
   // owners validate *before applying* — a corrupted index must never be

@@ -50,6 +50,8 @@ std::string BenchArgs::try_parse(int argc, char** argv, BenchArgs& out,
       a.faults = next();
     else if (is("--fault-seed"))
       a.fault_seed = std::strtoull(next(), nullptr, 10);
+    else if (is("--digest"))
+      a.digest = true;
     else if (is("--stream"))
       a.stream = true;
     else if (is("--batch-size")) {
@@ -62,7 +64,7 @@ std::string BenchArgs::try_parse(int argc, char** argv, BenchArgs& out,
       std::printf(
           "flags: --n N --m M --nodes P --threads T --tprime T' "
           "--seed S --scale F --csv --json PATH --trace PATH "
-          "--faults SPEC --fault-seed S%s\n",
+          "--faults SPEC --fault-seed S --digest%s\n",
           caps.stream ? " --stream --batch-size OPS --query-mix F" : "");
       std::exit(0);
     } else {

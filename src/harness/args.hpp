@@ -24,6 +24,10 @@ struct BenchCaps {
 ///   --faults <spec>   (fault-injection plan, e.g. "drop=0.01,corrupt=0.005";
 ///                      see fault::FaultConfig::parse and docs/ROBUSTNESS.md)
 ///   --fault-seed <s>  (seed of the deterministic fault plan; default 1)
+///   --digest          (record a determinism digest of the committed
+///                      GlobalArray state at every barrier; digests land in
+///                      the --json report and --trace output so two runs
+///                      can be bisected to the first diverging superstep)
 ///
 /// Streaming benches (BenchCaps::stream) additionally accept:
 ///   --stream            (drive the dynamic-graph update/query loop)
@@ -44,6 +48,7 @@ struct BenchArgs {
   std::string trace_path;  ///< empty = no trace
   std::string faults;      ///< empty = no fault injection
   std::uint64_t fault_seed = 1;
+  bool digest = false;     ///< record per-superstep determinism digests
   bool stream = false;          ///< drive the streaming loop
   std::uint64_t batch_size = 0; ///< 0 = bench default (flag must be > 0)
   double query_mix = 0.0;       ///< queries per update, in [0, 1]

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace pgraph::pgas {
+
+/// splitmix64 finalizer: the cheap, well-distributed mixer the determinism
+/// digests are built from.  Not cryptographic — the digests detect model
+/// nondeterminism, not adversaries.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e9b5ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Digest of one element: its index keyed into the hash so that swapping
+/// two equal-valued slots still changes nothing (as it should) but moving
+/// a value to a different index does.  `bytes` need not be 8-aligned.
+inline std::uint64_t element_digest(std::uint64_t index, const void* p,
+                                    std::size_t bytes) {
+  std::uint64_t acc = mix64(index + 1);
+  const auto* b = static_cast<const unsigned char*>(p);
+  while (bytes > 0) {
+    const std::size_t chunk = bytes < 8 ? bytes : 8;
+    std::uint64_t w = 0;
+    std::memcpy(&w, b, chunk);
+    acc = mix64(acc ^ w);
+    b += chunk;
+    bytes -= chunk;
+  }
+  return acc;
+}
+
+}  // namespace pgraph::pgas

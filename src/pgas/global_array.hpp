@@ -12,6 +12,7 @@
 
 #include "analysis/access_checker.hpp"
 #include "machine/phase_stats.hpp"
+#include "pgas/digest.hpp"
 #include "pgas/runtime.hpp"
 
 namespace pgraph::pgas {
@@ -41,6 +42,7 @@ class GlobalArray final : public ReplicaSite {
  public:
   GlobalArray(Runtime& rt, std::size_t n)
       : rt_(&rt),
+        uid_(rt.new_array_uid()),
         n_(n),
         nthreads_(static_cast<std::size_t>(rt.topo().total_threads())),
         blk_((n + nthreads_ - 1) / nthreads_),
@@ -58,6 +60,10 @@ class GlobalArray final : public ReplicaSite {
 
   std::size_t size() const { return n_; }
   std::size_t block_size() const { return blk_; }
+  /// Per-runtime sequential id (host-side construction order, so stable
+  /// across runs of the same program).  The conformance verifier folds it
+  /// into collective argument signatures.
+  std::uint64_t uid() const { return uid_; }
 
   int owner(std::size_t i) const {
     assert(i < n_);
@@ -255,6 +261,16 @@ class GlobalArray final : public ReplicaSite {
     std::memcpy(data_.data() + b, mirror_.data() + b,
                 local_size(thr) * sizeof(T));
   }
+  /// Order-independent digest of the committed element state: the sum of
+  /// per-element hashes keyed by index, so any future parallel computation
+  /// (or a different traversal order) yields the same value.  Completion
+  /// step only — all SPMD threads are parked, so plain reads are safe.
+  std::uint64_t state_digest() const override {
+    std::uint64_t h = 0;
+    for (std::size_t i = 0; i < n_; ++i)
+      h += element_digest(i, &data_[i], sizeof(T));
+    return mix64(h ^ n_);
+  }
 
  private:
   /// Shared cost path of all fine-grained single-element operations
@@ -392,6 +408,7 @@ class GlobalArray final : public ReplicaSite {
   }
 
   Runtime* rt_;
+  std::uint64_t uid_;
   std::size_t n_;
   std::size_t nthreads_;
   std::size_t blk_;

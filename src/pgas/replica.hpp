@@ -29,6 +29,17 @@ inline void replicate_to_buddy(ThreadCtx& ctx) {
   if (finj == nullptr || finj->config().loss_at == 0) return;
   const Topology& topo = ctx.topo();
   if (topo.live_node_count() < 2) return;
+  // Both early-outs above depend only on process-global state, so they are
+  // taken uniformly — safe to fingerprint after them.
+#ifdef PGRAPH_CHECK_ACCESS
+  {
+    auto& cv = analysis::ConformanceVerifier::instance();
+    if (cv.enabled())
+      cv.note_collective(ctx.id(),
+                         cv.site_id(analysis::CollOp::Replicate, nullptr),
+                         /*arg_sig=*/0);
+  }
+#endif
 
   const int me = ctx.id();
   std::size_t bytes = 0;

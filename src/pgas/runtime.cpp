@@ -7,6 +7,8 @@
 #include <thread>
 
 #include "analysis/access_checker.hpp"
+#include "analysis/conformance.hpp"
+#include "pgas/digest.hpp"
 
 namespace pgraph::pgas {
 
@@ -235,6 +237,13 @@ Runtime::~Runtime() {
 void Runtime::run(const std::function<void(ThreadCtx&)>& f) {
   const int s = topo_.total_threads();
   fault_failed_.store(false, std::memory_order_relaxed);
+#ifdef PGRAPH_CHECK_ACCESS
+  // Re-baseline the conformance verifier on this runtime's saved stats
+  // (what each ThreadCtx starts from) and clear stale fingerprints, so
+  // consecutively attached runtimes never leak verifier state into each
+  // other's rows.
+  analysis::ConformanceVerifier::instance().begin_run(s, saved_stats_.data());
+#endif
   std::exception_ptr first_error;
   std::mutex error_mu;
   std::vector<std::thread> threads;
@@ -291,6 +300,19 @@ double Runtime::drain_bus_ns(double* out) {
     if (v > mx) mx = v;
   }
   return static_cast<double>(mx);
+}
+
+std::uint64_t Runtime::compute_state_digest() const {
+  // Sites register host-side and the set is stable while run() executes;
+  // the lock only fences against host-side (un)registration.  Sites are
+  // combined in registration order, which is deterministic (arrays are
+  // constructed single-threaded), and each site's own digest is
+  // order-independent over its elements.
+  std::uint64_t d = 0;
+  std::lock_guard<std::mutex> lock(replica_mu_);
+  for (const ReplicaSite* site : replica_sites_)
+    d = mix64(d ^ site->state_digest());
+  return d;
 }
 
 bool Runtime::tracing() const { return sink_ != nullptr; }
@@ -378,8 +400,15 @@ machine::PhaseStats Runtime::total_stats() const {
   return out;
 }
 
-void Runtime::barrier_sync(ThreadCtx& ctx, bool /*exchange*/) {
+void Runtime::barrier_sync(ThreadCtx& ctx, bool exchange) {
+#ifdef PGRAPH_CHECK_ACCESS
+  // Fingerprint the barrier kind closing this epoch; the completion step
+  // cross-checks it together with the collective sequence.
+  analysis::ConformanceVerifier::instance().note_barrier(ctx.id(), exchange);
+#else
   (void)ctx;
+  (void)exchange;
+#endif
   bar_->arrive_and_wait();
 }
 
@@ -452,6 +481,10 @@ void Runtime::on_barrier() {
         ThreadCtx* c = slots_[static_cast<std::size_t>(i)].ctx;
         c->clock_ += d;
         c->stats_.add(machine::Cat::Comm, d);
+#ifdef PGRAPH_CHECK_ACCESS
+        analysis::ConformanceVerifier::instance().ledger_charge(
+            i, machine::Cat::Comm, d);
+#endif
       }
     }
   }
@@ -598,9 +631,18 @@ void Runtime::on_barrier() {
     ThreadCtx* c = slots_[static_cast<std::size_t>(i)].ctx;
     if (any_exchange) {
       // In a communication superstep, waiting *is* communication time.
-      c->stats_.add(machine::Cat::Comm, t_final - c->clock_);
+      const double wait = t_final - c->clock_;
+      c->stats_.add(machine::Cat::Comm, wait);
+#ifdef PGRAPH_CHECK_ACCESS
+      analysis::ConformanceVerifier::instance().ledger_charge(
+          i, machine::Cat::Comm, wait);
+#endif
     } else {
       c->stats_.add(machine::Cat::Comm, bar_cost);
+#ifdef PGRAPH_CHECK_ACCESS
+      analysis::ConformanceVerifier::instance().ledger_charge(
+          i, machine::Cat::Comm, bar_cost);
+#endif
     }
     c->clock_ = t_final;
   }
@@ -610,7 +652,23 @@ void Runtime::on_barrier() {
   // per-thread moved vs. charged bytes while everyone is parked in the
   // barrier (the completion step is ordered against all of them).
   analysis::AccessChecker::instance().end_epoch(epoch_, s);
+  {
+    // Conformance checks ride the same completion step: the cost ledger
+    // must balance against the final per-thread stats of the epoch, and
+    // the collective fingerprints must agree across threads.
+    auto& cv = analysis::ConformanceVerifier::instance();
+    std::vector<const machine::PhaseStats*> actual(
+        static_cast<std::size_t>(s));
+    for (int i = 0; i < s; ++i)
+      actual[static_cast<std::size_t>(i)] =
+          &slots_[static_cast<std::size_t>(i)].ctx->stats_;
+    cv.check_ledger(epoch_, s, actual.data());
+    cv.end_epoch(epoch_, s);
+  }
 #endif
+  // Determinism digest of the committed GlobalArray state at this barrier
+  // (observation only: never touches the modeled clocks).
+  if (digest_enabled_) last_digest_ = compute_state_digest();
   if (traced) {
     for (int i = 0; i < s; ++i)
       trace_stats_[static_cast<std::size_t>(i)] =
@@ -652,6 +710,8 @@ void Runtime::on_barrier() {
       trace_prev_faults_ = fc;
     }
     rec.live_nodes = topo_.live_node_count();
+    rec.has_digest = digest_enabled_;
+    rec.state_digest = digest_enabled_ ? last_digest_ : 0;
     sink_->on_superstep(rec);
   }
   // One recovery event per outage window, raised at the barrier that ends

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <barrier>
 #include <cstddef>
 #include <cstdint>
@@ -8,6 +9,7 @@
 #include <mutex>
 #include <vector>
 
+#include "analysis/conformance.hpp"
 #include "fault/fault.hpp"
 #include "machine/cost_params.hpp"
 #include "machine/exchange_sim.hpp"
@@ -36,6 +38,12 @@ class ReplicaSite {
   /// Restore thread `thr`'s partition from the mirror (no-op if no
   /// snapshot was ever taken).
   virtual void replica_restore_thread(int thr) = 0;
+  /// Order-independent hash of the site's committed state, for the
+  /// determinism digests (Runtime::set_digest_enabled).  Only called from
+  /// the barrier completion step (all SPMD threads parked), so plain reads
+  /// of the data are safe.  The default keeps sites without meaningful
+  /// state out of the digest.
+  virtual std::uint64_t state_digest() const { return 0; }
 };
 
 /// Per-thread execution context handed to every SPMD function.
@@ -70,6 +78,12 @@ class ThreadCtx {
   void charge(machine::Cat c, double ns) {
     clock_ += ns;
     stats_.add(c, ns);
+#ifdef PGRAPH_CHECK_ACCESS
+    // Double-entry ledger: every charge is mirrored so the conformance
+    // verifier can assert, at each barrier, that the sum of individual
+    // charges equals the PhaseStats totals exactly.
+    analysis::ConformanceVerifier::instance().ledger_charge(id_, c, ns);
+#endif
   }
   /// `ops` simple CPU operations.
   void compute(std::size_t ops, machine::Cat c = machine::Cat::Work);
@@ -247,6 +261,27 @@ class Runtime {
     replicas_valid_.store(true, std::memory_order_release);
   }
 
+  /// --- determinism digests (docs/ANALYSIS.md) --------------------------
+  /// When enabled, the barrier completion step hashes the committed state
+  /// of every registered ReplicaSite into an order-independent digest per
+  /// superstep, recorded in SuperstepRecord (trace/bench JSON) and
+  /// readable here.  Observation only: digests never touch the modeled
+  /// clocks, so enabling them cannot change modeled time.  Must not be
+  /// toggled while run() is executing.
+  void set_digest_enabled(bool on) { digest_enabled_ = on; }
+  bool digest_enabled() const { return digest_enabled_; }
+  /// Digest computed at the most recent barrier (0 until one completes
+  /// with digests enabled).
+  std::uint64_t last_state_digest() const { return last_digest_; }
+
+  /// Per-runtime sequential id for GlobalArrays (host-side construction
+  /// order, so ids are deterministic across runs).  The conformance
+  /// verifier folds it into collective argument signatures to catch
+  /// threads targeting different arrays at the same call site.
+  std::uint64_t new_array_uid() {
+    return next_array_uid_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// True iff a TraceSink is attached.
   bool tracing() const;
   /// Forward a completed modeled-time scope [t0_ns, now] on the calling
@@ -279,6 +314,9 @@ class Runtime {
   bool try_shrink_after_exhaustion(
       const std::vector<std::pair<std::size_t, machine::ExchangeMsg>>& retry,
       double& exch_dur);
+  /// Hash every registered ReplicaSite's committed state (completion step
+  /// only; threads parked).
+  std::uint64_t compute_state_digest() const;
   void accrue_bus(int node, double ns);
   /// Drain per-node DRAM-bus accumulators; when `out` is non-null, writes
   /// each node's busy time into out[0..nodes).
@@ -317,6 +355,11 @@ class Runtime {
   /// throw FaultError{PermanentLoss} so checkpointing algorithms roll
   /// back.  ~0 means "no shrink pending".
   std::uint64_t loss_throw_epoch_ = ~0ull;
+
+  // --- determinism digests ----------------------------------------------
+  bool digest_enabled_ = false;
+  std::uint64_t last_digest_ = 0;
+  std::atomic<std::uint64_t> next_array_uid_{0};
 
   // --- bottleneck attribution / tracing --------------------------------
   BarrierVerdict last_verdict_;

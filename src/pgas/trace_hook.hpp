@@ -94,6 +94,11 @@ struct SuperstepRecord {
   /// Nodes still hosting threads after this superstep (== topology nodes
   /// until a shrink; each shrink decrements it — the degraded-epoch mark).
   int live_nodes = 0;
+  /// Determinism digest of the committed GlobalArray state at this barrier
+  /// (Runtime::set_digest_enabled; has_digest is false when the feature is
+  /// off, and state_digest is then meaningless).
+  bool has_digest = false;
+  std::uint64_t state_digest = 0;
 };
 
 /// Interface the runtime reports into when tracing is enabled

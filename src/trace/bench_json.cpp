@@ -1,5 +1,6 @@
 #include "trace/bench_json.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <ostream>
 
@@ -60,6 +61,17 @@ void BenchReport::write(std::ostream& os) const {
     if (r.attribution) {
       os << ",\"attribution\":";
       write_attribution(os, *r.attribution);
+    }
+    if (!r.digests.empty()) {
+      os << ",\"digests\":[";
+      for (std::size_t d = 0; d < r.digests.size(); ++d) {
+        if (d != 0) os << ",";
+        char buf[20];
+        std::snprintf(buf, sizeof buf, "\"%016llx\"",
+                      static_cast<unsigned long long>(r.digests[d]));
+        os << buf;
+      }
+      os << "]";
     }
     os << "}";
   }

@@ -36,6 +36,11 @@ struct BenchRow {
   /// Per-superstep bottleneck attribution for this row (present when the
   /// bench ran with a tracer attached).
   std::optional<Attribution> attribution;
+  /// Per-superstep determinism digests (--digest; empty when off).  Written
+  /// as 16-hex-digit strings so JSON consumers never round them through a
+  /// double.  Diff two runs' arrays element-by-element to bisect to the
+  /// first diverging superstep.
+  std::vector<std::uint64_t> digests;
 
   void set_breakdown(const machine::PhaseStats& st) {
     breakdown_ns.clear();

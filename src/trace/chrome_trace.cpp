@@ -118,6 +118,14 @@ void SuperstepTracer::write_chrome_trace(std::ostream& os) const {
       ev.out() << ",\"fault_loss_drops\":" << st.fault_loss_drops_delta
                << ",\"fault_shrinks\":" << st.fault_shrinks_delta
                << ",\"live_nodes\":" << st.live_nodes;
+    // Determinism digest: only when the run recorded one (--digest), so
+    // digest-off traces stay byte-identical.
+    if (st.has_digest) {
+      char dig[20];
+      std::snprintf(dig, sizeof dig, "%016llx",
+                    static_cast<unsigned long long>(st.state_digest));
+      ev.out() << ",\"digest\":\"" << dig << "\"";
+    }
     ev.out() << "}}";
 
     // A shrink is a global topology event; mark it as an instant so it is

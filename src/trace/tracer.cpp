@@ -97,6 +97,8 @@ void SuperstepTracer::on_superstep(const pgas::SuperstepRecord& rec) {
   st.fault_loss_drops_delta = rec.fault_loss_drops_delta;
   st.fault_shrinks_delta = rec.fault_shrinks_delta;
   st.live_nodes = rec.live_nodes;
+  st.has_digest = rec.has_digest;
+  st.state_digest = rec.state_digest;
 #ifdef PGRAPH_CHECK_ACCESS
   // Compose with the access checker: a traced run under the checker tags
   // each superstep with the violations it surfaced instead of the trace
@@ -142,6 +144,14 @@ std::vector<CrcwEvent> SuperstepTracer::all_crcw() const {
 Attribution SuperstepTracer::take_row_attribution() {
   Attribution out = row_;
   row_ = Attribution{};
+  return out;
+}
+
+std::vector<std::uint64_t> SuperstepTracer::take_row_digests() {
+  std::vector<std::uint64_t> out;
+  for (std::size_t i = row_digest_start_; i < steps_.size(); ++i)
+    if (steps_[i].has_digest) out.push_back(steps_[i].state_digest);
+  row_digest_start_ = steps_.size();
   return out;
 }
 

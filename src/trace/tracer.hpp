@@ -66,6 +66,10 @@ struct Superstep {
   std::uint64_t fault_loss_drops_delta = 0;
   std::uint64_t fault_shrinks_delta = 0;  ///< permanent-loss shrink events
   int live_nodes = 0;  ///< surviving nodes after this superstep
+  /// Determinism digest of the committed GlobalArray state at this barrier
+  /// (Runtime::set_digest_enabled; has_digest false when the feature is off).
+  bool has_digest = false;
+  std::uint64_t state_digest = 0;
 };
 
 struct ScopeEvent {
@@ -138,6 +142,12 @@ class SuperstepTracer final : public pgas::TraceSink {
   Attribution take_row_attribution();
   const Attribution& total_attribution() const { return total_; }
 
+  /// Per-superstep determinism digests recorded since the last take (bench
+  /// rows call this once per configuration; empty when digests are off).
+  /// Ordered by recording order, so two runs of the same configuration can
+  /// be diffed element-by-element to find the first diverging superstep.
+  std::vector<std::uint64_t> take_row_digests();
+
   // --- exporters -------------------------------------------------------
   /// Chrome/Perfetto trace-event JSON on the modeled-time axis: one track
   /// per UPC thread (per-category slices), one per thread for collective
@@ -164,6 +174,7 @@ class SuperstepTracer final : public pgas::TraceSink {
   std::vector<Superstep> steps_;
   Attribution row_;
   Attribution total_;
+  std::size_t row_digest_start_ = 0;  ///< steps_ index of the last digest take
 };
 
 }  // namespace pgraph::trace
