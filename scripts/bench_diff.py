@@ -20,6 +20,14 @@ warned about, never failed: the chaos invariance gate compares a
 faulted-but-zero-rate candidate against a fault-free baseline, and new
 telemetry keys must not break it.
 
+Serving benches additionally report tail-latency extras (keys starting
+with `latency_p`, e.g. latency_p50_ns/p95/p99).  When such a key is
+present in both rows it is gated too, with a percentile-aware tolerance:
+the base allowance is --latency-threshold percent (default 15), widened
+x1.5 for p95 and x2 for p99 keys, because deeper tail percentiles are
+order statistics of fewer samples and flap harder than medians under
+benign model changes.  Other extras stay informational.
+
 Exit codes: 0 ok, 1 regression/missing rows, 2 malformed input.
 Only the Python standard library is used.
 """
@@ -65,8 +73,58 @@ def load(path):
         extra = row.get("extra")
         if extra is not None and not isinstance(extra, dict):
             sys.exit(f"bench_diff: {path}: row {i} extra is not an object")
-        by_label[label] = (float(t), frozenset(extra or ()))
+        by_label[label] = (float(t), dict(extra or {}))
     return doc, by_label
+
+
+def latency_tolerance(key, base_pct):
+    """Percentile-aware allowance for a latency_p* extra, in percent.
+
+    Deeper tail percentiles are order statistics of fewer samples, so the
+    p95/p99 gates are wider than the median's to keep the CI gate from
+    flapping on benign changes.
+    """
+    if "p99" in key:
+        return 2.0 * base_pct
+    if "p95" in key:
+        return 1.5 * base_pct
+    return base_pct
+
+
+def check_latency_extras(label, extras_base, extras_cand, base_pct):
+    """Gate latency_p* extras present in both rows; return failure count.
+
+    Only growth fails; improvements and keys missing from either side are
+    fine (a baseline predating latency extras must not fail candidates
+    that report them -- the key-set warning already covers that case).
+    """
+    failures = 0
+    for key in sorted(extras_base):
+        if not key.startswith("latency_p") or key not in extras_cand:
+            continue
+        vb, vc = extras_base[key], extras_cand[key]
+        if (
+            isinstance(vb, bool)
+            or isinstance(vc, bool)
+            or not isinstance(vb, (int, float))
+            or not isinstance(vc, (int, float))
+            or not math.isfinite(float(vb))
+            or not math.isfinite(float(vc))
+        ):
+            print(f"NON-FINITE  {label!r} {key}: baseline {vb!r}, candidate {vc!r}")
+            failures += 1
+            continue
+        if vb <= 0.0:
+            continue
+        pct = 100.0 * (float(vc) - float(vb)) / float(vb)
+        allow = latency_tolerance(key, base_pct)
+        if pct > allow:
+            print(
+                f"REGRESSION  {label!r} {key}: {vb:.6g} -> {vc:.6g} "
+                f"(+{pct:.2f}% > {allow:g}%)"
+            )
+            failures += 1
+    return failures
 
 
 def check_breakdown(path, i, row):
@@ -106,6 +164,14 @@ def main():
         metavar="PCT",
         help="allowed modeled-time growth per row, percent (default 5)",
     )
+    ap.add_argument(
+        "--latency-threshold",
+        type=float,
+        default=15.0,
+        metavar="PCT",
+        help="base allowed growth for latency_p* extras, percent "
+        "(default 15; widened x1.5 for p95, x2 for p99)",
+    )
     args = ap.parse_args()
 
     base_doc, base = load(args.baseline)
@@ -125,7 +191,7 @@ def main():
             failures += 1
             continue
         t_cand, extras_cand = cand[label]
-        new_extras = sorted(extras_cand - extras_base)
+        new_extras = sorted(extras_cand.keys() - extras_base.keys())
         if new_extras:
             print(
                 f"bench_diff: warning: {label!r}: candidate-only extra "
@@ -153,6 +219,9 @@ def main():
             failures += 1
         else:
             print(f"ok  {label!r}: {pct:+.2f}%")
+        failures += check_latency_extras(
+            label, extras_base, extras_cand, args.latency_threshold
+        )
     extra = [label for label in cand if label not in base]
     if extra:
         print(f"note: {len(extra)} new row(s) not in baseline: {extra}")

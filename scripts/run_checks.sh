@@ -22,6 +22,11 @@
 #            small configuration gated against
 #            scripts/baselines/BENCH_stream_smoke.json (the bench itself
 #            self-checks bit-identity against a fresh cc_coalesced run)
+#   serve    query-serving smoke: Serve* tests in the default and check
+#            (PGRAPH_CHECK_ACCESS) presets, then the srv01 bench at a fixed
+#            small configuration gated against
+#            scripts/baselines/BENCH_serve_smoke.json (bench_diff applies
+#            percentile-aware tolerances to the latency_p* extras)
 #   chaos    fault-injection suite (tests/test_fault.cpp) across fixed fault
 #            seeds 1..3, in the default and check (PGRAPH_CHECK_ACCESS)
 #            presets, plus the zero-fault bench-invariance gate: a bench run
@@ -34,7 +39,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(default check tsan asan ubsan lint perf stream chaos)
+  STAGES=(default check tsan asan ubsan lint perf stream serve chaos)
 fi
 
 run_preset() {
@@ -133,6 +138,31 @@ EOF
         echo "==== [stream] python3 not found; skipping bench gate ===="
       fi
       ;;
+    serve)
+      echo "==== [serve] query-serving suite + latency-SLO gate ===="
+      for preset in default check; do
+        cmake --preset "$preset"
+        cmake --build --preset "$preset" -j "$JOBS" --target test_serve
+        ctest --preset "$preset" -R '^Serve' --output-on-failure -j "$JOBS"
+      done
+      if command -v python3 > /dev/null 2>&1; then
+        cmake --build --preset default -j "$JOBS" \
+          --target srv01_query_serving
+        out=build/BENCH_serve_smoke.json
+        # Same fixed configuration the committed baseline was generated
+        # with (regenerate it with this exact command after intentional
+        # model changes).  A nonzero exit here is also the bench's own
+        # self-check failing (conservation, batching leverage, cache
+        # behaviour, serving-vs-direct bit-identity).
+        build/bench/srv01_query_serving \
+          --n 1500 --nodes 4 --threads 2 --seed 1 --sessions 4 \
+          --scale 0.5 --json "$out" > /dev/null
+        python3 scripts/bench_diff.py \
+          scripts/baselines/BENCH_serve_smoke.json "$out"
+      else
+        echo "==== [serve] python3 not found; skipping bench gate ===="
+      fi
+      ;;
     chaos)
       echo "==== [chaos] fault-injection suite, seeds 1..3 ===="
       for preset in default check; do
@@ -175,7 +205,7 @@ EOF
       fi
       ;;
     *)
-      echo "unknown stage: $stage (want: default check tsan asan ubsan lint perf stream chaos)" >&2
+      echo "unknown stage: $stage (want: default check tsan asan ubsan lint perf stream serve chaos)" >&2
       exit 2
       ;;
   esac

@@ -14,6 +14,10 @@ std::string BenchArgs::try_parse(int argc, char** argv, BenchArgs& out,
   BenchArgs a;
   bool saw_batch_size = false;
   bool saw_query_mix = false;
+  bool saw_sessions = false;
+  bool saw_arrival_rate = false;
+  bool saw_skew = false;
+  bool saw_batch_window = false;
   std::string err;
   for (int i = 1; i < argc && err.empty(); ++i) {
     const auto is = [&](const char* flag) {
@@ -60,12 +64,27 @@ std::string BenchArgs::try_parse(int argc, char** argv, BenchArgs& out,
     } else if (is("--query-mix")) {
       a.query_mix = std::atof(next());
       saw_query_mix = true;
+    } else if (is("--sessions")) {
+      a.sessions = std::atoi(next());
+      saw_sessions = true;
+    } else if (is("--arrival-rate")) {
+      a.arrival_rate = std::atof(next());
+      saw_arrival_rate = true;
+    } else if (is("--skew")) {
+      a.skew = std::atof(next());
+      saw_skew = true;
+    } else if (is("--batch-window-ns")) {
+      a.batch_window_ns = std::atof(next());
+      saw_batch_window = true;
     } else if (is("--help") || is("-h")) {
       std::printf(
           "flags: --n N --m M --nodes P --threads T --tprime T' "
           "--seed S --scale F --csv --json PATH --trace PATH "
-          "--faults SPEC --fault-seed S --digest%s\n",
-          caps.stream ? " --stream --batch-size OPS --query-mix F" : "");
+          "--faults SPEC --fault-seed S --digest%s%s\n",
+          caps.stream ? " --stream --batch-size OPS --query-mix F" : "",
+          caps.serve ? " --sessions K --arrival-rate RPS --skew S"
+                       " --batch-window-ns NS"
+                     : "");
       std::exit(0);
     } else {
       err = std::string("unknown flag ") + argv[i] + " (try --help)";
@@ -90,6 +109,25 @@ std::string BenchArgs::try_parse(int argc, char** argv, BenchArgs& out,
     return "--batch-size must be > 0 (a batch has to carry updates)";
   if (saw_query_mix && (a.query_mix < 0.0 || a.query_mix > 1.0))
     return "--query-mix must be in [0, 1]";
+
+  // Serving flags: same policy — non-serving benches reject them loudly,
+  // serving benches validate ranges up front.
+  if (!caps.serve) {
+    if (saw_sessions) return "--sessions is not supported by this bench";
+    if (saw_arrival_rate)
+      return "--arrival-rate is not supported by this bench";
+    if (saw_skew) return "--skew is not supported by this bench";
+    if (saw_batch_window)
+      return "--batch-window-ns is not supported by this bench";
+  }
+  if (saw_sessions && a.sessions <= 0)
+    return "--sessions must be > 0 (someone has to issue queries)";
+  if (saw_arrival_rate && !(a.arrival_rate > 0.0))
+    return "--arrival-rate must be > 0 (requests per modeled second)";
+  if (saw_skew && a.skew < 0.0)
+    return "--skew must be >= 0 (Zipf exponent; 0 = uniform)";
+  if (saw_batch_window && a.batch_window_ns < 0.0)
+    return "--batch-window-ns must be >= 0 (0 = flush per request)";
 
   // Fail fast on a bad fault plan: parse the spec now, and when the node
   // count is known at the command line, reject plans that the topology

@@ -10,6 +10,8 @@ namespace pgraph::harness {
 /// parse time with a clear message instead of being silently ignored.
 struct BenchCaps {
   bool stream = false;  ///< bench understands --stream / --batch-size / --query-mix
+  bool serve = false;   ///< bench understands --sessions / --arrival-rate /
+                        ///< --skew / --batch-window-ns
 };
 
 /// Common CLI flags for bench binaries, so every figure can be re-run at
@@ -35,6 +37,15 @@ struct BenchCaps {
 ///                        must be > 0)
 ///   --query-mix <f>     (queries issued per update, in [0, 1]; requires
 ///                        --stream)
+///
+/// Serving benches (BenchCaps::serve) additionally accept:
+///   --sessions <k>          (concurrent tenant sessions; must be > 0)
+///   --arrival-rate <rps>    (aggregate arrival rate, requests per modeled
+///                            second; must be > 0)
+///   --skew <s>              (Zipf exponent of key popularity, >= 0;
+///                            0 = uniform)
+///   --batch-window-ns <ns>  (coalescing window on the modeled clock,
+///                            >= 0; 0 = flush per request)
 struct BenchArgs {
   std::uint64_t n = 0;  ///< 0 = bench default
   std::uint64_t m = 0;
@@ -52,6 +63,10 @@ struct BenchArgs {
   bool stream = false;          ///< drive the streaming loop
   std::uint64_t batch_size = 0; ///< 0 = bench default (flag must be > 0)
   double query_mix = 0.0;       ///< queries per update, in [0, 1]
+  int sessions = 0;             ///< 0 = bench default (flag must be > 0)
+  double arrival_rate = 0.0;    ///< 0 = bench default (flag must be > 0)
+  double skew = -1.0;           ///< < 0 = bench default (flag must be >= 0)
+  double batch_window_ns = -1.0;///< < 0 = bench default (flag must be >= 0)
 
   /// Parse into `out`.  Returns an empty string on success and the error
   /// message (flag included) on failure; `out` is unspecified on failure.

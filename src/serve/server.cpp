@@ -1,0 +1,346 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace pgraph::serve {
+
+namespace {
+
+/// Pack an unordered vertex pair into a cache key (ids < 2^32, the same
+/// bound DynamicGraph enforces).
+std::uint64_t pair_key(graph::VertexId u, graph::VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) |
+         static_cast<std::uint64_t>(v);
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q / 100.0 * static_cast<double>(sorted.size());
+  std::size_t i =
+      pos <= 1.0 ? 0 : static_cast<std::size_t>(std::ceil(pos)) - 1;
+  i = std::min(i, sorted.size() - 1);
+  return sorted[i];
+}
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+}  // namespace
+
+QueryServer::QueryServer(stream::DynamicGraph& dg, int tenants,
+                         ServerOptions opt)
+    : dg_(dg), opt_(opt), tenants_(tenants) {
+  if (tenants <= 0)
+    throw std::invalid_argument("QueryServer: need tenants >= 1");
+  if (opt_.max_batch == 0)
+    throw std::invalid_argument("QueryServer: need max_batch >= 1");
+  if (opt_.max_queue == 0)
+    throw std::invalid_argument("QueryServer: need max_queue >= 1");
+  if (opt_.window_ns < 0.0)
+    throw std::invalid_argument("QueryServer: need window_ns >= 0");
+  inflight_.assign(static_cast<std::size_t>(tenants), 0);
+  lat_.assign(static_cast<std::size_t>(tenants), {});
+  stats_.tenants.assign(static_cast<std::size_t>(tenants), {});
+  stats_.first_arrival_ns = std::numeric_limits<double>::infinity();
+}
+
+std::size_t QueryServer::offer(const Request& r) {
+  if (finished_) throw std::logic_error("QueryServer: offer after finish");
+  if (r.tenant < 0 || r.tenant >= tenants_)
+    throw std::out_of_range("QueryServer: tenant id out of range");
+  drain(r.arrive_ns);
+
+  const auto t = static_cast<std::size_t>(r.tenant);
+  const std::size_t idx = outcomes_.size();
+  Outcome o;
+  o.arrive_ns = r.arrive_ns;
+  // kLatest binds at admission: the session observes whatever epoch is
+  // published when its request arrives, even if the flush serving it runs
+  // after a later publish.
+  o.epoch = r.epoch == stream::QueryBatch::kLatest ? dg_.latest_epoch()
+                                                   : r.epoch;
+  ++stats_.tenants[t].offered;
+  ++stats_.offered;
+  stats_.first_arrival_ns = std::min(stats_.first_arrival_ns, r.arrive_ns);
+
+  if (inflight_[t] >= opt_.max_queue) {
+    o.status = Status::Shed;
+    o.start_ns = o.done_ns = r.arrive_ns;
+    ++stats_.tenants[t].shed;
+    ++stats_.shed;
+    outcomes_.push_back(o);
+    return idx;
+  }
+
+  ++inflight_[t];
+  Pending p;
+  p.req = r;
+  p.req.epoch = o.epoch;
+  p.idx = idx;
+  if (!open_) {
+    open_.emplace();
+    open_->open_ns = r.arrive_ns;
+    open_->close_ns = r.arrive_ns + opt_.window_ns;
+  }
+  open_->reqs.push_back(std::move(p));
+  outcomes_.push_back(o);
+  if (open_->reqs.size() >= opt_.max_batch || opt_.window_ns <= 0.0)
+    close_open(r.arrive_ns);
+  return idx;
+}
+
+void QueryServer::close_open(double ready_ns) {
+  open_->close_ns = ready_ns;
+  queue_.push_back(std::move(*open_));
+  open_.reset();
+}
+
+void QueryServer::drain(double t) {
+  for (;;) {
+    if (!retire_.empty() && retire_.front().first <= t) {
+      const auto tenant = static_cast<std::size_t>(retire_.front().second);
+      assert(inflight_[tenant] > 0);
+      --inflight_[tenant];
+      retire_.pop_front();
+      continue;
+    }
+    if (open_ && open_->close_ns <= t) {
+      close_open(open_->close_ns);
+      continue;
+    }
+    if (!queue_.empty()) {
+      const double start =
+          std::max(server_free_ns_, queue_.front().close_ns);
+      if (start <= t) {
+        Window w = std::move(queue_.front());
+        queue_.pop_front();
+        execute_flush(w, start);
+        continue;
+      }
+    }
+    break;
+  }
+}
+
+void QueryServer::execute_flush(Window& w, double start_ns) {
+  ++stats_.flushes;
+  const bool verify =
+      opt_.verify_every > 0 && stats_.flushes % opt_.verify_every == 0;
+
+  // Group the window's requests by resolved epoch (first-appearance
+  // order): each still-published epoch becomes one coalesced QueryBatch,
+  // evicted epochs resolve to clean StaleEpoch outcomes without touching
+  // the runtime.
+  std::vector<std::pair<std::uint64_t, std::vector<std::size_t>>> groups;
+  for (std::size_t i = 0; i < w.reqs.size(); ++i) {
+    const std::uint64_t e = w.reqs[i].req.epoch;
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == e; });
+    if (it == groups.end()) {
+      groups.push_back({e, {}});
+      it = std::prev(groups.end());
+    }
+    it->second.push_back(i);
+  }
+
+  double service_ns = 0.0;
+  for (auto& [epoch, members] : groups) {
+    if (!dg_.has_epoch(epoch)) {
+      for (std::size_t i : members)
+        outcomes_[w.reqs[i].idx].status = Status::StaleEpoch;
+      continue;
+    }
+    // `store` is the persistent per-epoch cache when enabled, or a
+    // flush-local scratch otherwise — either way it is what dedups keys
+    // and resolves every member after the batch returns.
+    EpochCache local;
+    EpochCache& store = opt_.cache ? cache_[epoch] : local;
+
+    std::vector<std::pair<graph::VertexId, graph::VertexId>> same_q;
+    std::vector<graph::VertexId> size_q;
+    std::unordered_map<std::uint64_t, std::size_t> same_sched, size_sched;
+    for (std::size_t i : members) {
+      const Request& rq = w.reqs[i].req;
+      const bool is_same = rq.kind == QueryKind::SameComponent;
+      auto& sched = is_same ? same_sched : size_sched;
+      auto& cached = is_same ? store.same : store.size;
+      const std::uint64_t key =
+          is_same ? pair_key(rq.u, rq.v) : static_cast<std::uint64_t>(rq.u);
+      if (sched.count(key) != 0) {
+        ++stats_.coalesced;  // deduped against this window
+        continue;
+      }
+      if (cached.count(key) != 0) {
+        ++stats_.cache_hits;  // answered by an earlier flush on this epoch
+        continue;
+      }
+      if (opt_.cache) ++stats_.cache_misses;
+      sched.emplace(key, is_same ? same_q.size() : size_q.size());
+      if (is_same)
+        same_q.push_back({rq.u, rq.v});
+      else
+        size_q.push_back(rq.u);
+    }
+
+    if (!same_q.empty() || !size_q.empty()) {
+      stream::QueryBatch qb;
+      qb.epoch = epoch;
+      qb.scope = "serve.flush";
+      qb.same_component = std::move(same_q);
+      qb.component_size = std::move(size_q);
+      const stream::QueryResult res = dg_.query(qb);
+      service_ns += res.costs.modeled_ns;
+      stats_.agg_ns += res.agg_ns;
+      stats_.keys_sent +=
+          qb.same_component.size() + qb.component_size.size();
+      ++stats_.epoch_batches;
+      for (const auto& [key, pos] : same_sched) store.same[key] = res.same[pos];
+      for (const auto& [key, pos] : size_sched) store.size[key] = res.size[pos];
+    }
+
+    for (std::size_t i : members) {
+      const Request& rq = w.reqs[i].req;
+      Outcome& o = outcomes_[w.reqs[i].idx];
+      const bool is_same = rq.kind == QueryKind::SameComponent;
+      const std::uint64_t key =
+          is_same ? pair_key(rq.u, rq.v) : static_cast<std::uint64_t>(rq.u);
+      o.status = Status::Ok;
+      o.answer = is_same ? store.same.at(key) : store.size.at(key);
+    }
+
+    if (verify) {
+      // Measurement-only cross-check: re-ask the runtime directly, one
+      // entry per request (no dedup, no cache), and compare bit patterns.
+      // Costs of the reference run are deliberately NOT charged to the
+      // server's clock.
+      stream::QueryBatch direct;
+      direct.epoch = epoch;
+      direct.scope = "serve.verify";
+      std::vector<std::pair<bool, std::size_t>> where;
+      for (std::size_t i : members) {
+        const Request& rq = w.reqs[i].req;
+        if (rq.kind == QueryKind::SameComponent) {
+          where.emplace_back(true, direct.same_component.size());
+          direct.same_component.push_back({rq.u, rq.v});
+        } else {
+          where.emplace_back(false, direct.component_size.size());
+          direct.component_size.push_back(rq.u);
+        }
+      }
+      const stream::QueryResult ref = dg_.query(direct);
+      for (std::size_t k = 0; k < members.size(); ++k) {
+        const std::uint64_t want =
+            where[k].first
+                ? static_cast<std::uint64_t>(ref.same[where[k].second])
+                : ref.size[where[k].second];
+        if (outcomes_[w.reqs[members[k]].idx].answer != want)
+          ++stats_.verify_mismatches;
+      }
+    }
+  }
+
+  const double done_ns = start_ns + service_ns;
+  server_free_ns_ = done_ns;
+  stats_.service_ns += service_ns;
+  for (const Pending& p : w.reqs) {
+    Outcome& o = outcomes_[p.idx];
+    o.start_ns = start_ns;
+    o.done_ns = done_ns;
+    retire_.push_back({done_ns, p.req.tenant});
+    const auto t = static_cast<std::size_t>(p.req.tenant);
+    if (o.status == Status::StaleEpoch) {
+      ++stats_.tenants[t].stale;
+      ++stats_.stale;
+    } else {
+      ++stats_.tenants[t].completed;
+      ++stats_.completed;
+      lat_[t].push_back(o.latency_ns());
+    }
+    stats_.last_done_ns = std::max(stats_.last_done_ns, done_ns);
+  }
+}
+
+stream::BatchStats QueryServer::publish(
+    double at_ns, std::span<const graph::EdgeUpdate> ops) {
+  if (finished_) throw std::logic_error("QueryServer: publish after finish");
+  drain(at_ns);
+  const stream::BatchStats st = dg_.apply_batch(ops);
+  server_free_ns_ =
+      std::max(server_free_ns_, at_ns) + st.total_modeled_ns();
+  stats_.publish_ns += st.total_modeled_ns();
+  ++stats_.publishes;
+  invalidate_evicted();
+  return st;
+}
+
+void QueryServer::invalidate_evicted() {
+  std::size_t dropped = 0;
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (!dg_.has_epoch(it->first)) {
+      dropped += it->second.entries();
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  stats_.cache_invalidated += dropped;
+  if (dropped > 0) ++stats_.invalidation_events;
+}
+
+ServeStats QueryServer::finish() {
+  if (!finished_) {
+    finished_ = true;
+    drain(std::numeric_limits<double>::infinity());
+    assert(!open_ && queue_.empty());
+
+    std::vector<double> all;
+    all.reserve(stats_.completed);
+    for (int t = 0; t < tenants_; ++t) {
+      auto& v = lat_[static_cast<std::size_t>(t)];
+      std::sort(v.begin(), v.end());
+      TenantStats& ts = stats_.tenants[static_cast<std::size_t>(t)];
+      ts.p50_ns = percentile(v, 50.0);
+      ts.p95_ns = percentile(v, 95.0);
+      ts.p99_ns = percentile(v, 99.0);
+      ts.mean_ns = mean(v);
+      all.insert(all.end(), v.begin(), v.end());
+    }
+    std::sort(all.begin(), all.end());
+    stats_.p50_ns = percentile(all, 50.0);
+    stats_.p95_ns = percentile(all, 95.0);
+    stats_.p99_ns = percentile(all, 99.0);
+    stats_.mean_ns = mean(all);
+
+    double qsum = 0.0;
+    std::size_t qn = 0;
+    for (const Outcome& o : outcomes_) {
+      if (o.status != Status::Ok) continue;
+      qsum += o.queue_ns();
+      ++qn;
+    }
+    stats_.mean_queue_ns = qn > 0 ? qsum / static_cast<double>(qn) : 0.0;
+
+    if (stats_.offered == 0) stats_.first_arrival_ns = 0.0;
+    stats_.makespan_ns =
+        std::max(0.0, stats_.last_done_ns - stats_.first_arrival_ns);
+    stats_.throughput_rps =
+        stats_.makespan_ns > 0.0
+            ? static_cast<double>(stats_.completed) / stats_.makespan_ns *
+                  1e9
+            : 0.0;
+  }
+  return stats_;
+}
+
+}  // namespace pgraph::serve

@@ -1,0 +1,179 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "serve/workload.hpp"
+#include "stream/dynamic_graph.hpp"
+
+namespace pgraph::serve {
+
+/// How a request left the server.
+enum class Status : std::uint8_t {
+  Pending = 0,     ///< still queued (never final after finish())
+  Ok = 1,          ///< answered from a published epoch
+  Shed = 2,        ///< rejected at admission (tenant queue full)
+  StaleEpoch = 3,  ///< pinned epoch evicted from the ring before service
+};
+
+/// Final record of one offered request, in offer order.  The answer field
+/// is the same bit pattern a direct DynamicGraph::query would return
+/// (0/1 for SameComponent, the count for ComponentSize), which is what the
+/// bit-identity tests compare.
+struct Outcome {
+  Status status = Status::Pending;
+  std::uint64_t answer = 0;
+  std::uint64_t epoch = 0;    ///< resolved epoch (kLatest bound at admission)
+  double arrive_ns = 0.0;
+  double start_ns = 0.0;      ///< when its flush entered service
+  double done_ns = 0.0;       ///< when its flush completed
+  double latency_ns() const { return done_ns - arrive_ns; }
+  double queue_ns() const { return start_ns - arrive_ns; }
+};
+
+/// Per-tenant SLO summary.
+struct TenantStats {
+  std::uint64_t offered = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;  ///< answered Ok
+  std::uint64_t stale = 0;
+  double p50_ns = 0.0;
+  double p95_ns = 0.0;
+  double p99_ns = 0.0;
+  double mean_ns = 0.0;
+};
+
+/// Aggregate serving telemetry returned by QueryServer::finish().
+struct ServeStats {
+  std::vector<TenantStats> tenants;
+  std::uint64_t offered = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t stale = 0;
+
+  std::uint64_t flushes = 0;       ///< windows executed
+  std::uint64_t epoch_batches = 0; ///< per-epoch QueryBatches sent to GetD
+  std::uint64_t keys_sent = 0;     ///< unique uncached keys actually fetched
+  std::uint64_t coalesced = 0;     ///< requests answered by another's key
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_invalidated = 0;    ///< entries dropped at evictions
+  std::uint64_t invalidation_events = 0;  ///< publishes that dropped entries
+  std::uint64_t publishes = 0;
+  std::uint64_t verify_mismatches = 0;    ///< bit-identity violations seen
+
+  double service_ns = 0.0;  ///< modeled time inside query flushes
+  double publish_ns = 0.0;  ///< modeled time inside apply_batch
+  double agg_ns = 0.0;      ///< lazy size-aggregation share of service_ns
+  double first_arrival_ns = 0.0;
+  double last_done_ns = 0.0;
+  double makespan_ns = 0.0;
+  double throughput_rps = 0.0;  ///< completed per modeled second
+
+  double p50_ns = 0.0;  ///< aggregate latency percentiles over Ok requests
+  double p95_ns = 0.0;
+  double p99_ns = 0.0;
+  double mean_ns = 0.0;
+  double mean_queue_ns = 0.0;
+
+  double cache_hit_rate() const {
+    const double tot = static_cast<double>(cache_hits + cache_misses);
+    return tot > 0 ? static_cast<double>(cache_hits) / tot : 0.0;
+  }
+};
+
+struct ServerOptions {
+  /// Coalescing window: a window opened at t closes at t + window_ns (or
+  /// earlier on max_batch).  0 means flush every request individually.
+  double window_ns = 0.0;
+  std::size_t max_batch = 4096;  ///< requests per window before forced close
+  /// Admission bound: per-tenant in-flight requests (queued + in service).
+  /// Offers past the bound are shed with a counted rejection.
+  std::size_t max_queue = 64;
+  bool cache = true;  ///< per-epoch result cache
+  /// Cross-check every k-th flush against a direct DynamicGraph::query of
+  /// the same keys (0 = off).  Mismatches land in verify_mismatches
+  /// instead of aborting, so benches can gate on the counter.
+  std::size_t verify_every = 0;
+};
+
+/// Multi-tenant query front end over DynamicGraph epoch snapshots.
+///
+/// The server is a discrete-event simulation on the modeled clock: client
+/// arrivals (Request::arrive_ns), window closings, flush service and epoch
+/// publishes are totally ordered by virtual time, with service durations
+/// taken from the modeled RunCosts of the underlying collective runs.  The
+/// backend is serialized (one flush or publish at a time), which models
+/// the single PGAS runtime the queries share.
+///
+/// Drive it with offer()/publish() in nondecreasing virtual time, then
+/// finish() to drain and collect SLO stats.  See docs/SERVING.md.
+class QueryServer {
+ public:
+  QueryServer(stream::DynamicGraph& dg, int tenants, ServerOptions opt = {});
+
+  /// Admit (or shed) one request; returns its index into outcomes().
+  std::size_t offer(const Request& r);
+
+  /// Publish the next epoch at virtual time `at_ns`: flushes due before
+  /// the publish are serviced first, the update batch is applied, and
+  /// cached results of epochs that fell out of the snapshot ring are
+  /// invalidated.
+  stream::BatchStats publish(double at_ns,
+                             std::span<const graph::EdgeUpdate> ops);
+
+  /// Drain every queued window and compute the final statistics.
+  ServeStats finish();
+
+  const std::vector<Outcome>& outcomes() const { return outcomes_; }
+  const ServeStats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    Request req;       ///< epoch already resolved
+    std::size_t idx;   ///< index into outcomes_
+  };
+  struct Window {
+    std::vector<Pending> reqs;
+    double open_ns = 0.0;
+    double close_ns = 0.0;  ///< when it becomes ready for service
+  };
+  struct EpochCache {
+    std::unordered_map<std::uint64_t, std::uint64_t> same;  ///< packed pair
+    std::unordered_map<std::uint64_t, std::uint64_t> size;  ///< vertex id
+    std::size_t entries() const { return same.size() + size.size(); }
+  };
+
+  /// Advance the event loop to virtual time `t`: retire completions, close
+  /// due windows, execute queued flushes whose start time has come.
+  void drain(double t);
+  void close_open(double ready_ns);
+  void execute_flush(Window& w, double start_ns);
+  void invalidate_evicted();
+
+  stream::DynamicGraph& dg_;
+  ServerOptions opt_;
+  int tenants_;
+
+  std::optional<Window> open_;
+  std::deque<Window> queue_;  ///< closed windows awaiting service
+  /// FIFO of (completion time, tenant) for in-flight accounting; valid
+  /// because the serialized backend completes flushes in start order.
+  std::deque<std::pair<double, std::int32_t>> retire_;
+  std::vector<std::size_t> inflight_;  ///< per tenant
+
+  double server_free_ns_ = 0.0;  ///< backend busy until here
+  std::unordered_map<std::uint64_t, EpochCache> cache_;  ///< by epoch
+
+  std::vector<Outcome> outcomes_;
+  std::vector<std::vector<double>> lat_;  ///< per-tenant Ok latencies
+  ServeStats stats_;
+  bool finished_ = false;
+};
+
+}  // namespace pgraph::serve

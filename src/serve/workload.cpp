@@ -1,0 +1,112 @@
+#include "serve/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/rng.hpp"
+
+namespace pgraph::serve {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : cdf_(n) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: need n >= 1");
+  if (s < 0.0) throw std::invalid_argument("ZipfSampler: need s >= 0");
+  double acc = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    acc += std::pow(static_cast<double>(r + 1), -s);
+    cdf_[r] = acc;
+  }
+  total_ = acc;
+}
+
+std::size_t ZipfSampler::sample(double u01) const {
+  const double target = u01 * total_;
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), target);
+  const std::size_t r =
+      static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+  return std::min(r, cdf_.size() - 1);
+}
+
+namespace {
+
+/// Scramble a popularity rank into a vertex id: the hottest rank must not
+/// systematically be vertex 0 (owner 0), or skew would double as placement
+/// bias.  Stateless splitmix64 keeps the mapping seed-free and injective
+/// enough for workload purposes (collisions just merge two ranks' mass).
+graph::VertexId key_of_rank(std::size_t rank, std::size_t n_keys) {
+  std::uint64_t st = static_cast<std::uint64_t>(rank);
+  return static_cast<graph::VertexId>(graph::splitmix64(st) %
+                                      static_cast<std::uint64_t>(n_keys));
+}
+
+}  // namespace
+
+std::vector<Request> generate_workload(std::size_t n_keys,
+                                       std::uint64_t seed,
+                                       const WorkloadParams& p) {
+  if (n_keys == 0)
+    throw std::invalid_argument("generate_workload: need n_keys >= 1");
+  if (p.sessions <= 0)
+    throw std::invalid_argument("generate_workload: need sessions >= 1");
+  if (!(p.rate_rps > 0.0))
+    throw std::invalid_argument("generate_workload: need rate_rps > 0");
+  if (!(p.horizon_ns > 0.0))
+    throw std::invalid_argument("generate_workload: need horizon_ns > 0");
+  if (p.burst_on_frac <= 0.0 || p.burst_on_frac > 1.0)
+    throw std::invalid_argument(
+        "generate_workload: burst_on_frac in (0, 1]");
+  if (p.size_mix < 0.0 || p.size_mix > 1.0)
+    throw std::invalid_argument("generate_workload: size_mix in [0, 1]");
+  if (p.pin_frac < 0.0 || p.pin_frac > 1.0)
+    throw std::invalid_argument("generate_workload: pin_frac in [0, 1]");
+
+  const ZipfSampler zipf(n_keys, p.zipf_s);
+  const double tenant_rate_rps =
+      p.rate_rps / static_cast<double>(p.sessions);
+  // Arrivals are drawn as a Poisson process on the tenant's "on-time" axis
+  // at the burst-compensated rate, then mapped onto absolute time by
+  // folding in the off intervals — average rate stays p.rate_rps while the
+  // instantaneous on-rate is 1/burst_on_frac higher.
+  const double on_rate_per_ns = tenant_rate_rps / p.burst_on_frac / 1e9;
+
+  std::vector<Request> all;
+  for (int t = 0; t < p.sessions; ++t) {
+    std::uint64_t st =
+        seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(t + 1);
+    graph::Xoshiro256 rng(graph::splitmix64(st));
+    double u_on = 0.0;  // cumulative on-time, ns
+    for (;;) {
+      u_on += -std::log1p(-rng.next_double()) / on_rate_per_ns;
+      double t_abs = u_on;
+      if (p.phase_ns > 0.0) {
+        const double on_len = p.phase_ns * p.burst_on_frac;
+        t_abs = std::floor(u_on / on_len) * p.phase_ns +
+                std::fmod(u_on, on_len);
+      }
+      if (!(t_abs < p.horizon_ns)) break;
+      Request r;
+      r.arrive_ns = t_abs;
+      r.tenant = t;
+      r.kind = rng.next_double() < p.size_mix ? QueryKind::ComponentSize
+                                              : QueryKind::SameComponent;
+      r.u = key_of_rank(zipf.sample(rng.next_double()), n_keys);
+      r.v = r.kind == QueryKind::SameComponent
+                ? key_of_rank(zipf.sample(rng.next_double()), n_keys)
+                : 0;
+      // The pin draw is unconditional so request streams stay comparable
+      // across pin_frac settings.
+      const bool pinned = rng.next_double() < p.pin_frac;
+      r.epoch = pinned ? p.pinned_epoch : stream::QueryBatch::kLatest;
+      all.push_back(r);
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Request& a, const Request& b) {
+    if (a.arrive_ns != b.arrive_ns) return a.arrive_ns < b.arrive_ns;
+    if (a.tenant != b.tenant) return a.tenant < b.tenant;
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
+  return all;
+}
+
+}  // namespace pgraph::serve

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+#include "stream/query.hpp"
+
+namespace pgraph::serve {
+
+/// What a client session asks of the serving layer.
+enum class QueryKind : std::uint8_t {
+  SameComponent = 0,  ///< are u and v connected at the request's epoch?
+  ComponentSize = 1,  ///< how many vertices share u's component?
+};
+
+/// One client request on the virtual arrival clock.  Arrival times are in
+/// modeled nanoseconds on the same LogGP clock the runtime charges, so the
+/// server's discrete-event loop can interleave request service with epoch
+/// publishes consistently.
+struct Request {
+  double arrive_ns = 0.0;
+  std::int32_t tenant = 0;
+  QueryKind kind = QueryKind::SameComponent;
+  graph::VertexId u = 0;
+  graph::VertexId v = 0;  ///< second endpoint (SameComponent only)
+  /// Epoch the session wants served: kLatest (resolved at admission) or a
+  /// pinned epoch — which may fall out of the snapshot ring before the
+  /// request is flushed (the stale-epoch path).
+  std::uint64_t epoch = stream::QueryBatch::kLatest;
+};
+
+/// Open-loop multi-tenant workload description.  Everything is derived
+/// deterministically from (seed, tenant), so the same parameters replay
+/// the same request sequence regardless of how the server batches it.
+struct WorkloadParams {
+  int sessions = 4;          ///< concurrent tenants
+  double rate_rps = 1e6;     ///< aggregate arrival rate, requests/modeled-s
+  double horizon_ns = 1e9;   ///< generate arrivals in [0, horizon_ns)
+  /// Zipf exponent of the key popularity (0 = uniform).  Hot ranks are
+  /// scrambled through splitmix64 so popularity is decoupled from owner
+  /// placement.
+  double zipf_s = 0.0;
+  double size_mix = 0.5;     ///< P(request is ComponentSize)
+  /// Bursty on/off phases: each tenant is "on" for burst_on_frac of every
+  /// phase_ns period and silent in between; the on-rate is scaled up by
+  /// 1/burst_on_frac so the average rate is preserved.  phase_ns = 0 keeps
+  /// steady Poisson arrivals.
+  double phase_ns = 0.0;
+  double burst_on_frac = 1.0;
+  /// Fraction of requests pinned to `pinned_epoch` instead of kLatest
+  /// (models sessions holding a consistent read snapshot).
+  double pin_frac = 0.0;
+  std::uint64_t pinned_epoch = 0;
+};
+
+/// Bounded Zipf sampler over ranks [0, n): P(r) proportional to
+/// (r+1)^-s, drawn by binary search over the precomputed CDF.  s = 0
+/// degenerates to the uniform distribution.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  /// Rank for one uniform draw in [0, 1).
+  std::size_t sample(double u01) const;
+
+ private:
+  std::vector<double> cdf_;  ///< unnormalized running mass
+  double total_ = 0.0;
+};
+
+/// Generate the merged multi-tenant request sequence, sorted by arrival
+/// time (ties broken by tenant then key so the order is total).  Keys are
+/// vertex ids in [0, n_keys).
+std::vector<Request> generate_workload(std::size_t n_keys,
+                                       std::uint64_t seed,
+                                       const WorkloadParams& p);
+
+}  // namespace pgraph::serve

@@ -97,6 +97,14 @@ class DynamicGraph {
   QueryResult query(const QueryBatch& q);
 
   std::uint64_t latest_epoch() const { return epoch_; }
+  /// Is `e` still queryable (published and not yet evicted from the ring)?
+  /// The serving layer probes this instead of letting std::out_of_range
+  /// escape a coalesced flush; see docs/SERVING.md.
+  bool has_epoch(std::uint64_t e) const {
+    for (std::size_t i = 0; i < kEpochRing; ++i)
+      if (snap_valid_[i] && snap_epoch_[i] == e) return true;
+    return false;
+  }
   std::size_t num_vertices() const { return n_; }
   std::size_t live_edges() const;
   /// Current live edge set, concatenated in owner order (deterministic for

@@ -25,6 +25,11 @@ struct QueryBatch {
   std::vector<std::pair<graph::VertexId, graph::VertexId>> same_component;
   /// component_size[i] -> number of vertices in this vertex's component.
   std::vector<graph::VertexId> component_size;
+  /// Trace-scope name the serving run is attributed to in the Chrome trace.
+  /// Must be a string literal (TraceScope keeps the pointer); the serving
+  /// layer tags its coalesced flushes "serve.flush" so they are separable
+  /// from direct "stream.query" batches in the same trace.
+  const char* scope = "stream.query";
 };
 
 /// Answers to one QueryBatch, plus the modeled cost of serving it.
@@ -33,6 +38,11 @@ struct QueryResult {
   std::vector<std::uint8_t> same;   ///< parallel to QueryBatch::same_component
   std::vector<std::uint64_t> size;  ///< parallel to QueryBatch::component_size
   core::RunCosts costs;
+  /// Modeled ns of the lazy component-size aggregation this batch
+  /// triggered (subset of costs.modeled_ns).  The aggregation runs at most
+  /// once per published epoch; batches served from the cached sizes report
+  /// 0 here.
+  double agg_ns = 0.0;
 };
 
 }  // namespace pgraph::stream

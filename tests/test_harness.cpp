@@ -160,3 +160,58 @@ TEST(BenchArgsStream, TryParseReportsUnknownFlagWithoutExit) {
   EXPECT_EQ(tparse(ok, a), "");
   EXPECT_EQ(a.n, 10u);
 }
+
+TEST(BenchArgsServe, AcceptedWithCapability) {
+  const char* argv[] = {"prog",   "--sessions",        "8",
+                        "--arrival-rate", "250000",    "--skew",
+                        "1.2",    "--batch-window-ns", "4000"};
+  h::BenchArgs a;
+  ASSERT_EQ(tparse(argv, a, {.serve = true}), "");
+  EXPECT_EQ(a.sessions, 8);
+  EXPECT_DOUBLE_EQ(a.arrival_rate, 250000.0);
+  EXPECT_DOUBLE_EQ(a.skew, 1.2);
+  EXPECT_DOUBLE_EQ(a.batch_window_ns, 4000.0);
+}
+
+TEST(BenchArgsServe, DefaultsMeanBenchChooses) {
+  const char* argv[] = {"prog", "--n", "100"};
+  h::BenchArgs a;
+  ASSERT_EQ(tparse(argv, a, {.serve = true}), "");
+  EXPECT_EQ(a.sessions, 0);
+  EXPECT_DOUBLE_EQ(a.arrival_rate, 0.0);
+  EXPECT_LT(a.skew, 0.0);
+  EXPECT_LT(a.batch_window_ns, 0.0);
+}
+
+TEST(BenchArgsServe, RejectedOnNonServingBenches) {
+  // A bench without the serving capability must refuse the flags with a
+  // clear message instead of silently ignoring them.
+  const char* s1[] = {"prog", "--sessions", "4"};
+  const char* s2[] = {"prog", "--arrival-rate", "1e6"};
+  const char* s3[] = {"prog", "--skew", "0.8"};
+  const char* s4[] = {"prog", "--batch-window-ns", "2000"};
+  h::BenchArgs a;
+  EXPECT_NE(tparse(s1, a).find("--sessions"), std::string::npos);
+  EXPECT_NE(tparse(s2, a).find("--arrival-rate"), std::string::npos);
+  EXPECT_NE(tparse(s3, a).find("--skew"), std::string::npos);
+  EXPECT_NE(tparse(s4, a).find("--batch-window-ns"), std::string::npos);
+  // Stream capability alone does not grant the serving flags.
+  EXPECT_NE(tparse(s1, a, {.stream = true}).find("not supported"),
+            std::string::npos);
+}
+
+TEST(BenchArgsServe, OutOfRangeValuesRejected) {
+  const char* s1[] = {"prog", "--sessions", "0"};
+  const char* s2[] = {"prog", "--arrival-rate", "0"};
+  const char* s3[] = {"prog", "--skew", "-0.5"};
+  const char* s4[] = {"prog", "--batch-window-ns", "-1"};
+  h::BenchArgs a;
+  EXPECT_NE(tparse(s1, a, {.serve = true}).find("--sessions"),
+            std::string::npos);
+  EXPECT_NE(tparse(s2, a, {.serve = true}).find("--arrival-rate"),
+            std::string::npos);
+  EXPECT_NE(tparse(s3, a, {.serve = true}).find("--skew"),
+            std::string::npos);
+  EXPECT_NE(tparse(s4, a, {.serve = true}).find("--batch-window-ns"),
+            std::string::npos);
+}

@@ -173,6 +173,47 @@ TEST(StreamQueries, AnswersMatchGroundTruth) {
   EXPECT_LT(r2.costs.modeled_ns, r.costs.modeled_ns);
 }
 
+TEST(StreamQueries, SizeAggregationChargedOncePerEpoch) {
+  // The lazy component-size aggregation is a one-time per-epoch cost: the
+  // first size batch on an epoch pays it (agg_ns > 0), every later batch
+  // on the same epoch pays nothing (agg_ns == 0 and strictly lower total),
+  // and a new published epoch starts the cycle over.
+  g::TemporalStreamParams p;
+  p.base_edges = 250;
+  const auto ts = g::temporal_stream(180, 60, 31, p);
+  pg::Runtime rt = make_rt();
+  strm::DynamicGraph dg(rt, ts.base);
+
+  strm::QueryBatch q;
+  for (g::VertexId u = 0; u < dg.num_vertices(); u += 4)
+    q.component_size.push_back(u);
+
+  const auto r1 = dg.query(q);
+  EXPECT_GT(r1.agg_ns, 0.0);
+  EXPECT_LT(r1.agg_ns, r1.costs.modeled_ns);
+
+  const auto r2 = dg.query(q);  // same epoch: aggregation is cached
+  EXPECT_EQ(r2.size, r1.size);
+  EXPECT_DOUBLE_EQ(r2.agg_ns, 0.0);
+  EXPECT_LT(r2.costs.modeled_ns, r1.costs.modeled_ns);
+  EXPECT_LT(r2.costs.barriers, r1.costs.barriers);
+  // Identical equal-shaped batches on the warmed epoch cost the same.
+  const auto r3 = dg.query(q);
+  EXPECT_DOUBLE_EQ(r3.agg_ns, 0.0);
+  EXPECT_DOUBLE_EQ(r3.costs.modeled_ns, r2.costs.modeled_ns);
+
+  // Connectivity-only batches never trigger the aggregation.
+  strm::QueryBatch conn;
+  conn.same_component.push_back({0, 1});
+  EXPECT_DOUBLE_EQ(dg.query(conn).agg_ns, 0.0);
+
+  // A new epoch re-arms the lazy pass exactly once.
+  dg.apply_batch(ts.updates);
+  const auto r4 = dg.query(q);
+  EXPECT_GT(r4.agg_ns, 0.0);
+  EXPECT_DOUBLE_EQ(dg.query(q).agg_ns, 0.0);
+}
+
 TEST(StreamEpochs, RingServesPreviousEpochAndEvictsOlder) {
   g::TemporalStreamParams p;
   p.base_edges = 200;
