@@ -193,16 +193,30 @@ int main(int argc, char** argv) {
                Table::num(100.0 * st.cache_hit_rate(), 1),
                std::to_string(st.flushes)});
 
-    // Row-local invariants.
-    if (st.offered != st.completed + st.shed + st.stale) {
+    // Row-local invariants.  Every offered request retires with exactly one
+    // outcome, and every shed carries exactly one reason code.
+    if (st.offered != st.completed + st.shed + st.stale + st.degraded) {
       std::fprintf(stderr,
                    "srv01: SELF-CHECK FAILED at %s: offered %llu != "
-                   "completed %llu + shed %llu + stale %llu\n",
+                   "completed %llu + shed %llu + stale %llu + degraded "
+                   "%llu\n",
                    label.c_str(),
                    static_cast<unsigned long long>(st.offered),
                    static_cast<unsigned long long>(st.completed),
                    static_cast<unsigned long long>(st.shed),
-                   static_cast<unsigned long long>(st.stale));
+                   static_cast<unsigned long long>(st.stale),
+                   static_cast<unsigned long long>(st.degraded));
+      rc = 1;
+    }
+    if (st.shed !=
+        st.shed_queue_full + st.shed_breaker_open + st.shed_deadline) {
+      std::fprintf(stderr,
+                   "srv01: SELF-CHECK FAILED at %s: shed %llu != queue-full "
+                   "%llu + breaker-open %llu + deadline %llu\n",
+                   label.c_str(), static_cast<unsigned long long>(st.shed),
+                   static_cast<unsigned long long>(st.shed_queue_full),
+                   static_cast<unsigned long long>(st.shed_breaker_open),
+                   static_cast<unsigned long long>(st.shed_deadline));
       rc = 1;
     }
     if (st.verify_mismatches != 0) {

@@ -26,7 +26,10 @@ present in both rows it is gated too, with a percentile-aware tolerance:
 the base allowance is --latency-threshold percent (default 15), widened
 x1.5 for p95 and x2 for p99 keys, because deeper tail percentiles are
 order statistics of fewer samples and flap harder than medians under
-benign model changes.  Other extras stay informational.
+benign model changes.  Resilience benches report `availability` (a
+fraction, gated on absolute decrease beyond 0.02) and `crashed` (gated
+on a 0 -> 1 flip) extras the same way.  Other extras stay
+informational.
 
 Exit codes: 0 ok, 1 regression/missing rows, 2 malformed input.
 Only the Python standard library is used.
@@ -127,6 +130,47 @@ def check_latency_extras(label, extras_base, extras_cand, base_pct):
     return failures
 
 
+def check_resilience_extras(label, extras_base, extras_cand):
+    """Gate availability/crash extras present in both rows; return failures.
+
+    Availability is a fraction in [0, 1]: an absolute drop beyond 0.02 is
+    a regression (serving less of the offered load under the same fault
+    plan), growth is always fine.  A `crashed` flag flipping 0 -> 1 fails
+    outright: a configuration that used to survive its fault plan must
+    keep surviving it.  Keys missing from either side stay informational,
+    matching the latency-extras policy.
+    """
+    failures = 0
+    for key, drop_allowed in (("availability", 0.02),):
+        if key not in extras_base or key not in extras_cand:
+            continue
+        vb, vc = extras_base[key], extras_cand[key]
+        if (
+            isinstance(vb, bool)
+            or isinstance(vc, bool)
+            or not isinstance(vb, (int, float))
+            or not isinstance(vc, (int, float))
+            or not math.isfinite(float(vb))
+            or not math.isfinite(float(vc))
+        ):
+            print(f"NON-FINITE  {label!r} {key}: baseline {vb!r}, candidate {vc!r}")
+            failures += 1
+            continue
+        drop = float(vb) - float(vc)
+        if drop > drop_allowed:
+            print(
+                f"REGRESSION  {label!r} {key}: {vb:.4f} -> {vc:.4f} "
+                f"(-{drop:.4f} > {drop_allowed:g} absolute)"
+            )
+            failures += 1
+    if "crashed" in extras_base and "crashed" in extras_cand:
+        cb, cc = extras_base["crashed"], extras_cand["crashed"]
+        if not cb and cc:
+            print(f"REGRESSION  {label!r} crashed: 0 -> 1")
+            failures += 1
+    return failures
+
+
 def check_breakdown(path, i, row):
     """Tolerant validation of a row's optional per-category breakdown.
 
@@ -222,6 +266,7 @@ def main():
         failures += check_latency_extras(
             label, extras_base, extras_cand, args.latency_threshold
         )
+        failures += check_resilience_extras(label, extras_base, extras_cand)
     extra = [label for label in cand if label not in base]
     if extra:
         print(f"note: {len(extra)} new row(s) not in baseline: {extra}")

@@ -27,6 +27,16 @@
 #            small configuration gated against
 #            scripts/baselines/BENCH_serve_smoke.json (bench_diff applies
 #            percentile-aware tolerances to the latency_p* extras)
+#   serve-chaos  resilient serving under faults: the ServeResilience /
+#            ServeChaos suites (deadline shedding, retry budgets, breaker
+#            lifecycle, brownout, permanent-loss recovery; each carries a
+#            fault-plan matrix internally) across fault seeds 1..3 in the
+#            default and check presets plus one asan run, then the srv02
+#            availability sweep gated against
+#            scripts/baselines/BENCH_srv02_degraded.json (availability /
+#            crashed extras gated on decrease) and a zero-fault
+#            resilience-off srv01 run gated bit-for-bit (--threshold 0)
+#            against the serve smoke baseline
 #   chaos    fault-injection suite (tests/test_fault.cpp) across fixed fault
 #            seeds 1..3, in the default and check (PGRAPH_CHECK_ACCESS)
 #            presets, plus the zero-fault bench-invariance gate: a bench run
@@ -39,7 +49,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(default check tsan asan ubsan lint perf stream serve chaos)
+  STAGES=(default check tsan asan ubsan lint perf stream serve serve-chaos chaos)
 fi
 
 run_preset() {
@@ -163,6 +173,54 @@ EOF
         echo "==== [serve] python3 not found; skipping bench gate ===="
       fi
       ;;
+    serve-chaos)
+      echo "==== [serve-chaos] resilient serving under faults, seeds 1..3 ===="
+      # The ServeResilience suite carries the fault-plan matrix internally
+      # (drop / outage / straggle / permanent loss, armed mid-service);
+      # PGRAPH_CHAOS_SEED rotates the fault draws the same way the chaos
+      # stage does for the collectives.
+      for preset in default check; do
+        cmake --preset "$preset"
+        cmake --build --preset "$preset" -j "$JOBS" --target test_serve
+        for seed in 1 2 3; do
+          echo "---- [serve-chaos] preset=$preset fault seed=$seed ----"
+          PGRAPH_CHAOS_SEED=$seed ctest --preset "$preset" \
+            -R '^ServeResilience|^ServeChaos' --output-on-failure -j "$JOBS"
+        done
+      done
+      # One seed under asan: degraded serving re-enters the collectives
+      # after loss-shrink restores, exactly where stale-count overruns hide.
+      echo "---- [serve-chaos] resilience suite under asan, seed=2 ----"
+      cmake --preset asan
+      cmake --build --preset asan -j "$JOBS" --target test_serve
+      PGRAPH_CHAOS_SEED=2 ctest --preset asan \
+        -R '^ServeResilience' --output-on-failure -j "$JOBS"
+      if command -v python3 > /dev/null 2>&1; then
+        cmake --build --preset default -j "$JOBS" \
+          --target srv02_degraded_serving srv01_query_serving
+        out=build/BENCH_srv02_degraded.json
+        # Fixed configuration of the committed availability baseline; the
+        # bench self-checks conservation, the availability floors, breaker
+        # engagement and zero-fault raw/res identity, and bench_diff gates
+        # the availability/crashed extras on top.
+        build/bench/srv02_degraded_serving \
+          --n 1200 --nodes 4 --threads 2 --seed 1 --scale 0.5 \
+          --json "$out" > /dev/null
+        python3 scripts/bench_diff.py \
+          scripts/baselines/BENCH_srv02_degraded.json "$out"
+        echo "---- [serve-chaos] zero-fault plan leaves serving unchanged ----"
+        # Resilience-off serving with an attached all-zero fault plan must
+        # reproduce the committed smoke baseline bit-for-bit.
+        out=build/BENCH_serve_smoke_zerofault.json
+        build/bench/srv01_query_serving \
+          --n 1500 --nodes 4 --threads 2 --seed 1 --sessions 4 \
+          --scale 0.5 --faults drop=0 --fault-seed 3 --json "$out" > /dev/null
+        python3 scripts/bench_diff.py --threshold 0 \
+          scripts/baselines/BENCH_serve_smoke.json "$out"
+      else
+        echo "==== [serve-chaos] python3 not found; skipping bench gates ===="
+      fi
+      ;;
     chaos)
       echo "==== [chaos] fault-injection suite, seeds 1..3 ===="
       for preset in default check; do
@@ -205,7 +263,7 @@ EOF
       fi
       ;;
     *)
-      echo "unknown stage: $stage (want: default check tsan asan ubsan lint perf stream serve chaos)" >&2
+      echo "unknown stage: $stage (want: default check tsan asan ubsan lint perf stream serve serve-chaos chaos)" >&2
       exit 2
       ;;
   esac

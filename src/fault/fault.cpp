@@ -98,6 +98,11 @@ FaultConfig FaultConfig::parse(const std::string& spec, std::uint64_t seed) {
     else if (key == "timeout_ns") cfg.ack_timeout_ns = v;
     else if (key == "backoff_ns") cfg.retry_backoff_ns = v;
     else if (key == "cap_ns") cfg.backoff_cap_ns = v;
+    else if (key == "arm") {
+      if (v != 0.0 && v != 1.0)
+        throw std::invalid_argument("faults: arm must be 0 or 1");
+      cfg.start_armed = v != 0.0;
+    }
     else
       throw std::invalid_argument("faults: unknown key '" + key + "'");
   }
@@ -142,7 +147,7 @@ std::uint64_t FaultInjector::draw(std::uint64_t stream, std::uint64_t a,
 }
 
 int FaultInjector::down_node(int nodes, std::uint64_t epoch) const {
-  if (cfg_.outage_every == 0 || nodes <= 1) return -1;
+  if (!armed() || cfg_.outage_every == 0 || nodes <= 1) return -1;
   const std::uint64_t j = epoch / cfg_.outage_every;
   if (j == 0) return -1;  // warm-up period: no outage before one full cycle
   if (epoch % cfg_.outage_every >= static_cast<std::uint64_t>(cfg_.outage_k))
@@ -152,7 +157,7 @@ int FaultInjector::down_node(int nodes, std::uint64_t epoch) const {
 }
 
 bool FaultInjector::outage_active(std::uint64_t epoch) const {
-  if (cfg_.outage_every == 0) return false;
+  if (!armed() || cfg_.outage_every == 0) return false;
   if (epoch / cfg_.outage_every == 0) return false;
   return epoch % cfg_.outage_every <
          static_cast<std::uint64_t>(cfg_.outage_k);
@@ -167,7 +172,8 @@ void FaultInjector::raise_outage_event() {
 }
 
 int FaultInjector::perm_lost_node(int nodes, std::uint64_t epoch) const {
-  if (cfg_.loss_at == 0 || nodes <= 1 || epoch < cfg_.loss_at) return -1;
+  if (!armed() || cfg_.loss_at == 0 || nodes <= 1 || epoch < cfg_.loss_at)
+    return -1;
   if (cfg_.loss_node >= 0) return cfg_.loss_node % nodes;
   // Drawn once from the plan (keyed on loss_at, not epoch): the same node
   // is lost at every epoch >= loss_at.
@@ -183,7 +189,7 @@ ExchangeFaults FaultInjector::apply_exchange(
     machine::ExchangePlan& plan, const std::vector<std::int32_t>& thread_node,
     int nodes, std::uint64_t epoch, int attempt) {
   ExchangeFaults out;
-  if (!cfg_.network_faults()) return out;
+  if (!armed() || !cfg_.network_faults()) return out;
   const int down = down_node(nodes, epoch);
   const int lost = perm_lost_node(nodes, epoch);
   const std::uint64_t att = static_cast<std::uint64_t>(attempt);
@@ -245,7 +251,7 @@ ExchangeFaults FaultInjector::apply_exchange(
 }
 
 double FaultInjector::straggler_delay_ns(std::uint64_t epoch, int thread) {
-  if (cfg_.straggle_p <= 0.0) return 0.0;
+  if (!armed() || cfg_.straggle_p <= 0.0) return 0.0;
   const std::uint64_t h =
       draw(kStreamStraggle, epoch, static_cast<std::uint64_t>(thread), 0);
   if (unit(h) >= cfg_.straggle_p) return 0.0;
@@ -256,7 +262,7 @@ double FaultInjector::straggler_delay_ns(std::uint64_t epoch, int thread) {
 
 int FaultInjector::corrupt(void* buf, std::size_t bytes, std::uint64_t epoch,
                            int thread, int tag) {
-  if (cfg_.corrupt_p <= 0.0 || bytes < 8) return 0;
+  if (!armed() || cfg_.corrupt_p <= 0.0 || bytes < 8) return 0;
   const std::uint64_t h =
       draw(kStreamCorrupt, epoch,
            (static_cast<std::uint64_t>(thread) << 8) |

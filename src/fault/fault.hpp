@@ -74,7 +74,7 @@ class FaultError : public std::runtime_error {
 /// harness `--faults` spec: comma-separated key=value pairs, e.g.
 ///   drop=0.02,dup=0.01,delay=0.05,corrupt=0.1,straggle=0.1,outage_every=50
 /// Keys: drop dup delay delay_ns corrupt straggle straggle_ns outage_every
-/// outage_k loss_at loss_node retries timeout_ns backoff_ns cap_ns.
+/// outage_k loss_at loss_node retries timeout_ns backoff_ns cap_ns arm.
 struct FaultConfig {
   std::uint64_t seed = 1;
 
@@ -109,6 +109,14 @@ struct FaultConfig {
   double ack_timeout_ns = 8000.0;
   double retry_backoff_ns = 4000.0;
   double backoff_cap_ns = 262144.0;
+
+  // Serving-phase arming (`arm=0|1`, default armed): with start_armed
+  // false the injector is constructed disarmed — no draws fire until the
+  // host calls FaultInjector::set_armed(true).  Because every draw is a
+  // pure hash of (seed, stream, epoch, actor, attempt), arming later does
+  // not perturb the keying of subsequent draws; serving tests use this to
+  // build the graph cleanly and then unleash the plan mid-service.
+  bool start_armed = true;
 
   bool corruption_enabled() const { return corrupt_p > 0.0; }
   bool loss_enabled() const { return loss_at > 0; }
@@ -169,9 +177,21 @@ struct ExchangeFaults {
 /// draws are called from the barrier completion step (single-threaded).
 class FaultInjector {
  public:
-  explicit FaultInjector(FaultConfig cfg) : cfg_(cfg) {}
+  explicit FaultInjector(FaultConfig cfg)
+      : cfg_(cfg), armed_(cfg.start_armed) {}
 
   const FaultConfig& config() const { return cfg_; }
+
+  // --- arming ------------------------------------------------------------
+  /// Host-side gate over every injection point (drops, outages, loss,
+  /// stragglers, corruption).  Disarmed, the injector behaves like an
+  /// empty plan; re-arming mid-process is deterministic because draws are
+  /// keyed by epoch, not by how many draws happened before.  Toggle only
+  /// between runs (it is read from the barrier completion step).
+  void set_armed(bool armed) {
+    armed_.store(armed, std::memory_order_release);
+  }
+  bool armed() const { return armed_.load(std::memory_order_acquire); }
 
   // --- exchange phase (machine layer) ----------------------------------
   /// Mutate `plan` in place for one delivery attempt: mark drops (the
@@ -246,6 +266,7 @@ class FaultInjector {
   }
 
   FaultConfig cfg_;
+  std::atomic<bool> armed_{true};
 
   struct CorruptEvent {
     unsigned char* addr = nullptr;

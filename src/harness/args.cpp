@@ -1,5 +1,6 @@
 #include "harness/args.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -18,6 +19,9 @@ std::string BenchArgs::try_parse(int argc, char** argv, BenchArgs& out,
   bool saw_arrival_rate = false;
   bool saw_skew = false;
   bool saw_batch_window = false;
+  bool saw_deadline = false;
+  bool saw_retry_budget = false;
+  bool saw_brownout = false;
   std::string err;
   for (int i = 1; i < argc && err.empty(); ++i) {
     const auto is = [&](const char* flag) {
@@ -76,6 +80,15 @@ std::string BenchArgs::try_parse(int argc, char** argv, BenchArgs& out,
     } else if (is("--batch-window-ns")) {
       a.batch_window_ns = std::atof(next());
       saw_batch_window = true;
+    } else if (is("--deadline-ns")) {
+      a.deadline_ns = std::atof(next());
+      saw_deadline = true;
+    } else if (is("--retry-budget")) {
+      a.retry_budget = std::atof(next());
+      saw_retry_budget = true;
+    } else if (is("--brownout")) {
+      a.brownout = std::atoi(next());
+      saw_brownout = true;
     } else if (is("--help") || is("-h")) {
       std::printf(
           "flags: --n N --m M --nodes P --threads T --tprime T' "
@@ -83,7 +96,8 @@ std::string BenchArgs::try_parse(int argc, char** argv, BenchArgs& out,
           "--faults SPEC --fault-seed S --digest%s%s\n",
           caps.stream ? " --stream --batch-size OPS --query-mix F" : "",
           caps.serve ? " --sessions K --arrival-rate RPS --skew S"
-                       " --batch-window-ns NS"
+                       " --batch-window-ns NS --deadline-ns NS"
+                       " --retry-budget TOK --brownout 0|1"
                      : "");
       std::exit(0);
     } else {
@@ -119,15 +133,29 @@ std::string BenchArgs::try_parse(int argc, char** argv, BenchArgs& out,
     if (saw_skew) return "--skew is not supported by this bench";
     if (saw_batch_window)
       return "--batch-window-ns is not supported by this bench";
+    if (saw_deadline) return "--deadline-ns is not supported by this bench";
+    if (saw_retry_budget)
+      return "--retry-budget is not supported by this bench";
+    if (saw_brownout) return "--brownout is not supported by this bench";
   }
+  // Range checks are phrased as positive accept conditions so NaN (which
+  // compares false against everything) falls through to the rejection.
   if (saw_sessions && a.sessions <= 0)
     return "--sessions must be > 0 (someone has to issue queries)";
-  if (saw_arrival_rate && !(a.arrival_rate > 0.0))
-    return "--arrival-rate must be > 0 (requests per modeled second)";
-  if (saw_skew && a.skew < 0.0)
-    return "--skew must be >= 0 (Zipf exponent; 0 = uniform)";
-  if (saw_batch_window && a.batch_window_ns < 0.0)
-    return "--batch-window-ns must be >= 0 (0 = flush per request)";
+  if (saw_arrival_rate && !(std::isfinite(a.arrival_rate) && a.arrival_rate > 0.0))
+    return "--arrival-rate must be finite and > 0 (requests per modeled second)";
+  if (saw_skew && !(std::isfinite(a.skew) && a.skew >= 0.0))
+    return "--skew must be finite and >= 0 (Zipf exponent; 0 = uniform)";
+  if (saw_batch_window &&
+      !(std::isfinite(a.batch_window_ns) && a.batch_window_ns >= 0.0))
+    return "--batch-window-ns must be finite and >= 0 (0 = flush per request)";
+  if (saw_deadline && !(std::isfinite(a.deadline_ns) && a.deadline_ns > 0.0))
+    return "--deadline-ns must be finite and > 0 (mean request deadline)";
+  if (saw_retry_budget &&
+      !(std::isfinite(a.retry_budget) && a.retry_budget >= 0.0))
+    return "--retry-budget must be finite and >= 0 (0 = never retry)";
+  if (saw_brownout && a.brownout != 0 && a.brownout != 1)
+    return "--brownout must be 0 or 1";
 
   // Fail fast on a bad fault plan: parse the spec now, and when the node
   // count is known at the command line, reject plans that the topology

@@ -46,6 +46,12 @@ struct BenchCaps {
 ///                            0 = uniform)
 ///   --batch-window-ns <ns>  (coalescing window on the modeled clock,
 ///                            >= 0; 0 = flush per request)
+///   --deadline-ns <ns>      (mean per-request deadline on the modeled
+///                            clock; must be finite and > 0)
+///   --retry-budget <tok>    (per-tenant retry token-bucket capacity;
+///                            must be finite and >= 0; 0 = never retry)
+///   --brownout <0|1>        (serve stale answers from the previous epoch
+///                            under breaker/queue pressure)
 struct BenchArgs {
   std::uint64_t n = 0;  ///< 0 = bench default
   std::uint64_t m = 0;
@@ -67,6 +73,9 @@ struct BenchArgs {
   double arrival_rate = 0.0;    ///< 0 = bench default (flag must be > 0)
   double skew = -1.0;           ///< < 0 = bench default (flag must be >= 0)
   double batch_window_ns = -1.0;///< < 0 = bench default (flag must be >= 0)
+  double deadline_ns = 0.0;     ///< 0 = bench default (flag must be > 0)
+  double retry_budget = -1.0;   ///< < 0 = bench default (flag must be >= 0)
+  int brownout = -1;            ///< -1 = bench default (flag must be 0 or 1)
 
   /// Parse into `out`.  Returns an empty string on success and the error
   /// message (flag included) on failure; `out` is unspecified on failure.

@@ -7,6 +7,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "fault/fault.hpp"
+#include "pgas/runtime.hpp"
+
 namespace pgraph::serve {
 
 namespace {
@@ -53,6 +56,22 @@ QueryServer::QueryServer(stream::DynamicGraph& dg, int tenants,
   lat_.assign(static_cast<std::size_t>(tenants), {});
   stats_.tenants.assign(static_cast<std::size_t>(tenants), {});
   stats_.first_arrival_ns = std::numeric_limits<double>::infinity();
+
+  const ResilienceOptions& ro = opt_.resilience;
+  if (ro.enabled) {
+    if (ro.brownout && ro.brownout_low > ro.brownout_high)
+      throw std::invalid_argument(
+          "QueryServer: need brownout_low <= brownout_high");
+    breakers_.assign(
+        static_cast<std::size_t>(tenants),
+        CircuitBreaker(ro.breaker_trip_after, ro.breaker_cooldown_ns));
+    budgets_.assign(static_cast<std::size_t>(tenants),
+                    RetryBudget(ro.retry_tokens, ro.retry_refill_per_s));
+    // Losses the DynamicGraph already absorbed (construction, earlier
+    // batches) are not ours to recover from.
+    if (const fault::FaultInjector* inj = dg_.runtime().fault_injector())
+      seen_loss_ = inj->loss_events();
+  }
 }
 
 std::size_t QueryServer::offer(const Request& r) {
@@ -74,16 +93,83 @@ std::size_t QueryServer::offer(const Request& r) {
   ++stats_.offered;
   stats_.first_arrival_ns = std::min(stats_.first_arrival_ns, r.arrive_ns);
 
+  const ResilienceOptions& ro = opt_.resilience;
+  if (ro.enabled) {
+    CircuitBreaker& cb = breakers_[t];
+    if (cb.tick(r.arrive_ns)) {
+      ++stats_.breaker_half_opens;
+      note_event(ServeEventKind::BreakerHalfOpen, r.arrive_ns, r.tenant);
+    }
+    const bool pass = cb.admit();
+    const bool brown = ro.brownout && mode_ == Mode::Brownout;
+    // A HalfOpen breaker's probe must reach the real backend — serving it
+    // from cache would never test recovery and the breaker could stay
+    // half-open forever.
+    const bool probing =
+        pass && cb.state() == CircuitBreaker::State::HalfOpen;
+    if ((!pass || brown) && !probing) {
+      // Degraded fast paths: answer instantly (zero backend cost, no
+      // queue slot) instead of queuing into a saturated or broken
+      // backend.  Fresh-epoch cache hits stay Ok; previous-epoch hits
+      // are Degraded (staleness bound: exactly one epoch).
+      std::uint64_t ans = 0;
+      std::uint64_t from = 0;
+      if (brown && lookup_cached(r, o.epoch, &ans)) {
+        o.status = Status::Ok;
+        o.answer = ans;
+        o.start_ns = o.done_ns = r.arrive_ns;
+        ++stats_.cache_hits;
+        ++stats_.brownout_cache_ok;
+        ++stats_.tenants[t].completed;
+        ++stats_.completed;
+        lat_[t].push_back(0.0);
+        stats_.last_done_ns = std::max(stats_.last_done_ns, r.arrive_ns);
+        outcomes_.push_back(o);
+        return idx;
+      }
+      if (ro.brownout && lookup_degraded(r, o.epoch, &ans, &from)) {
+        o.status = Status::Degraded;
+        o.answer = ans;
+        o.epoch = from;
+        o.start_ns = o.done_ns = r.arrive_ns;
+        ++stats_.tenants[t].degraded;
+        ++stats_.degraded;
+        stats_.last_done_ns = std::max(stats_.last_done_ns, r.arrive_ns);
+        outcomes_.push_back(o);
+        return idx;
+      }
+      if (!pass) {
+        o.status = Status::Shed;
+        o.shed_reason = ShedReason::BreakerOpen;
+        o.start_ns = o.done_ns = r.arrive_ns;
+        ++stats_.tenants[t].shed;
+        ++stats_.shed;
+        ++stats_.shed_breaker_open;
+        outcomes_.push_back(o);
+        return idx;
+      }
+      // Brownout but the breaker admits and nothing is cached: fall
+      // through to normal admission so the request still gets a fresh
+      // answer.
+    }
+  }
+
   if (inflight_[t] >= opt_.max_queue) {
     o.status = Status::Shed;
+    o.shed_reason = ShedReason::QueueFull;
     o.start_ns = o.done_ns = r.arrive_ns;
     ++stats_.tenants[t].shed;
     ++stats_.shed;
+    ++stats_.shed_queue_full;
     outcomes_.push_back(o);
     return idx;
   }
 
   ++inflight_[t];
+  ++queued_reqs_;
+  if (ro.enabled &&
+      breakers_[t].state() == CircuitBreaker::State::HalfOpen)
+    breakers_[t].take_probe();
   Pending p;
   p.req = r;
   p.req.epoch = o.epoch;
@@ -93,10 +179,15 @@ std::size_t QueryServer::offer(const Request& r) {
     open_->open_ns = r.arrive_ns;
     open_->close_ns = r.arrive_ns + opt_.window_ns;
   }
+  // A flush's budget is the min over its members: the window must close
+  // in time for its tightest deadline to still be serviceable.
+  if (ro.enabled && r.deadline_ns > 0.0)
+    open_->close_ns = std::min(open_->close_ns, r.arrive_ns + r.deadline_ns);
   open_->reqs.push_back(std::move(p));
   outcomes_.push_back(o);
   if (open_->reqs.size() >= opt_.max_batch || opt_.window_ns <= 0.0)
     close_open(r.arrive_ns);
+  if (ro.enabled) update_mode(r.arrive_ns);
   return idx;
 }
 
@@ -135,8 +226,40 @@ void QueryServer::drain(double t) {
 
 void QueryServer::execute_flush(Window& w, double start_ns) {
   ++stats_.flushes;
+  assert(queued_reqs_ >= w.reqs.size());
+  queued_reqs_ -= w.reqs.size();
+  const ResilienceOptions& ro = opt_.resilience;
   const bool verify =
       opt_.verify_every > 0 && stats_.flushes % opt_.verify_every == 0;
+
+  if (ro.enabled) {
+    // Deadline enforcement at the service boundary: a member whose
+    // budget ran out while it waited is shed here, before it can occupy
+    // backend time, and retires immediately at the flush start.
+    std::vector<Pending> alive;
+    alive.reserve(w.reqs.size());
+    for (Pending& p : w.reqs) {
+      if (p.req.deadline_ns > 0.0 &&
+          p.req.arrive_ns + p.req.deadline_ns <= start_ns) {
+        Outcome& o = outcomes_[p.idx];
+        o.status = Status::Shed;
+        o.shed_reason = ShedReason::DeadlineExpired;
+        o.start_ns = o.done_ns = start_ns;
+        retire_.push_back({start_ns, p.req.tenant});
+        const auto t = static_cast<std::size_t>(p.req.tenant);
+        ++stats_.tenants[t].shed;
+        ++stats_.shed;
+        ++stats_.shed_deadline;
+      } else {
+        alive.push_back(std::move(p));
+      }
+    }
+    w.reqs = std::move(alive);
+    if (w.reqs.empty()) {
+      update_mode(start_ns);
+      return;
+    }
+  }
 
   // Group the window's requests by resolved epoch (first-appearance
   // order): each still-published epoch becomes one coalesced QueryBatch,
@@ -193,33 +316,106 @@ void QueryServer::execute_flush(Window& w, double start_ns) {
         size_q.push_back(rq.u);
     }
 
+    bool ok = true;
     if (!same_q.empty() || !size_q.empty()) {
       stream::QueryBatch qb;
       qb.epoch = epoch;
       qb.scope = "serve.flush";
       qb.same_component = std::move(same_q);
       qb.component_size = std::move(size_q);
-      const stream::QueryResult res = dg_.query(qb);
-      service_ns += res.costs.modeled_ns;
-      stats_.agg_ns += res.agg_ns;
-      stats_.keys_sent +=
-          qb.same_component.size() + qb.component_size.size();
-      ++stats_.epoch_batches;
-      for (const auto& [key, pos] : same_sched) store.same[key] = res.same[pos];
-      for (const auto& [key, pos] : size_sched) store.size[key] = res.size[pos];
+      if (!ro.enabled) {
+        // Legacy path, byte-identical to the pre-resilience server: a
+        // FaultError escapes and tears the serving loop down.
+        const stream::QueryResult res = dg_.query(qb);
+        service_ns += res.costs.modeled_ns;
+        stats_.agg_ns += res.agg_ns;
+        stats_.keys_sent +=
+            qb.same_component.size() + qb.component_size.size();
+        ++stats_.epoch_batches;
+        for (const auto& [key, pos] : same_sched)
+          store.same[key] = res.same[pos];
+        for (const auto& [key, pos] : size_sched)
+          store.size[key] = res.size[pos];
+      } else {
+        for (;;) {
+          try {
+            const stream::QueryResult res = dg_.query(qb);
+            service_ns += res.costs.modeled_ns;
+            stats_.agg_ns += res.agg_ns;
+            stats_.keys_sent +=
+                qb.same_component.size() + qb.component_size.size();
+            ++stats_.epoch_batches;
+            for (const auto& [key, pos] : same_sched)
+              store.same[key] = res.same[pos];
+            for (const auto& [key, pos] : size_sched)
+              store.size[key] = res.size[pos];
+            poll_recovery(start_ns + service_ns, &service_ns);
+            break;
+          } catch (const fault::FaultError&) {
+            // Charge the failed attempt its honest cost (the runtime's
+            // clock covers the burned retry ladder and timeouts), then
+            // retry on the — possibly shrunken — topology while every
+            // member tenant's budget allows.
+            const double burned = dg_.runtime().modeled_time_ns();
+            service_ns += burned;
+            stats_.failed_ns += burned;
+            ++stats_.flush_failures;
+            poll_recovery(start_ns + service_ns, &service_ns);
+            if (spend_retry_tokens(w, members, start_ns + service_ns)) {
+              ++stats_.flush_retries;
+              continue;
+            }
+            ok = false;
+            break;
+          }
+        }
+      }
     }
 
-    for (std::size_t i : members) {
-      const Request& rq = w.reqs[i].req;
-      Outcome& o = outcomes_[w.reqs[i].idx];
-      const bool is_same = rq.kind == QueryKind::SameComponent;
-      const std::uint64_t key =
-          is_same ? pair_key(rq.u, rq.v) : static_cast<std::uint64_t>(rq.u);
-      o.status = Status::Ok;
-      o.answer = is_same ? store.same.at(key) : store.size.at(key);
+    if (ok) {
+      for (std::size_t i : members) {
+        const Request& rq = w.reqs[i].req;
+        Outcome& o = outcomes_[w.reqs[i].idx];
+        const bool is_same = rq.kind == QueryKind::SameComponent;
+        const std::uint64_t key =
+            is_same ? pair_key(rq.u, rq.v)
+                    : static_cast<std::uint64_t>(rq.u);
+        o.status = Status::Ok;
+        o.answer = is_same ? store.same.at(key) : store.size.at(key);
+      }
+      if (ro.enabled) breaker_result(w, members, true, start_ns + service_ns);
+    } else {
+      // The backend gave up on this group: members whose key an earlier
+      // flush already cached still get exact answers; the previous
+      // epoch's cache serves the rest Degraded; only the remainder is
+      // shed (fast-fail, counted against the breaker).
+      for (std::size_t i : members) {
+        const Request& rq = w.reqs[i].req;
+        Outcome& o = outcomes_[w.reqs[i].idx];
+        const bool is_same = rq.kind == QueryKind::SameComponent;
+        const std::uint64_t key =
+            is_same ? pair_key(rq.u, rq.v)
+                    : static_cast<std::uint64_t>(rq.u);
+        const auto& cached = is_same ? store.same : store.size;
+        const auto it = cached.find(key);
+        std::uint64_t ans = 0;
+        std::uint64_t from = 0;
+        if (it != cached.end()) {
+          o.status = Status::Ok;
+          o.answer = it->second;
+        } else if (ro.brownout && lookup_degraded(rq, epoch, &ans, &from)) {
+          o.status = Status::Degraded;
+          o.answer = ans;
+          o.epoch = from;
+        } else {
+          o.status = Status::Shed;
+          o.shed_reason = ShedReason::BreakerOpen;
+        }
+      }
+      breaker_result(w, members, false, start_ns + service_ns);
     }
 
-    if (verify) {
+    if (ok && verify) {
       // Measurement-only cross-check: re-ask the runtime directly, one
       // entry per request (no dedup, no cache), and compare bit patterns.
       // Costs of the reference run are deliberately NOT charged to the
@@ -238,14 +434,20 @@ void QueryServer::execute_flush(Window& w, double start_ns) {
           direct.component_size.push_back(rq.u);
         }
       }
-      const stream::QueryResult ref = dg_.query(direct);
-      for (std::size_t k = 0; k < members.size(); ++k) {
-        const std::uint64_t want =
-            where[k].first
-                ? static_cast<std::uint64_t>(ref.same[where[k].second])
-                : ref.size[where[k].second];
-        if (outcomes_[w.reqs[members[k]].idx].answer != want)
-          ++stats_.verify_mismatches;
+      try {
+        const stream::QueryResult ref = dg_.query(direct);
+        for (std::size_t k = 0; k < members.size(); ++k) {
+          const std::uint64_t want =
+              where[k].first
+                  ? static_cast<std::uint64_t>(ref.same[where[k].second])
+                  : ref.size[where[k].second];
+          if (outcomes_[w.reqs[members[k]].idx].answer != want)
+            ++stats_.verify_mismatches;
+        }
+      } catch (const fault::FaultError&) {
+        // The reference probe is uncharged and advisory; with resilience
+        // on, a faulted probe is simply skipped.
+        if (!ro.enabled) throw;
       }
     }
   }
@@ -259,16 +461,160 @@ void QueryServer::execute_flush(Window& w, double start_ns) {
     o.done_ns = done_ns;
     retire_.push_back({done_ns, p.req.tenant});
     const auto t = static_cast<std::size_t>(p.req.tenant);
-    if (o.status == Status::StaleEpoch) {
-      ++stats_.tenants[t].stale;
-      ++stats_.stale;
-    } else {
-      ++stats_.tenants[t].completed;
-      ++stats_.completed;
-      lat_[t].push_back(o.latency_ns());
+    switch (o.status) {
+      case Status::StaleEpoch:
+        ++stats_.tenants[t].stale;
+        ++stats_.stale;
+        break;
+      case Status::Degraded:
+        ++stats_.tenants[t].degraded;
+        ++stats_.degraded;
+        break;
+      case Status::Shed:
+        ++stats_.tenants[t].shed;
+        ++stats_.shed;
+        ++stats_.shed_breaker_open;
+        break;
+      default:
+        ++stats_.tenants[t].completed;
+        ++stats_.completed;
+        lat_[t].push_back(o.latency_ns());
+        if (opt_.resilience.enabled && p.req.deadline_ns > 0.0 &&
+            done_ns > p.req.arrive_ns + p.req.deadline_ns)
+          ++stats_.deadline_misses;
+        break;
     }
     stats_.last_done_ns = std::max(stats_.last_done_ns, done_ns);
   }
+  if (ro.enabled) update_mode(done_ns);
+}
+
+void QueryServer::note_event(ServeEventKind kind, double t_ns,
+                             std::int32_t tenant) {
+  ServeEvent e;
+  e.t_ns = t_ns;
+  e.kind = kind;
+  e.tenant = tenant;
+  stats_.events.push_back(e);
+}
+
+void QueryServer::update_mode(double now_ns) {
+  const ResilienceOptions& ro = opt_.resilience;
+  if (!ro.enabled || !ro.brownout) return;
+  if (mode_ == Mode::Normal) {
+    if (open_breakers_ > 0 || queued_reqs_ >= ro.brownout_high) {
+      mode_ = Mode::Brownout;
+      ++stats_.brownout_enters;
+      note_event(ServeEventKind::BrownoutEnter, now_ns, -1);
+    }
+  } else {
+    if (open_breakers_ == 0 && queued_reqs_ <= ro.brownout_low) {
+      mode_ = Mode::Normal;
+      ++stats_.brownout_exits;
+      note_event(ServeEventKind::BrownoutExit, now_ns, -1);
+    }
+  }
+}
+
+bool QueryServer::lookup_cached(const Request& rq, std::uint64_t epoch,
+                                std::uint64_t* answer) const {
+  if (!opt_.cache) return false;
+  const auto ce = cache_.find(epoch);
+  if (ce == cache_.end()) return false;
+  const bool is_same = rq.kind == QueryKind::SameComponent;
+  const auto& m = ce->second;
+  const auto& cached = is_same ? m.same : m.size;
+  const auto it = cached.find(is_same ? pair_key(rq.u, rq.v)
+                                      : static_cast<std::uint64_t>(rq.u));
+  if (it == cached.end()) return false;
+  *answer = it->second;
+  return true;
+}
+
+bool QueryServer::lookup_degraded(const Request& rq, std::uint64_t epoch,
+                                  std::uint64_t* answer,
+                                  std::uint64_t* from) const {
+  // The ring keeps exactly one older epoch (kEpochRing == 2), so the
+  // staleness of a Degraded answer is bounded by one publish.  The cache
+  // map is pruned at ring eviction, so a hit implies the epoch is still
+  // retained.
+  if (epoch == 0) return false;
+  if (!lookup_cached(rq, epoch - 1, answer)) return false;
+  *from = epoch - 1;
+  return true;
+}
+
+void QueryServer::breaker_result(const Window& w,
+                                 const std::vector<std::size_t>& members,
+                                 bool ok, double now_ns) {
+  std::vector<std::int32_t> tenants;
+  for (std::size_t i : members) {
+    const std::int32_t t = w.reqs[i].req.tenant;
+    if (std::find(tenants.begin(), tenants.end(), t) == tenants.end())
+      tenants.push_back(t);
+  }
+  for (std::int32_t t : tenants) {
+    CircuitBreaker& cb = breakers_[static_cast<std::size_t>(t)];
+    const bool was_closed = cb.state() == CircuitBreaker::State::Closed;
+    if (ok) {
+      if (cb.on_success()) {
+        ++stats_.breaker_closes;
+        --open_breakers_;
+        note_event(ServeEventKind::BreakerClose, now_ns, t);
+      }
+    } else if (cb.on_failure(now_ns)) {
+      ++stats_.breaker_trips;
+      if (was_closed) ++open_breakers_;
+      note_event(ServeEventKind::BreakerOpen, now_ns, t);
+    }
+  }
+}
+
+bool QueryServer::spend_retry_tokens(const Window& w,
+                                     const std::vector<std::size_t>& members,
+                                     double now_ns) {
+  std::vector<std::int32_t> tenants;
+  for (std::size_t i : members) {
+    const std::int32_t t = w.reqs[i].req.tenant;
+    if (std::find(tenants.begin(), tenants.end(), t) == tenants.end())
+      tenants.push_back(t);
+  }
+  // All-or-nothing: a retry serves the whole coalesced group, so every
+  // member tenant must contribute a token.
+  for (std::int32_t t : tenants) {
+    if (budgets_[static_cast<std::size_t>(t)].available(now_ns) < 1.0) {
+      ++stats_.retry_denied;
+      return false;
+    }
+  }
+  for (std::int32_t t : tenants)
+    budgets_[static_cast<std::size_t>(t)].try_spend(now_ns);
+  return true;
+}
+
+void QueryServer::poll_recovery(double now_ns, double* service_ns) {
+  const fault::FaultInjector* inj = dg_.runtime().fault_injector();
+  if (inj == nullptr) return;
+  const std::uint64_t ev = inj->loss_events();
+  if (ev <= seen_loss_) return;
+  seen_loss_ = ev;
+  // A node was permanently lost and the topology shrank: republish the
+  // current epoch on the survivor topology (refreshing the ring slot and
+  // the buddy mirrors) before the next flush, charging the cost like any
+  // other backend work.
+  double spent = 0.0;
+  try {
+    const stream::BatchStats st = dg_.republish();
+    spent = st.total_modeled_ns();
+  } catch (const fault::FaultError&) {
+    // Even the recovery publish can hit the fault plan; charge what was
+    // burned and let the next flush's retry loop carry on.
+    spent = dg_.runtime().modeled_time_ns();
+  }
+  *service_ns += spent;
+  stats_.recovery_ns += spent;
+  ++stats_.recoveries;
+  note_event(ServeEventKind::Recovery, now_ns + spent, -1);
 }
 
 stream::BatchStats QueryServer::publish(
@@ -281,6 +627,14 @@ stream::BatchStats QueryServer::publish(
   stats_.publish_ns += st.total_modeled_ns();
   ++stats_.publishes;
   invalidate_evicted();
+  if (opt_.resilience.enabled) {
+    // apply_batch recovers from a shrink internally (publish_recover), so
+    // fold any loss it absorbed into the seen baseline rather than
+    // republishing a second time.
+    if (const fault::FaultInjector* inj = dg_.runtime().fault_injector())
+      seen_loss_ = inj->loss_events();
+    update_mode(server_free_ns_);
+  }
   return st;
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "serve/resilience.hpp"
 #include "serve/workload.hpp"
 #include "stream/dynamic_graph.hpp"
 
@@ -17,18 +18,22 @@ namespace pgraph::serve {
 enum class Status : std::uint8_t {
   Pending = 0,     ///< still queued (never final after finish())
   Ok = 1,          ///< answered from a published epoch
-  Shed = 2,        ///< rejected at admission (tenant queue full)
+  Shed = 2,        ///< rejected (see Outcome::shed_reason)
   StaleEpoch = 3,  ///< pinned epoch evicted from the ring before service
+  Degraded = 4,    ///< answered from the previous epoch's cache (brownout)
 };
 
 /// Final record of one offered request, in offer order.  The answer field
 /// is the same bit pattern a direct DynamicGraph::query would return
 /// (0/1 for SameComponent, the count for ComponentSize), which is what the
-/// bit-identity tests compare.
+/// bit-identity tests compare.  A Degraded outcome's epoch is the epoch
+/// actually answered from (the resolved epoch minus one), bounding the
+/// staleness to exactly one epoch.
 struct Outcome {
   Status status = Status::Pending;
+  ShedReason shed_reason = ShedReason::None;  ///< set iff status == Shed
   std::uint64_t answer = 0;
-  std::uint64_t epoch = 0;    ///< resolved epoch (kLatest bound at admission)
+  std::uint64_t epoch = 0;    ///< epoch served (kLatest bound at admission)
   double arrive_ns = 0.0;
   double start_ns = 0.0;      ///< when its flush entered service
   double done_ns = 0.0;       ///< when its flush completed
@@ -42,6 +47,7 @@ struct TenantStats {
   std::uint64_t shed = 0;
   std::uint64_t completed = 0;  ///< answered Ok
   std::uint64_t stale = 0;
+  std::uint64_t degraded = 0;   ///< answered from the previous epoch
   double p50_ns = 0.0;
   double p95_ns = 0.0;
   double p99_ns = 0.0;
@@ -55,6 +61,12 @@ struct ServeStats {
   std::uint64_t shed = 0;
   std::uint64_t completed = 0;
   std::uint64_t stale = 0;
+  std::uint64_t degraded = 0;  ///< Degraded answers (brownout serving)
+
+  /// Shed split by reason; the three always sum to `shed`.
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_breaker_open = 0;
+  std::uint64_t shed_deadline = 0;
 
   std::uint64_t flushes = 0;       ///< windows executed
   std::uint64_t epoch_batches = 0; ///< per-epoch QueryBatches sent to GetD
@@ -66,6 +78,24 @@ struct ServeStats {
   std::uint64_t invalidation_events = 0;  ///< publishes that dropped entries
   std::uint64_t publishes = 0;
   std::uint64_t verify_mismatches = 0;    ///< bit-identity violations seen
+
+  /// Resilience telemetry (all zero when the layer is disabled).
+  std::uint64_t flush_failures = 0;   ///< backend attempts that threw
+  std::uint64_t flush_retries = 0;    ///< failed attempts retried
+  std::uint64_t retry_denied = 0;     ///< retries refused by the budget
+  std::uint64_t breaker_trips = 0;    ///< -> Open transitions
+  std::uint64_t breaker_half_opens = 0;
+  std::uint64_t breaker_closes = 0;
+  std::uint64_t brownout_enters = 0;
+  std::uint64_t brownout_exits = 0;
+  std::uint64_t brownout_cache_ok = 0;  ///< instant fresh-cache Ok in brownout
+  std::uint64_t deadline_misses = 0;    ///< served Ok but past the deadline
+  std::uint64_t recoveries = 0;         ///< post-shrink republishes triggered
+  double failed_ns = 0.0;    ///< modeled time burned by failed attempts
+  double recovery_ns = 0.0;  ///< modeled time inside recovery republishes
+  /// Mode/breaker transition log in virtual-time order (for the
+  /// Chrome-trace instant export and the lifecycle tests).
+  std::vector<ServeEvent> events;
 
   double service_ns = 0.0;  ///< modeled time inside query flushes
   double publish_ns = 0.0;  ///< modeled time inside apply_batch
@@ -85,6 +115,14 @@ struct ServeStats {
     const double tot = static_cast<double>(cache_hits + cache_misses);
     return tot > 0 ? static_cast<double>(cache_hits) / tot : 0.0;
   }
+  /// Fraction of offered requests that got an answer (Ok + Degraded) —
+  /// the availability metric srv02 sweeps against fault intensity.
+  double availability() const {
+    return offered > 0
+               ? static_cast<double>(completed + degraded) /
+                     static_cast<double>(offered)
+               : 1.0;
+  }
 };
 
 struct ServerOptions {
@@ -100,6 +138,11 @@ struct ServerOptions {
   /// the same keys (0 = off).  Mismatches land in verify_mismatches
   /// instead of aborting, so benches can gate on the counter.
   std::size_t verify_every = 0;
+  /// Overload/failure resilience: deadlines, retry budgets, breakers and
+  /// brownout degradation (docs/SERVING.md "Degraded serving").  Disabled
+  /// by default; when disabled the server behaves byte-identically to the
+  /// pre-resilience implementation.
+  ResilienceOptions resilience;
 };
 
 /// Multi-tenant query front end over DynamicGraph epoch snapshots.
@@ -148,6 +191,7 @@ class QueryServer {
     std::unordered_map<std::uint64_t, std::uint64_t> size;  ///< vertex id
     std::size_t entries() const { return same.size() + size.size(); }
   };
+  enum class Mode : std::uint8_t { Normal = 0, Brownout = 1 };
 
   /// Advance the event loop to virtual time `t`: retire completions, close
   /// due windows, execute queued flushes whose start time has come.
@@ -155,6 +199,27 @@ class QueryServer {
   void close_open(double ready_ns);
   void execute_flush(Window& w, double start_ns);
   void invalidate_evicted();
+
+  /// Resilience helpers (no-ops unless opt_.resilience.enabled).
+  void note_event(ServeEventKind kind, double t_ns, std::int32_t tenant);
+  void update_mode(double now_ns);
+  /// Fresh-epoch cache probe for the brownout fast path.
+  bool lookup_cached(const Request& rq, std::uint64_t epoch,
+                     std::uint64_t* answer) const;
+  /// Previous-epoch probe: true if a Degraded answer is available.
+  bool lookup_degraded(const Request& rq, std::uint64_t epoch,
+                       std::uint64_t* answer, std::uint64_t* from) const;
+  /// Apply one flush group's backend verdict to the member tenants'
+  /// breakers, maintaining open_breakers_ and the transition counters.
+  void breaker_result(const Window& w, const std::vector<std::size_t>& members,
+                      bool ok, double now_ns);
+  /// One budget token per distinct member tenant; all-or-nothing.
+  bool spend_retry_tokens(const Window& w,
+                          const std::vector<std::size_t>& members,
+                          double now_ns);
+  /// Detect a topology shrink (loss_events advanced) and republish the
+  /// current epoch on the survivor topology, charging the cost.
+  void poll_recovery(double now_ns, double* service_ns);
 
   stream::DynamicGraph& dg_;
   ServerOptions opt_;
@@ -169,6 +234,14 @@ class QueryServer {
 
   double server_free_ns_ = 0.0;  ///< backend busy until here
   std::unordered_map<std::uint64_t, EpochCache> cache_;  ///< by epoch
+
+  /// Resilience state (inert when disabled).
+  Mode mode_ = Mode::Normal;
+  std::vector<CircuitBreaker> breakers_;  ///< per tenant
+  std::vector<RetryBudget> budgets_;      ///< per tenant
+  int open_breakers_ = 0;        ///< breakers not in Closed state
+  std::size_t queued_reqs_ = 0;  ///< admitted, not yet entered service
+  std::uint64_t seen_loss_ = 0;  ///< loss_events already recovered from
 
   std::vector<Outcome> outcomes_;
   std::vector<std::vector<double>> lat_;  ///< per-tenant Ok latencies

@@ -48,16 +48,29 @@ std::vector<Request> generate_workload(std::size_t n_keys,
     throw std::invalid_argument("generate_workload: need n_keys >= 1");
   if (p.sessions <= 0)
     throw std::invalid_argument("generate_workload: need sessions >= 1");
-  if (!(p.rate_rps > 0.0))
-    throw std::invalid_argument("generate_workload: need rate_rps > 0");
-  if (!(p.horizon_ns > 0.0))
-    throw std::invalid_argument("generate_workload: need horizon_ns > 0");
-  if (p.burst_on_frac <= 0.0 || p.burst_on_frac > 1.0)
+  // All checks below are written NaN-safe: a comparison with NaN is false,
+  // so the accept condition must be the positively-phrased one.
+  if (!(std::isfinite(p.rate_rps) && p.rate_rps > 0.0))
+    throw std::invalid_argument(
+        "generate_workload: rate_rps must be finite and > 0");
+  if (!(std::isfinite(p.horizon_ns) && p.horizon_ns > 0.0))
+    throw std::invalid_argument(
+        "generate_workload: horizon_ns must be finite and > 0");
+  if (!(std::isfinite(p.zipf_s) && p.zipf_s >= 0.0))
+    throw std::invalid_argument(
+        "generate_workload: zipf_s must be finite and >= 0");
+  if (!(std::isfinite(p.phase_ns) && p.phase_ns >= 0.0))
+    throw std::invalid_argument(
+        "generate_workload: phase_ns must be finite and >= 0");
+  if (!(std::isfinite(p.deadline_ns) && p.deadline_ns >= 0.0))
+    throw std::invalid_argument(
+        "generate_workload: deadline_ns must be finite and >= 0");
+  if (!(p.burst_on_frac > 0.0 && p.burst_on_frac <= 1.0))
     throw std::invalid_argument(
         "generate_workload: burst_on_frac in (0, 1]");
-  if (p.size_mix < 0.0 || p.size_mix > 1.0)
+  if (!(p.size_mix >= 0.0 && p.size_mix <= 1.0))
     throw std::invalid_argument("generate_workload: size_mix in [0, 1]");
-  if (p.pin_frac < 0.0 || p.pin_frac > 1.0)
+  if (!(p.pin_frac >= 0.0 && p.pin_frac <= 1.0))
     throw std::invalid_argument("generate_workload: pin_frac in [0, 1]");
 
   const ZipfSampler zipf(n_keys, p.zipf_s);
@@ -74,7 +87,8 @@ std::vector<Request> generate_workload(std::size_t n_keys,
     std::uint64_t st =
         seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(t + 1);
     graph::Xoshiro256 rng(graph::splitmix64(st));
-    double u_on = 0.0;  // cumulative on-time, ns
+    double u_on = 0.0;       // cumulative on-time, ns
+    std::uint64_t k = 0;     // per-tenant request index (deadline hashing)
     for (;;) {
       u_on += -std::log1p(-rng.next_double()) / on_rate_per_ns;
       double t_abs = u_on;
@@ -97,6 +111,19 @@ std::vector<Request> generate_workload(std::size_t n_keys,
       // across pin_frac settings.
       const bool pinned = rng.next_double() < p.pin_frac;
       r.epoch = pinned ? p.pinned_epoch : stream::QueryBatch::kLatest;
+      if (p.deadline_ns > 0.0) {
+        // Deadlines come from a stateless hash of (seed, tenant, index),
+        // never from `rng`: the arrival/key streams must stay byte-equal
+        // whether or not deadlines are requested.
+        std::uint64_t h =
+            seed ^
+            (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(t + 1)) ^
+            (0xd1b54a32d192ed03ULL * (static_cast<std::uint64_t>(k) + 1));
+        const double u01 =
+            static_cast<double>(graph::splitmix64(h) >> 11) * 0x1.0p-53;
+        r.deadline_ns = p.deadline_ns * (0.5 + u01);
+      }
+      ++k;
       all.push_back(r);
     }
   }

@@ -29,6 +29,12 @@ struct Request {
   /// pinned epoch — which may fall out of the snapshot ring before the
   /// request is flushed (the stale-epoch path).
   std::uint64_t epoch = stream::QueryBatch::kLatest;
+  /// Completion budget relative to arrive_ns (modeled ns); 0 = none.  Only
+  /// honored when ServerOptions::resilience is enabled: the coalescer's
+  /// flush budget becomes the min over its members, and a request whose
+  /// deadline passes while it waits is shed as DeadlineExpired instead of
+  /// occupying backend time.
+  double deadline_ns = 0.0;
 };
 
 /// Open-loop multi-tenant workload description.  Everything is derived
@@ -53,6 +59,12 @@ struct WorkloadParams {
   /// (models sessions holding a consistent read snapshot).
   double pin_frac = 0.0;
   std::uint64_t pinned_epoch = 0;
+  /// Mean per-request deadline (modeled ns); 0 = no deadlines.  Each
+  /// request's budget is sampled deterministically in
+  /// [0.5, 1.5) x deadline_ns from a stateless hash of
+  /// (seed, tenant, request index) — NOT from the tenant's arrival RNG
+  /// stream, so enabling deadlines never perturbs arrivals or keys.
+  double deadline_ns = 0.0;
 };
 
 /// Bounded Zipf sampler over ranks [0, n): P(r) proportional to

@@ -96,7 +96,26 @@ class DynamicGraph {
   /// an epoch still in the ring; std::out_of_range otherwise).
   QueryResult query(const QueryBatch& q);
 
+  /// Re-snapshot the current epoch into its ring slot (with the same
+  /// rebuild-and-retry protection apply_batch uses).  The serving layer
+  /// calls this after detecting a topology shrink so the ring and the
+  /// buddy mirrors are consistent on the survivor topology; answers stay
+  /// bit-identical because live labels were already restored by the
+  /// shrink promotion.  Invalidates the epoch's lazy size aggregate, so
+  /// the next size query re-aggregates (charged once, as always).
+  BatchStats republish();
+
   std::uint64_t latest_epoch() const { return epoch_; }
+  /// The runtime this stream charges — exposed so front ends (the query
+  /// server's resilience layer) can read modeled time and fault state.
+  pgas::Runtime& runtime() { return rt_; }
+  /// Epoch the ring retains just below the latest one, if any: the
+  /// staleness bound for degraded serving (docs/SERVING.md).
+  bool previous_epoch(std::uint64_t* e) const {
+    if (epoch_ == 0 || !has_epoch(epoch_ - 1)) return false;
+    *e = epoch_ - 1;
+    return true;
+  }
   /// Is `e` still queryable (published and not yet evicted from the ring)?
   /// The serving layer probes this instead of letting std::out_of_range
   /// escape a coalesced flush; see docs/SERVING.md.

@@ -190,6 +190,23 @@ void SuperstepTracer::write_chrome_trace(std::ostream& os) const {
     }
   }
 
+  // --- host-side annotations (serving-mode transitions) ----------------
+  // Emitted on a dedicated pseudo-process only when any exist, so traces
+  // from runs without annotations stay byte-identical.
+  if (!notes_.empty()) {
+    const int pid = static_cast<int>(segments_.size());
+    meta(ev, pid, 0, "process_name", "serve (virtual clock)");
+    meta(ev, pid, 0, "thread_name", "mode transitions");
+    ev.begin() << "{\"ph\":\"M\",\"pid\":" << pid
+               << ",\"name\":\"process_sort_index\",\"args\":{\"sort_index\":"
+               << pid << "}}";
+    for (const Annotation& an : notes_)
+      ev.begin() << "{\"ph\":\"i\",\"pid\":" << pid << ",\"tid\":0,\"name\":\""
+                 << json::escape(an.name)
+                 << "\",\"ts\":" << json::number(an.ts_ns / kNsPerUs)
+                 << ",\"s\":\"p\"}";
+  }
+
   // --- phase scopes and CRCW marks -------------------------------------
   for (const auto& pt : threads_) {
     for (const ScopeEvent& sc : pt->scopes)

@@ -127,6 +127,10 @@ void SuperstepTracer::on_crcw(int thread, const char* label, double ts_ns,
   pt.crcw.push_back({label, cur_segment_, thread, ts_ns + offset_ns_, begin});
 }
 
+void SuperstepTracer::note_instant(std::string name, double ts_ns) {
+  notes_.push_back({std::move(name), ts_ns});
+}
+
 std::vector<ScopeEvent> SuperstepTracer::all_scopes() const {
   std::vector<ScopeEvent> out;
   for (const auto& pt : threads_)

@@ -88,6 +88,15 @@ struct CrcwEvent {
   bool begin;
 };
 
+/// Host-side instant annotation on the modeled-time axis: named marks a
+/// front end (the serving layer's breaker/brownout/recovery transitions)
+/// drops onto its own track of the Chrome-trace export.  Unlike scopes,
+/// these are not tied to an SPMD thread or a segment.
+struct Annotation {
+  std::string name;
+  double ts_ns = 0.0;
+};
+
 /// One attached runtime = one segment of the trace timeline.
 struct Segment {
   double offset_ns = 0.0;  ///< where this runtime's t=0 lands globally
@@ -137,6 +146,14 @@ class SuperstepTracer final : public pgas::TraceSink {
   int max_threads() const { return static_cast<int>(threads_.size()); }
   double end_ns() const { return end_ns_; }
 
+  /// Record a host-side instant annotation (serving-mode transitions).
+  /// `ts_ns` is on the caller's virtual clock, used verbatim.  Annotations
+  /// are emitted as Chrome-trace instant events on a dedicated pseudo-
+  /// process only when at least one exists, so traces without them are
+  /// byte-identical to pre-annotation output.
+  void note_instant(std::string name, double ts_ns);
+  const std::vector<Annotation>& annotations() const { return notes_; }
+
   /// Attribution accumulated since the last take (bench rows call this
   /// once per configuration), and over the whole recording.
   Attribution take_row_attribution();
@@ -172,6 +189,7 @@ class SuperstepTracer final : public pgas::TraceSink {
   std::vector<std::unique_ptr<PerThread>> threads_;
   std::vector<Segment> segments_;
   std::vector<Superstep> steps_;
+  std::vector<Annotation> notes_;
   Attribution row_;
   Attribution total_;
   std::size_t row_digest_start_ = 0;  ///< steps_ index of the last digest take

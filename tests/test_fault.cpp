@@ -751,3 +751,44 @@ TEST(FaultChaos, ZeroFaultPlanLeavesCcModeledTimeUnchanged) {
   EXPECT_EQ(inj.counters().drops, 0u);
   EXPECT_EQ(inj.counters().checkpoints, 0u);
 }
+
+// --- serving-phase arming (`arm=0|1`) ------------------------------------
+
+TEST(FaultConfig, ArmKeyParsesAndValidates) {
+  EXPECT_TRUE(flt::FaultConfig::parse("drop=0.1,arm=1", 1).start_armed);
+  EXPECT_FALSE(flt::FaultConfig::parse("drop=0.1,arm=0", 1).start_armed);
+  EXPECT_TRUE(flt::FaultConfig::parse("drop=0.1", 1).start_armed);
+  EXPECT_THROW(flt::FaultConfig::parse("arm=2", 1), std::invalid_argument);
+}
+
+TEST(FaultChaos, DisarmedPlanIsANoOpUntilArmed) {
+  // Disarmed, a hostile plan behaves like an empty one — bit-identical
+  // labels and modeled time, zero counters.  Re-arming the same injector
+  // mid-process makes the (purely hash-keyed) draws fire.
+  const auto el = g::random_graph(200, 800, 23);
+  core::ParCCResult clean;
+  {
+    pg::Runtime rt = make_rt();
+    clean = core::cc_coalesced(rt, el, {});
+  }
+  flt::FaultInjector inj(
+      flt::FaultConfig::parse("drop=0.3,retries=24,arm=0", chaos_seed()));
+  pg::Runtime rt = make_rt();
+  rt.set_fault_injector(&inj);
+  const auto disarmed = core::cc_coalesced(rt, el, {});
+  EXPECT_EQ(disarmed.labels, clean.labels);
+  EXPECT_DOUBLE_EQ(disarmed.costs.modeled_ns, clean.costs.modeled_ns);
+  EXPECT_EQ(inj.counters().drops, 0u);
+
+  inj.set_armed(true);
+  const auto armed = core::cc_coalesced(rt, el, {});
+  EXPECT_EQ(armed.labels, clean.labels);  // retransmits keep it correct
+  EXPECT_GT(inj.counters().drops, 0u);
+  EXPECT_GT(armed.costs.modeled_ns, clean.costs.modeled_ns);
+
+  inj.set_armed(false);
+  const std::uint64_t drops = inj.counters().drops;
+  const auto rearmed_off = core::cc_coalesced(rt, el, {});
+  EXPECT_EQ(rearmed_off.labels, clean.labels);
+  EXPECT_EQ(inj.counters().drops, drops);  // disarmed again: no new draws
+}

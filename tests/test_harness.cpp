@@ -215,3 +215,71 @@ TEST(BenchArgsServe, OutOfRangeValuesRejected) {
   EXPECT_NE(tparse(s4, a, {.serve = true}).find("--batch-window-ns"),
             std::string::npos);
 }
+
+TEST(BenchArgsResilience, AcceptedWithCapability) {
+  const char* argv[] = {"prog",           "--deadline-ns", "250000",
+                        "--retry-budget", "3",             "--brownout",
+                        "1"};
+  h::BenchArgs a;
+  ASSERT_EQ(tparse(argv, a, {.serve = true}), "");
+  EXPECT_DOUBLE_EQ(a.deadline_ns, 250000.0);
+  EXPECT_DOUBLE_EQ(a.retry_budget, 3.0);
+  EXPECT_EQ(a.brownout, 1);
+}
+
+TEST(BenchArgsResilience, DefaultsMeanBenchChooses) {
+  const char* argv[] = {"prog", "--n", "100"};
+  h::BenchArgs a;
+  ASSERT_EQ(tparse(argv, a, {.serve = true}), "");
+  EXPECT_DOUBLE_EQ(a.deadline_ns, 0.0);
+  EXPECT_LT(a.retry_budget, 0.0);
+  EXPECT_EQ(a.brownout, -1);
+}
+
+TEST(BenchArgsResilience, RejectedOnNonServingBenches) {
+  const char* s1[] = {"prog", "--deadline-ns", "250000"};
+  const char* s2[] = {"prog", "--retry-budget", "3"};
+  const char* s3[] = {"prog", "--brownout", "1"};
+  h::BenchArgs a;
+  EXPECT_NE(tparse(s1, a).find("--deadline-ns"), std::string::npos);
+  EXPECT_NE(tparse(s2, a).find("--retry-budget"), std::string::npos);
+  EXPECT_NE(tparse(s3, a).find("--brownout"), std::string::npos);
+}
+
+TEST(BenchArgsResilience, OutOfRangeValuesRejected) {
+  const char* s1[] = {"prog", "--deadline-ns", "0"};
+  const char* s2[] = {"prog", "--deadline-ns", "-5"};
+  const char* s3[] = {"prog", "--retry-budget", "-1"};
+  const char* s4[] = {"prog", "--brownout", "2"};
+  h::BenchArgs a;
+  EXPECT_NE(tparse(s1, a, {.serve = true}).find("--deadline-ns"),
+            std::string::npos);
+  EXPECT_NE(tparse(s2, a, {.serve = true}).find("--deadline-ns"),
+            std::string::npos);
+  EXPECT_NE(tparse(s3, a, {.serve = true}).find("--retry-budget"),
+            std::string::npos);
+  EXPECT_NE(tparse(s4, a, {.serve = true}).find("--brownout"),
+            std::string::npos);
+}
+
+TEST(BenchArgsResilience, NanAndInfRejectedEverywhere) {
+  // NaN compares false against everything, so naive `x < 0` range checks
+  // silently accept it; the parser phrases acceptance positively.  Same
+  // for infinities, which would otherwise flow into horizon arithmetic.
+  const char* s1[] = {"prog", "--arrival-rate", "nan"};
+  const char* s2[] = {"prog", "--skew", "nan"};
+  const char* s3[] = {"prog", "--batch-window-ns", "inf"};
+  const char* s4[] = {"prog", "--deadline-ns", "nan"};
+  const char* s5[] = {"prog", "--retry-budget", "inf"};
+  h::BenchArgs a;
+  EXPECT_NE(tparse(s1, a, {.serve = true}).find("--arrival-rate"),
+            std::string::npos);
+  EXPECT_NE(tparse(s2, a, {.serve = true}).find("--skew"),
+            std::string::npos);
+  EXPECT_NE(tparse(s3, a, {.serve = true}).find("--batch-window-ns"),
+            std::string::npos);
+  EXPECT_NE(tparse(s4, a, {.serve = true}).find("--deadline-ns"),
+            std::string::npos);
+  EXPECT_NE(tparse(s5, a, {.serve = true}).find("--retry-budget"),
+            std::string::npos);
+}

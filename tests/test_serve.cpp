@@ -312,7 +312,7 @@ TEST(ServeServer, StaleEpochServedCleanlyAndCacheDropped) {
   EXPECT_EQ(s.outcomes().back().status, srv::Status::Ok);
   EXPECT_EQ(s.outcomes().back().answer, 1u);
   EXPECT_EQ(s.outcomes().back().epoch, 2u);
-  EXPECT_EQ(st.offered, st.completed + st.shed + st.stale);
+  EXPECT_EQ(st.offered, st.completed + st.shed + st.stale + st.degraded);
 }
 
 // ------------------------------------------------------------------- chaos
@@ -379,4 +379,327 @@ TEST(ServeChaos, CoalescedFlushBitIdenticalUnderDrops) {
   EXPECT_GT(inj.counters().retry_wait_ns, 0u);
   EXPECT_GT(faulted_st.p99_ns, clean_st.p99_ns);
   EXPECT_GT(faulted_st.service_ns, clean_st.service_ns);
+}
+
+// -------------------------------------------------------------- resilience
+
+TEST(ServeWorkload, RejectsNanAndNegativeParamsEagerly) {
+  // Each bad field throws before any arrival is drawn: NaN compares false
+  // against everything, so the checks are phrased as positive acceptance.
+  const double nan = std::nan("");
+  const auto bad = [](auto&& mutate) {
+    srv::WorkloadParams p;
+    p.sessions = 2;
+    p.rate_rps = 1e6;
+    p.horizon_ns = 1e6;
+    mutate(p);
+    EXPECT_THROW(srv::generate_workload(10, 1, p), std::invalid_argument);
+  };
+  bad([&](srv::WorkloadParams& p) { p.rate_rps = -1.0; });
+  bad([&](srv::WorkloadParams& p) { p.rate_rps = nan; });
+  bad([&](srv::WorkloadParams& p) { p.zipf_s = -0.1; });
+  bad([&](srv::WorkloadParams& p) { p.zipf_s = nan; });
+  bad([&](srv::WorkloadParams& p) { p.phase_ns = -1.0; });
+  bad([&](srv::WorkloadParams& p) { p.phase_ns = nan; });
+  bad([&](srv::WorkloadParams& p) { p.deadline_ns = -1.0; });
+  bad([&](srv::WorkloadParams& p) { p.deadline_ns = nan; });
+  bad([&](srv::WorkloadParams& p) { p.horizon_ns = nan; });
+}
+
+TEST(ServeWorkload, DeadlineSamplingIsStatelessAndBounded) {
+  srv::WorkloadParams p;
+  p.sessions = 3;
+  p.rate_rps = 2e5;
+  p.horizon_ns = 5e5;
+  srv::WorkloadParams pd = p;
+  pd.deadline_ns = 1e6;
+  const auto plain = srv::generate_workload(50, 7, p);
+  const auto with = srv::generate_workload(50, 7, pd);
+  // Deadlines ride a stateless hash stream: enabling them must not perturb
+  // arrivals, tenants or keys.
+  ASSERT_EQ(plain.size(), with.size());
+  ASSERT_GT(plain.size(), 5u);
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_DOUBLE_EQ(plain[i].arrive_ns, with[i].arrive_ns);
+    EXPECT_EQ(plain[i].tenant, with[i].tenant);
+    EXPECT_EQ(plain[i].u, with[i].u);
+    EXPECT_EQ(plain[i].v, with[i].v);
+    EXPECT_DOUBLE_EQ(plain[i].deadline_ns, 0.0);
+    EXPECT_GE(with[i].deadline_ns, 0.5 * pd.deadline_ns);
+    EXPECT_LT(with[i].deadline_ns, 1.5 * pd.deadline_ns);
+  }
+  // And the draw per (tenant, index) is reproducible.
+  const auto again = srv::generate_workload(50, 7, pd);
+  for (std::size_t i = 0; i < with.size(); ++i)
+    EXPECT_DOUBLE_EQ(with[i].deadline_ns, again[i].deadline_ns);
+}
+
+TEST(ServeResilience, OffOnBitIdenticalWithoutFaults) {
+  // The resilience layer is pay-for-what-you-use: with no faults and no
+  // overload, enabling it (deadlines carried, budgets armed, brownout on)
+  // must not change a single outcome or a nanosecond of modeled time.
+  srv::WorkloadParams wp;
+  wp.sessions = 2;
+  wp.rate_rps = 3e5;
+  wp.horizon_ns = 1e5;
+  wp.deadline_ns = 1e7;  // generous: never binds at this load
+  const auto reqs = srv::generate_workload(60, 11, wp);
+  ASSERT_GT(reqs.size(), 8u);
+
+  const auto run_once = [&](bool resilient) {
+    pg::Runtime rt = make_rt(2, 2);
+    strm::DynamicGraph dg(rt, tiny_graph());
+    srv::ServerOptions so;
+    so.window_ns = 5e3;
+    so.resilience.enabled = resilient;
+    so.resilience.brownout = true;
+    srv::QueryServer s(dg, wp.sessions, so);
+    for (const auto& r : reqs) s.offer(r);
+    const srv::ServeStats st = s.finish();
+    return std::pair{s.outcomes(), st};
+  };
+  const auto [off, off_st] = run_once(false);
+  const auto [on, on_st] = run_once(true);
+  ASSERT_EQ(off.size(), on.size());
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    EXPECT_EQ(off[i].status, on[i].status) << i;
+    EXPECT_EQ(off[i].answer, on[i].answer) << i;
+    EXPECT_EQ(off[i].epoch, on[i].epoch) << i;
+    EXPECT_DOUBLE_EQ(off[i].start_ns, on[i].start_ns) << i;
+    EXPECT_DOUBLE_EQ(off[i].done_ns, on[i].done_ns) << i;
+  }
+  EXPECT_DOUBLE_EQ(off_st.service_ns, on_st.service_ns);
+  EXPECT_EQ(on_st.breaker_trips, 0u);
+  EXPECT_EQ(on_st.brownout_enters, 0u);
+  EXPECT_EQ(on_st.shed_deadline, 0u);
+}
+
+TEST(ServeResilience, DeadlineExpiredShedsBeforeBackend) {
+  pg::Runtime rt = make_rt(2, 2);
+  strm::DynamicGraph dg(rt, tiny_graph());
+  srv::ServerOptions so;
+  so.window_ns = 1000.0;
+  so.resilience.enabled = true;
+  srv::QueryServer s(dg, 1, so);
+
+  // A shares the window; B's tight deadline drags the close forward (the
+  // flush budget is the min over members) and still expires in the queue.
+  s.offer(req(0.0, 0, srv::QueryKind::SameComponent, 1, 2));
+  srv::Request b = req(1.0, 0, srv::QueryKind::SameComponent, 10, 11);
+  b.deadline_ns = 5.0;
+  const std::size_t bi = s.offer(b);
+  const srv::ServeStats st = s.finish();
+
+  EXPECT_EQ(s.outcomes()[bi].status, srv::Status::Shed);
+  EXPECT_EQ(s.outcomes()[bi].shed_reason, srv::ShedReason::DeadlineExpired);
+  EXPECT_EQ(st.shed_deadline, 1u);
+  EXPECT_EQ(st.completed, 1u);
+  EXPECT_EQ(s.outcomes()[0].status, srv::Status::Ok);
+  EXPECT_EQ(st.offered, st.completed + st.shed + st.stale + st.degraded);
+  EXPECT_EQ(st.shed,
+            st.shed_queue_full + st.shed_breaker_open + st.shed_deadline);
+}
+
+TEST(ServeResilience, BreakerTripsHalfOpensAndCloses) {
+  pg::Runtime rt = make_rt(2, 2);
+  flt::FaultInjector inj(flt::FaultConfig::parse("drop=1,retries=0,arm=0",
+                                                 chaos_seed()));
+  rt.set_fault_injector(&inj);
+  strm::DynamicGraph dg(rt, tiny_graph());  // construction runs disarmed
+  srv::ServerOptions so;
+  so.window_ns = 0.0;  // flush per request: each offer is one verdict
+  so.resilience.enabled = true;
+  so.resilience.retry_tokens = 0.0;  // no retries: failures hit the breaker
+  so.resilience.breaker_trip_after = 2;
+  so.resilience.breaker_cooldown_ns = 1e6;
+  so.resilience.brownout = false;  // isolate the breaker machinery
+  srv::QueryServer s(dg, 1, so);
+  inj.set_armed(true);
+
+  s.offer(req(0.0, 0, srv::QueryKind::SameComponent, 1, 2));
+  s.offer(req(1e5, 0, srv::QueryKind::SameComponent, 1, 3));  // failure #1
+  s.offer(req(2e5, 0, srv::QueryKind::SameComponent, 2, 3));  // #2: trips
+  // Open breaker fast-fails admission during the cooldown.
+  s.offer(req(3e5, 0, srv::QueryKind::SameComponent, 1, 2));
+  // After the cooldown the breaker half-opens; the probe must reach the
+  // (now healthy) backend and close it again.
+  inj.set_armed(false);
+  s.offer(req(2e6, 0, srv::QueryKind::SameComponent, 1, 2));
+  const srv::ServeStats st = s.finish();
+
+  EXPECT_EQ(st.flush_failures, 2u);
+  EXPECT_EQ(st.retry_denied, 2u);
+  EXPECT_EQ(st.breaker_trips, 1u);
+  EXPECT_EQ(st.breaker_half_opens, 1u);
+  EXPECT_EQ(st.breaker_closes, 1u);
+  EXPECT_EQ(st.completed, 1u);  // the probe
+  EXPECT_GE(st.shed_breaker_open, 1u);  // admission fast-fail at 3e5
+  EXPECT_EQ(st.offered, st.completed + st.shed + st.stale + st.degraded);
+  EXPECT_EQ(st.shed,
+            st.shed_queue_full + st.shed_breaker_open + st.shed_deadline);
+  EXPECT_GT(st.failed_ns, 0.0);
+
+  // The transition log replays trip -> half-open -> close in time order.
+  std::size_t open_at = 0, half_at = 0, close_at = 0;
+  for (std::size_t i = 0; i < st.events.size(); ++i) {
+    if (st.events[i].kind == srv::ServeEventKind::BreakerOpen) open_at = i;
+    if (st.events[i].kind == srv::ServeEventKind::BreakerHalfOpen)
+      half_at = i;
+    if (st.events[i].kind == srv::ServeEventKind::BreakerClose) close_at = i;
+  }
+  EXPECT_LT(open_at, half_at);
+  EXPECT_LT(half_at, close_at);
+}
+
+TEST(ServeResilience, BrownoutServesDegradedFromPreviousEpoch) {
+  pg::Runtime rt = make_rt(2, 2);
+  strm::DynamicGraph dg(rt, tiny_graph());
+  srv::ServerOptions so;
+  so.window_ns = 1e5;
+  so.cache = true;
+  so.resilience.enabled = true;
+  so.resilience.brownout = true;
+  so.resilience.brownout_high = 2;  // queue pressure trips at two waiters
+  so.resilience.brownout_low = 0;
+  srv::QueryServer s(dg, 2, so);
+
+  // Warm the epoch-0 cache (flush completes during the publish drain).
+  s.offer(req(0.0, 0, srv::QueryKind::SameComponent, 1, 2));
+  const std::vector<g::EdgeUpdate> u1 = {{20, 21, 1, g::UpdateKind::Insert}};
+  s.publish(1e6, u1);  // epoch 1 is now latest; epoch 0 stays in the ring
+
+  // Two waiters cross the high watermark; the third request brownout-hits
+  // the previous epoch's cache and is served Degraded on the spot.
+  s.offer(req(1.1e6, 0, srv::QueryKind::ComponentSize, 1));
+  s.offer(req(1.1e6 + 1, 1, srv::QueryKind::ComponentSize, 10));
+  const std::size_t di =
+      s.offer(req(1.1e6 + 2, 0, srv::QueryKind::SameComponent, 1, 2));
+  const srv::ServeStats st = s.finish();
+
+  EXPECT_GE(st.brownout_enters, 1u);
+  EXPECT_GE(st.brownout_exits, 1u);  // pressure drains once flushes run
+  EXPECT_EQ(st.degraded, 1u);
+  EXPECT_EQ(s.outcomes()[di].status, srv::Status::Degraded);
+  EXPECT_EQ(s.outcomes()[di].answer, 1u);  // 1 and 2 share a component
+  EXPECT_EQ(s.outcomes()[di].epoch, 0u);   // staleness bound: one epoch
+  EXPECT_EQ(st.offered, st.completed + st.shed + st.stale + st.degraded);
+}
+
+TEST(ServeResilience, ServingAcrossPermanentLoss) {
+  // A node dies mid-service; the server polls the loss, republishes on the
+  // survivor topology, and every Ok answer stays bit-identical to the
+  // fault-free run (answers are graph-semantic, not topology-dependent).
+  const auto el = g::random_graph(120, 170, 31);
+  const std::vector<g::EdgeUpdate> pub = {
+      {0, 60, 1, g::UpdateKind::Insert}, {1, 61, 2, g::UpdateKind::Insert}};
+  srv::WorkloadParams wp;
+  wp.sessions = 2;
+  wp.rate_rps = 4e5;
+  wp.horizon_ns = 1e5;
+  const auto reqs = srv::generate_workload(el.n, 17, wp);
+  ASSERT_GT(reqs.size(), 10u);
+
+  const auto run_once = [&](const char* spec) {
+    pg::Runtime rt = make_rt();
+    flt::FaultInjector inj(flt::FaultConfig::parse(
+        spec != nullptr ? spec : "drop=0,arm=0", chaos_seed()));
+    if (spec != nullptr) rt.set_fault_injector(&inj);
+    strm::DynamicGraph dg(rt, el);
+    srv::ServerOptions so;
+    so.window_ns = 8e3;
+    so.max_queue = 100000;
+    so.resilience.enabled = true;
+    srv::QueryServer s(dg, wp.sessions, so);
+    bool published = false, armed = false;
+    for (const auto& r : reqs) {
+      if (!published && r.arrive_ns >= 0.4 * wp.horizon_ns) {
+        s.publish(0.4 * wp.horizon_ns, pub);  // maintenance window: disarmed
+        published = true;
+      }
+      if (!armed && r.arrive_ns >= 0.5 * wp.horizon_ns) {
+        inj.set_armed(true);
+        armed = true;
+      }
+      s.offer(r);
+    }
+    const srv::ServeStats st = s.finish();
+    return std::pair{s.outcomes(), st};
+  };
+
+  const auto [clean, clean_st] = run_once(nullptr);
+  const auto [lossy, lossy_st] = run_once("loss_at=1,loss_node=2,arm=0");
+
+  EXPECT_GE(lossy_st.recoveries, 1u);
+  EXPECT_GT(lossy_st.recovery_ns, 0.0);
+  EXPECT_EQ(lossy_st.offered, lossy_st.completed + lossy_st.shed +
+                                  lossy_st.stale + lossy_st.degraded);
+  ASSERT_EQ(clean.size(), lossy.size());
+  std::size_t compared = 0;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    if (clean[i].status != srv::Status::Ok ||
+        lossy[i].status != srv::Status::Ok)
+      continue;
+    EXPECT_EQ(clean[i].answer, lossy[i].answer) << i;
+    EXPECT_EQ(clean[i].epoch, lossy[i].epoch) << i;
+    ++compared;
+  }
+  EXPECT_GT(compared, reqs.size() / 2);
+}
+
+TEST(ServeResilience, ChaosMatrixNoCrashAndConservation) {
+  // Seeds x fault plans: whatever the plan does, the resilient server
+  // never lets a FaultError escape, and every offered request is accounted
+  // for exactly once (completed/shed/stale/degraded, with the shed split
+  // summing up).
+  const auto el = g::random_graph(120, 170, 37);
+  const std::vector<g::EdgeUpdate> pub = {
+      {0, 60, 1, g::UpdateKind::Insert}};
+  const char* specs[] = {
+      "drop=0.15,retries=6,arm=0",
+      "outage_every=5,outage_k=2,arm=0",
+      "straggle=0.4,straggle_ns=20000,arm=0",
+      "loss_at=1,loss_node=1,arm=0",
+  };
+  srv::WorkloadParams wp;
+  wp.sessions = 2;
+  wp.rate_rps = 3e5;
+  wp.horizon_ns = 1e5;
+  wp.deadline_ns = 5e6;
+  const std::uint64_t base = chaos_seed();
+  for (std::uint64_t seed = base; seed < base + 3; ++seed) {
+    const auto reqs = srv::generate_workload(el.n, 19 + seed, wp);
+    for (const char* spec : specs) {
+      pg::Runtime rt = make_rt();
+      flt::FaultInjector inj(flt::FaultConfig::parse(spec, seed));
+      rt.set_fault_injector(&inj);
+      strm::DynamicGraph dg(rt, el);
+      srv::ServerOptions so;
+      so.window_ns = 8e3;
+      so.resilience.enabled = true;
+      srv::QueryServer s(dg, wp.sessions, so);
+      bool published = false, armed = false;
+      srv::ServeStats st;
+      ASSERT_NO_THROW({
+        for (const auto& r : reqs) {
+          if (!published && r.arrive_ns >= 0.4 * wp.horizon_ns) {
+            s.publish(0.4 * wp.horizon_ns, pub);
+            published = true;
+          }
+          if (!armed && r.arrive_ns >= 0.5 * wp.horizon_ns) {
+            inj.set_armed(true);
+            armed = true;
+          }
+          s.offer(r);
+        }
+        st = s.finish();
+      }) << "seed " << seed << " spec " << spec;
+      EXPECT_EQ(st.offered,
+                st.completed + st.shed + st.stale + st.degraded)
+          << "seed " << seed << " spec " << spec;
+      EXPECT_EQ(st.shed, st.shed_queue_full + st.shed_breaker_open +
+                             st.shed_deadline)
+          << "seed " << seed << " spec " << spec;
+      EXPECT_EQ(st.offered, reqs.size());
+    }
+  }
 }

@@ -439,3 +439,49 @@ TEST(Tracer, SegmentsFromConsecutiveRuntimesConcatenate) {
   tracer.detach();  // idempotent / safe
   tracer.detach();
 }
+
+TEST(Tracer, NoteInstantExportsDedicatedTrackOnlyWhenPresent) {
+  const auto run_and_dump = [](bool annotate) {
+    pg::Runtime rt(pg::Topology::cluster(1, 2), quiet_params());
+    tr::SuperstepTracer tracer;
+    tracer.attach(rt);
+    rt.run([](pg::ThreadCtx& ctx) {
+      ctx.charge(m::Cat::Work, 1e5);
+      ctx.barrier();
+    });
+    if (annotate) {
+      tracer.note_instant("serve.breaker_open t0", 2e6);
+      tracer.note_instant("serve.brownout_enter", 3e6);
+    }
+    std::ostringstream os;
+    tracer.write_chrome_trace(os);
+    return os.str();
+  };
+
+  const std::string with = run_and_dump(true);
+  const std::string without = run_and_dump(false);
+
+  // Annotation-free traces carry no trace of the pseudo-process: output
+  // stays byte-identical to a run that never had the feature.
+  EXPECT_EQ(without.find("mode transitions"), std::string::npos);
+  EXPECT_NE(with, without);
+
+  tr::json::Value doc;
+  std::string err;
+  ASSERT_TRUE(tr::json::parse(with, doc, &err)) << err;
+  const auto& events = doc["traceEvents"];
+  ASSERT_TRUE(events.is_array());
+  int instants = 0;
+  for (const auto& e : events.items()) {
+    if (!e.is_object() || !e["ph"].is_string()) continue;
+    if (e["ph"].as_string() != "i") continue;
+    ++instants;
+    const std::string& name = e["name"].as_string();
+    EXPECT_TRUE(name == "serve.breaker_open t0" ||
+                name == "serve.brownout_enter")
+        << name;
+    if (name == "serve.breaker_open t0")
+      EXPECT_DOUBLE_EQ(e["ts"].as_number(), 2e6 / 1e3);  // us on the track
+  }
+  EXPECT_EQ(instants, 2);
+}
