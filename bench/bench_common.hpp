@@ -215,6 +215,11 @@ class Report {
     d("fault_replications", c.replications, prev_faults_.replications);
     d("fault_replica_bytes", c.replica_bytes, prev_faults_.replica_bytes);
     d("fault_promoted_bytes", c.promoted_bytes, prev_faults_.promoted_bytes);
+    d("fault_mem_flips", c.mem_flips, prev_faults_.mem_flips);
+    d("scrub_passes", c.scrub_passes, prev_faults_.scrub_passes);
+    d("scrub_detected", c.scrub_detected, prev_faults_.scrub_detected);
+    d("scrub_heals", c.scrub_heals, prev_faults_.scrub_heals);
+    d("scrub_events", c.scrub_events, prev_faults_.scrub_events);
     prev_faults_ = c;
   }
 

@@ -171,6 +171,61 @@ def check_resilience_extras(label, extras_base, extras_cand):
     return failures
 
 
+def check_scrub_extras(label, extras_base, extras_cand):
+    """Gate scrub_*/certify_* extras present in both rows; return failures.
+
+    These counters come from deterministic seeded fault plans, so they
+    must reproduce EXACTLY: a changed detection/heal/escape count under
+    the same plan means the defense chain changed behaviour, which must be
+    a deliberate baseline regeneration, never drift.  Only integral values
+    are gated (fractional keys like scrub_overhead_pct track modeled time
+    and move with benign model changes); availability is gated separately
+    by check_resilience_extras, and certify_failures/certify_escapes
+    additionally fail on any 0 -> nonzero flip even if the baseline never
+    recorded a zero explicitly.  Keys missing from either side stay
+    informational, matching the latency-extras policy.
+    """
+    failures = 0
+    for key in sorted(extras_base):
+        if not (key.startswith("scrub_") or key.startswith("certify_")):
+            continue
+        if key not in extras_cand:
+            continue
+        vb, vc = extras_base[key], extras_cand[key]
+        if (
+            isinstance(vb, bool)
+            or isinstance(vc, bool)
+            or not isinstance(vb, (int, float))
+            or not isinstance(vc, (int, float))
+            or not math.isfinite(float(vb))
+            or not math.isfinite(float(vc))
+        ):
+            print(f"NON-FINITE  {label!r} {key}: baseline {vb!r}, candidate {vc!r}")
+            failures += 1
+            continue
+        if float(vb) != int(vb) or float(vc) != int(vc):
+            continue  # fractional: informational only
+        if int(vb) != int(vc):
+            print(
+                f"REGRESSION  {label!r} {key}: {int(vb)} -> {int(vc)} "
+                f"(deterministic counter changed; regenerate the baseline "
+                f"if intended)"
+            )
+            failures += 1
+    for key in ("certify_failures", "certify_escapes"):
+        vc = extras_cand.get(key)
+        if (
+            isinstance(vc, (int, float))
+            and not isinstance(vc, bool)
+            and math.isfinite(float(vc))
+            and float(vc) > 0.0
+            and float(extras_base.get(key, 0) or 0) == 0.0
+        ):
+            print(f"REGRESSION  {label!r} {key}: 0 -> {vc:g}")
+            failures += 1
+    return failures
+
+
 def check_breakdown(path, i, row):
     """Tolerant validation of a row's optional per-category breakdown.
 
@@ -267,6 +322,7 @@ def main():
             label, extras_base, extras_cand, args.latency_threshold
         )
         failures += check_resilience_extras(label, extras_base, extras_cand)
+        failures += check_scrub_extras(label, extras_base, extras_cand)
     extra = [label for label in cand if label not in base]
     if extra:
         print(f"note: {len(extra)} new row(s) not in baseline: {extra}")

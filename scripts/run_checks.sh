@@ -42,6 +42,14 @@
 #            presets, plus the zero-fault bench-invariance gate: a bench run
 #            with an attached all-zero fault plan must match the committed
 #            baseline bit-for-bit (--threshold 0)
+#   scrub-chaos  silent-data-corruption defense (tests/test_scrub.cpp plus
+#            the mem-flip config/flag tests) across fault seeds 1..3 in the
+#            default and check presets plus one asan run, then the rob01
+#            availability sweep gated against
+#            scripts/baselines/BENCH_rob01_sdc.json (deterministic scrub_*/
+#            certify_* counters gated exactly) and the zero-flip invariance
+#            gate: a bench run with an attached-but-disabled mem-flip plan
+#            must match the committed smoke baseline bit-for-bit
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -49,7 +57,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(default check tsan asan ubsan lint perf stream serve serve-chaos chaos)
+  STAGES=(default check tsan asan ubsan lint perf stream serve serve-chaos chaos scrub-chaos)
 fi
 
 run_preset() {
@@ -262,8 +270,59 @@ EOF
         echo "---- [chaos] python3 not found; skipping invariance gate ----"
       fi
       ;;
+    scrub-chaos)
+      echo "==== [scrub-chaos] SDC defense suite, seeds 1..3 ===="
+      # ScrubDigest/ScrubChaos/ScrubRuntime carry the bit-flip matrix
+      # (detection, heal, rollback, bit-identical recovery, mirror-poison
+      # promotion refusal); MemFlip picks up the fault-plan config tests
+      # and BenchArgsRobust the --scrub-interval/--certify/--mem-flips
+      # flag handling.
+      for preset in default check; do
+        cmake --preset "$preset"
+        cmake --build --preset "$preset" -j "$JOBS" \
+          --target test_scrub --target test_fault --target test_harness
+        for seed in 1 2 3; do
+          echo "---- [scrub-chaos] preset=$preset fault seed=$seed ----"
+          PGRAPH_CHAOS_SEED=$seed ctest --preset "$preset" \
+            -R '^Scrub|MemFlip|^BenchArgsRobust' --output-on-failure \
+            -j "$JOBS"
+        done
+      done
+      # One chaos seed under asan: heals and rollbacks rewrite partitions
+      # in place and the OOB guards clamp corruption-derived indices,
+      # exactly where lifetime/bounds bugs would hide.
+      echo "---- [scrub-chaos] scrub suite under asan, seed=2 ----"
+      cmake --preset asan
+      cmake --build --preset asan -j "$JOBS" --target test_scrub
+      PGRAPH_CHAOS_SEED=2 ctest --preset asan \
+        -R '^Scrub' --output-on-failure -j "$JOBS"
+      if command -v python3 > /dev/null 2>&1; then
+        cmake --build --preset default -j "$JOBS" \
+          --target rob01_sdc_scrub --target fig05_opt_breakdown_random
+        out=build/BENCH_rob01_sdc.json
+        # Fixed configuration of the committed availability baseline; the
+        # bench self-checks zero escapes / interval-1 availability, and
+        # bench_diff gates the deterministic scrub_*/certify_* counters
+        # exactly on top.
+        build/bench/rob01_sdc_scrub --seed 21 --json "$out" > /dev/null
+        python3 scripts/bench_diff.py \
+          scripts/baselines/BENCH_rob01_sdc.json "$out"
+        echo "---- [scrub-chaos] zero-flip plan leaves bench times unchanged ----"
+        # A disabled mem-flip plan (mem_flip_at=0) must reproduce the
+        # committed smoke baseline bit-for-bit, like the chaos stage's
+        # zero-fault gate.
+        out=build/BENCH_smoke_zeroflip.json
+        build/bench/fig05_opt_breakdown_random \
+          --n 2048 --m 8192 --nodes 4 --threads 4 --seed 1 \
+          --faults mem_flip_at=0 --fault-seed 3 --json "$out" > /dev/null
+        python3 scripts/bench_diff.py --threshold 0 \
+          scripts/baselines/BENCH_smoke.json "$out"
+      else
+        echo "---- [scrub-chaos] python3 not found; skipping bench gates ----"
+      fi
+      ;;
     *)
-      echo "unknown stage: $stage (want: default check tsan asan ubsan lint perf stream serve serve-chaos chaos)" >&2
+      echo "unknown stage: $stage (want: default check tsan asan ubsan lint perf stream serve serve-chaos chaos scrub-chaos)" >&2
       exit 2
       ;;
   esac

@@ -122,6 +122,11 @@ void getd(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
               Cat::Setup);
   const auto myblock = D.local_span(me);
   const std::uint64_t base = D.block_begin(me);
+  // Under an armed mem-flip plan a flipped label bit can escape into a
+  // request index before the scrubber runs; bounds-guard the serve loop so
+  // the epoch survives to be rolled back instead of faulting on a wild
+  // read (docs/ROBUSTNESS.md, "At-rest integrity").
+  const bool guard = ctx.runtime().mem_guard_active();
   const std::size_t line_bytes = ctx.mem().params().cache_line_bytes;
   const std::size_t line_elems = std::max<std::size_t>(1, line_bytes / sizeof(T));
   const std::size_t nlines = myblock.size() / line_elems + 1;
@@ -152,16 +157,23 @@ void getd(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
     }
     std::size_t first_touches = 0;
     for (std::size_t k = 0; k < cnt; ++k) {
-      assert(ridx[k] >= base && ridx[k] - base < myblock.size());
-      const std::size_t l = (ridx[k] - base) / line_elems;
+      std::uint64_t ri = ridx[k];
+      if (guard && (ri < base || ri - base >= myblock.size())) [[unlikely]] {
+        // Serve a dummy element and flag the corruption; the reply is
+        // garbage either way and this epoch is about to be rolled back.
+        ctx.runtime().note_corruption();
+        ri = base;
+      }
+      assert(ri >= base && ri - base < myblock.size());
+      const std::size_t l = (ri - base) / line_elems;
       if (!(ws.touched[l >> 6] & (1ull << (l & 63)))) {
         ws.touched[l >> 6] |= 1ull << (l & 63);
         ++first_touches;
       }
-      rbuf[k] = myblock[ridx[k] - base];
+      rbuf[k] = myblock[ri - base];
       // Owner-side read through the raw block pointer: make it visible to
       // the race detector (a stray same-epoch write would corrupt replies).
-      D.note_read(ctx, ridx[k]);
+      D.note_read(ctx, ri);
     }
     if (chk) {
       // Deposit the batch checksum into the requester's sum array (slot

@@ -148,6 +148,15 @@ void setd_combine(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
               Cat::Setup);
   const auto myblock = D.local_span(me);
   const std::uint64_t base = D.block_begin(me);
+  // At-rest integrity: this loop is D's tracked commit point.  Once a
+  // scrub pass baselined this partition, every applied element folds an
+  // O(1) digest delta into the partition checksum (the old value is
+  // already in cache for the combine, so the modeled cost is unchanged).
+  const bool track = D.integrity_tracking_thread(me);
+  // Under an armed mem-flip plan, bounds-guard the apply loop: a flipped
+  // label bit escaping into a request index must not fault (or scribble)
+  // before the rollback machinery can discard the epoch.
+  const bool guard = ctx.runtime().mem_guard_active();
   const std::size_t touch_ops = detail::local_touch_ops(opt);
   const std::size_t line_bytes = ctx.mem().params().cache_line_bytes;
   const std::size_t line_elems = std::max<std::size_t>(1, line_bytes / sizeof(T));
@@ -205,13 +214,27 @@ void setd_combine(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
     }
     std::size_t first_touches = 0;
     for (std::size_t k = 0; k < cnt; ++k) {
+      if (guard &&
+          (ridx[k] < base || ridx[k] - base >= myblock.size())) [[unlikely]] {
+        // Never apply a corruption-derived write: flag it and skip — the
+        // epoch rolls back at the next loop-top recovery poll anyway.
+        ctx.runtime().note_corruption();
+        continue;
+      }
       assert(ridx[k] >= base && ridx[k] - base < myblock.size());
       const std::size_t l = (ridx[k] - base) / line_elems;
       if (!(ws.touched[l >> 6] & (1ull << (l & 63)))) {
         ws.touched[l >> 6] |= 1ull << (l & 63);
         ++first_touches;
       }
-      combine(myblock[ridx[k] - base], rval[k]);
+      T& dst = myblock[ridx[k] - base];
+      if (track) {
+        const T oldv = dst;
+        combine(dst, rval[k]);
+        D.integrity_note(me, ridx[k], oldv, dst);
+      } else {
+        combine(dst, rval[k]);
+      }
       crcw.note(ctx, ridx[k]);
     }
     distinct_lines += first_touches;

@@ -50,7 +50,12 @@ ParCCResult cc_coalesced(pgas::Runtime& rt, const graph::EdgeList& el,
   fault::FaultInjector* const finj = rt.fault_injector();
   const bool ckpt_on =
       finj != nullptr &&
-      (finj->config().outage_every > 0 || finj->config().loss_enabled());
+      (finj->config().outage_every > 0 || finj->config().loss_enabled() ||
+       finj->config().mem_flips_enabled());
+  // At-rest integrity: opt the label array into incremental checksum
+  // tracking and periodic scrubbing (host-side, before the SPMD region).
+  const int scrub_every = opt.scrub_interval;
+  if (scrub_every > 0) run.d.set_scrubbed(true);
 
   rt.run([&](pgas::ThreadCtx& ctx) {
     const int s = ctx.nthreads();
@@ -80,6 +85,8 @@ ParCCResult cc_coalesced(pgas::Runtime& rt, const graph::EdgeList& el,
       int it = 0;
       bool valid = false;
     } ck;
+    // Staging buffer for scrub-verified checkpoint saves (see below).
+    std::vector<std::uint64_t> ck_stage;
     std::uint64_t seen_recovery = ckpt_on ? finj->recovery_events() : 0;
 
     int it = 0;
@@ -89,6 +96,25 @@ ParCCResult cc_coalesced(pgas::Runtime& rt, const graph::EdgeList& el,
       if (it >= max_iters || executed >= 4 * max_iters + 64) {
         run.overran.store(true, std::memory_order_relaxed);
         break;
+      }
+
+      // Scrub BEFORE the recovery poll: a heal regresses the partition to
+      // checkpoint-time bytes and raises a recovery event, so the poll
+      // below immediately rolls the private state back to the matching
+      // snapshot -- the superstep never runs on a half-regressed view.
+      bool scrubbed_now = false;
+      if (scrub_every > 0 && executed % scrub_every == 0) {
+        scrubbed_now = true;
+        try {
+          rt.scrub(ctx);
+        } catch (const fault::FaultError& fe) {
+          // Corruption with no validated mirror: the baseline is
+          // invalidated and a recovery event raised; continue on the
+          // valid checkpoint (the poll below rolls back over clean
+          // bytes).  Without a checkpoint the corruption is fatal.
+          if (fe.kind() != fault::FaultKind::MemoryCorrupt || !ck.valid)
+            throw;
+        }
       }
 
       bool fresh_ckpt = false;
@@ -111,21 +137,47 @@ ParCCResult cc_coalesced(pgas::Runtime& rt, const graph::EdgeList& el,
           ctx.mem_seq((ck.d.size() + eu.size() + ev.size()) *
                           sizeof(std::uint64_t),
                       Cat::Copy);
+          // The restore bypassed the incremental checksum: recompute the
+          // scrub baseline over the freshly restored block.
+          rt.rebaseline_integrity(ctx);
           if (me == 0) finj->count_rollback();
           ctx.barrier();  // restores visible before the next getd serves
         } else if (ev_now == seen_recovery &&
-                   !finj->outage_active(ctx.epoch())) {
+                   !finj->outage_active(ctx.epoch()) &&
+                   (scrub_every == 0 || scrubbed_now)) {
+          // With scrubbing on, only scrub-validated trips may seal new
+          // checkpoints/mirrors: a flip is always *detected* before the
+          // corrupt bytes could be re-snapshotted into the repair source.
           auto blk = run.d.local_span(me);
-          ck.d.assign(blk.begin(), blk.end());
-          ck.eu = eu;
-          ck.ev = ev;
-          ck.it = it;
-          ck.valid = true;
-          ctx.mem_seq((ck.d.size() + eu.size() + ev.size()) *
-                          sizeof(std::uint64_t),
-                      Cat::Copy);
-          if (me == 0) finj->count_checkpoint();
-          fresh_ckpt = true;
+          bool seal_ok = true;
+          if (scrub_every > 0) {
+            // Verify-before-seal: a flip can land on the scrub pass's own
+            // barriers, after the compare but before this save.  Stage the
+            // copy and re-check it against the maintained checksum in the
+            // SAME barrier interval (flips only land at barrier completion,
+            // so a verified stage is a clean stage), then agree
+            // collectively before committing it over the old snapshot.
+            ck_stage.assign(blk.begin(), blk.end());
+            if (!run.d.partition_clean(me)) rt.note_corruption();
+            ctx.mem_seq(blk.size() * sizeof(std::uint64_t), Cat::Scrub);
+            ctx.barrier();  // corruption flag -> recovery event, seen by all
+            seal_ok = finj->recovery_events() == ev_now;
+          }
+          if (seal_ok) {
+            if (scrub_every > 0)
+              ck.d.swap(ck_stage);
+            else
+              ck.d.assign(blk.begin(), blk.end());
+            ck.eu = eu;
+            ck.ev = ev;
+            ck.it = it;
+            ck.valid = true;
+            ctx.mem_seq((ck.d.size() + eu.size() + ev.size()) *
+                            sizeof(std::uint64_t),
+                        Cat::Copy);
+            if (me == 0) finj->count_checkpoint();
+            fresh_ckpt = true;
+          }
         }
         seen_recovery = ev_now;
       }

@@ -72,7 +72,12 @@ ParMstResult mst_pgas(pgas::Runtime& rt, const graph::WEdgeList& el,
   fault::FaultInjector* const finj = rt.fault_injector();
   const bool ckpt_on =
       finj != nullptr &&
-      (finj->config().outage_every > 0 || finj->config().loss_enabled());
+      (finj->config().outage_every > 0 || finj->config().loss_enabled() ||
+       finj->config().mem_flips_enabled());
+  // At-rest integrity: scrub the label array (see cc_coalesced).  `cand`
+  // is rebuilt from scratch every trip, so it is not worth defending.
+  const int scrub_every = opt.scrub_interval;
+  if (scrub_every > 0) d.set_scrubbed(true);
 
   rt.run([&](pgas::ThreadCtx& ctx) {
     const int me = ctx.id();
@@ -108,6 +113,8 @@ ParMstResult mst_pgas(pgas::Runtime& rt, const graph::WEdgeList& el,
       int it = 0;
       bool valid = false;
     } ck;
+    // Staging buffer for scrub-verified checkpoint saves (see below).
+    std::vector<std::uint64_t> ck_stage;
     std::uint64_t seen_recovery = ckpt_on ? finj->recovery_events() : 0;
 
     int it = 0;
@@ -115,6 +122,20 @@ ParMstResult mst_pgas(pgas::Runtime& rt, const graph::WEdgeList& el,
       if (it >= max_iters || executed >= 4 * max_iters + 64) {
         overran.store(true, std::memory_order_relaxed);
         break;
+      }
+
+      // Scrub before the recovery poll so a heal's regression to
+      // checkpoint-time bytes is immediately followed by the matching
+      // rollback (see cc_coalesced for the full rationale).
+      bool scrubbed_now = false;
+      if (scrub_every > 0 && executed % scrub_every == 0) {
+        scrubbed_now = true;
+        try {
+          rt.scrub(ctx);
+        } catch (const fault::FaultError& fe) {
+          if (fe.kind() != fault::FaultKind::MemoryCorrupt || !ck.valid)
+            throw;
+        }
       }
 
       bool fresh_ckpt = false;
@@ -139,26 +160,47 @@ ParMstResult mst_pgas(pgas::Runtime& rt, const graph::WEdgeList& el,
               (ck.d.size() + eu.size() * 4 + my_mst.size()) *
                   sizeof(std::uint64_t),
               Cat::Copy);
+          // Restores bypass the incremental checksum: re-baseline.
+          rt.rebaseline_integrity(ctx);
           if (me == 0) finj->count_rollback();
           ctx.barrier();  // restores visible before the next getd serves
         } else if (ev_now == seen_recovery &&
-                   !finj->outage_active(ctx.epoch())) {
+                   !finj->outage_active(ctx.epoch()) &&
+                   (scrub_every == 0 || scrubbed_now)) {
+          // Only scrub-validated trips may seal new checkpoints/mirrors.
           auto blk = d.local_span(me);
-          ck.d.assign(blk.begin(), blk.end());
-          ck.eu = eu;
-          ck.ev = ev;
-          ck.ew = ew;
-          ck.eid = eid;
-          ck.mst_size = my_mst.size();
-          ck.weight = mst_weight[static_cast<std::size_t>(me)];
-          ck.it = it;
-          ck.valid = true;
-          ctx.mem_seq(
-              (ck.d.size() + eu.size() * 4 + my_mst.size()) *
-                  sizeof(std::uint64_t),
-              Cat::Copy);
-          if (me == 0) finj->count_checkpoint();
-          fresh_ckpt = true;
+          bool seal_ok = true;
+          if (scrub_every > 0) {
+            // Verify-before-seal in the same barrier interval as the
+            // staging copy, so a flip landing on the scrub pass's own
+            // barriers cannot reach the rollback source (see cc_coalesced
+            // for the full rationale).
+            ck_stage.assign(blk.begin(), blk.end());
+            if (!d.partition_clean(me)) rt.note_corruption();
+            ctx.mem_seq(blk.size() * sizeof(std::uint64_t), Cat::Scrub);
+            ctx.barrier();  // corruption flag -> recovery event
+            seal_ok = finj->recovery_events() == ev_now;
+          }
+          if (seal_ok) {
+            if (scrub_every > 0)
+              ck.d.swap(ck_stage);
+            else
+              ck.d.assign(blk.begin(), blk.end());
+            ck.eu = eu;
+            ck.ev = ev;
+            ck.ew = ew;
+            ck.eid = eid;
+            ck.mst_size = my_mst.size();
+            ck.weight = mst_weight[static_cast<std::size_t>(me)];
+            ck.it = it;
+            ck.valid = true;
+            ctx.mem_seq(
+                (ck.d.size() + eu.size() * 4 + my_mst.size()) *
+                    sizeof(std::uint64_t),
+                Cat::Copy);
+            if (me == 0) finj->count_checkpoint();
+            fresh_ckpt = true;
+          }
         }
         seen_recovery = ev_now;
       }
@@ -210,12 +252,15 @@ ParMstResult mst_pgas(pgas::Runtime& rt, const graph::WEdgeList& el,
           auto cb = cand.local_span(me);
           auto db = d.local_span(me);
           const std::uint64_t base = d.block_begin(me);
+          // Direct local writes to D are checksum commit points.
+          const bool track = d.integrity_tracking_thread(me);
           roots.clear();
           rpar.clear();
           rkey.clear();
           for (std::size_t k = 0; k < cb.size(); ++k) {
             if (cb[k].key == kInfKey) continue;
             // Targets of SetDMin are star roots, so base+k is a root.
+            if (track) d.integrity_note(me, base + k, db[k], cb[k].parent);
             db[k] = cb[k].parent;
             roots.push_back(base + k);
             rpar.push_back(cb[k].parent);
@@ -234,6 +279,9 @@ ParMstResult mst_pgas(pgas::Runtime& rt, const graph::WEdgeList& el,
           for (std::size_t k = 0; k < roots.size(); ++k) {
             const bool two_cycle = grand[k] == roots[k];
             if (two_cycle && roots[k] < rpar[k]) {
+              if (track)
+                d.integrity_note(me, roots[k], db[roots[k] - base],
+                                 roots[k]);
               db[roots[k] - base] = roots[k];  // stay root, unmark
               continue;
             }

@@ -12,6 +12,10 @@ struct MstOptions {
   coll::CollectiveOptions coll = coll::CollectiveOptions::optimized();
   bool compact = true;
   int max_iters = 0;
+  /// At-rest integrity: scrub the label array every k real loop trips
+  /// (0 = off); checkpoints/mirrors only refresh on scrub-validated trips.
+  /// See CcOptions::scrub_interval and docs/ROBUSTNESS.md.
+  int scrub_interval = 0;
 
   static MstOptions base() {
     MstOptions o;

@@ -46,9 +46,13 @@ inline bool jump_round(pgas::ThreadCtx& ctx,
   ws.invalidate_keys();  // parents change every round
   coll::getd(ctx, d, par, std::span<std::uint64_t>(grand), copt, cc, ws,
              known);
+  // Direct local writes are a checksum commit point for scrubbed arrays.
+  const bool track = d.integrity_tracking_thread(ctx.id());
+  const std::uint64_t base = d.block_begin(ctx.id());
   bool changed = false;
   for (std::size_t k = 0; k < par.size(); ++k) {
     if (grand[k] != par[k]) {
+      if (track) d.integrity_note(ctx.id(), base + k, par[k], grand[k]);
       blk[k] = grand[k];
       changed = true;
     }

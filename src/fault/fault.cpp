@@ -17,6 +17,7 @@ enum Stream : std::uint64_t {
   kStreamStraggle = 0x55,
   kStreamOutage = 0x66,
   kStreamLoss = 0x77,
+  kStreamMemFlip = 0x88,
 };
 
 }  // namespace
@@ -48,6 +49,7 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::Outage: return "outage";
     case FaultKind::RetryExhausted: return "retry-exhausted";
     case FaultKind::PermanentLoss: return "permanent-loss";
+    case FaultKind::MemoryCorrupt: return "memory-corrupt";
   }
   return "?";
 }
@@ -94,6 +96,17 @@ FaultConfig FaultConfig::parse(const std::string& spec, std::uint64_t seed) {
     else if (key == "outage_k") cfg.outage_k = static_cast<int>(v);
     else if (key == "loss_at") cfg.loss_at = static_cast<std::uint64_t>(v);
     else if (key == "loss_node") cfg.loss_node = static_cast<int>(v);
+    else if (key == "mem_flip_at") cfg.mem_flip_at = static_cast<std::uint64_t>(v);
+    else if (key == "mem_flips") {
+      if (v < 0.0)
+        throw std::invalid_argument("faults: mem_flips must be >= 0");
+      cfg.mem_flips = static_cast<int>(v);
+    }
+    else if (key == "mem_flip_mirror") {
+      if (v != 0.0 && v != 1.0)
+        throw std::invalid_argument("faults: mem_flip_mirror must be 0 or 1");
+      cfg.mem_flip_mirror = v != 0.0;
+    }
     else if (key == "retries") cfg.max_retries = static_cast<int>(v);
     else if (key == "timeout_ns") cfg.ack_timeout_ns = v;
     else if (key == "backoff_ns") cfg.retry_backoff_ns = v;
@@ -118,6 +131,9 @@ FaultConfig FaultConfig::parse(const std::string& spec, std::uint64_t seed) {
   if (cfg.loss_at == 0 && cfg.loss_node >= 0)
     throw std::invalid_argument(
         "faults: loss_node requires loss_at > 0");
+  if (cfg.mem_flip_at == 0 && cfg.mem_flip_mirror)
+    throw std::invalid_argument(
+        "faults: mem_flip_mirror requires mem_flip_at > 0");
   cfg.max_retries = std::max(cfg.max_retries, 0);
   return cfg;
 }
@@ -183,6 +199,32 @@ int FaultInjector::perm_lost_node(int nodes, std::uint64_t epoch) const {
 
 void FaultInjector::raise_loss_event() {
   c_loss_events_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::uint64_t FaultInjector::mem_flip_word(std::uint64_t epoch, int k,
+                                           int salt) const {
+  return draw(kStreamMemFlip, epoch, static_cast<std::uint64_t>(k),
+              static_cast<std::uint64_t>(salt));
+}
+
+void FaultInjector::count_mem_flips(std::uint64_t n) {
+  c_mem_flips_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void FaultInjector::count_scrub_pass() {
+  c_scrub_passes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::count_scrub_detected(std::uint64_t n) {
+  c_scrub_detected_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void FaultInjector::count_scrub_heals(std::uint64_t n) {
+  c_scrub_heals_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void FaultInjector::raise_scrub_event() {
+  c_scrub_events_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 ExchangeFaults FaultInjector::apply_exchange(
@@ -359,6 +401,11 @@ FaultCounters FaultInjector::counters() const {
   c.replications = c_replications_.load(std::memory_order_relaxed);
   c.replica_bytes = c_replica_bytes_.load(std::memory_order_relaxed);
   c.promoted_bytes = c_promoted_bytes_.load(std::memory_order_relaxed);
+  c.mem_flips = c_mem_flips_.load(std::memory_order_relaxed);
+  c.scrub_passes = c_scrub_passes_.load(std::memory_order_relaxed);
+  c.scrub_detected = c_scrub_detected_.load(std::memory_order_relaxed);
+  c.scrub_heals = c_scrub_heals_.load(std::memory_order_relaxed);
+  c.scrub_events = c_scrub_events_.load(std::memory_order_acquire);
   return c;
 }
 
@@ -381,6 +428,11 @@ void FaultInjector::reset_counters() {
   c_replications_ = 0;
   c_replica_bytes_ = 0;
   c_promoted_bytes_ = 0;
+  c_mem_flips_ = 0;
+  c_scrub_passes_ = 0;
+  c_scrub_detected_ = 0;
+  c_scrub_heals_ = 0;
+  c_scrub_events_ = 0;
   std::lock_guard<std::mutex> lock(corrupt_mu_);
   corrupt_events_.clear();
 }

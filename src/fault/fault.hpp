@@ -53,6 +53,7 @@ enum class FaultKind : std::uint8_t {
   Outage,
   RetryExhausted,
   PermanentLoss,  ///< node never comes back; runtime shrank to the buddy
+  MemoryCorrupt,  ///< at-rest bit flip that could not be healed
 };
 
 const char* fault_kind_name(FaultKind k);
@@ -104,6 +105,15 @@ struct FaultConfig {
   std::uint64_t loss_at = 0;
   int loss_node = -1;
 
+  // One-shot silent memory corruption: at the barrier closing epoch
+  // `mem_flip_at` the runtime flips `mem_flips` seeded bits in resident
+  // GlobalArray partitions (`mem_flip_mirror=1` targets the buddy mirrors
+  // instead).  0 disables.  Detection/repair is the scrub protocol
+  // (docs/ROBUSTNESS.md "At-rest integrity").
+  std::uint64_t mem_flip_at = 0;
+  int mem_flips = 1;
+  bool mem_flip_mirror = false;
+
   // Recovery protocol (modeled time).
   int max_retries = 6;
   double ack_timeout_ns = 8000.0;
@@ -120,12 +130,14 @@ struct FaultConfig {
 
   bool corruption_enabled() const { return corrupt_p > 0.0; }
   bool loss_enabled() const { return loss_at > 0; }
+  bool mem_flips_enabled() const { return mem_flip_at > 0 && mem_flips > 0; }
   bool network_faults() const {
     return drop_p > 0.0 || dup_p > 0.0 || delay_p > 0.0 || outage_every > 0 ||
            loss_at > 0;
   }
   bool any_faults() const {
-    return network_faults() || corruption_enabled() || straggle_p > 0.0;
+    return network_faults() || corruption_enabled() || straggle_p > 0.0 ||
+           mem_flips_enabled();
   }
   double backoff_ns_for(int attempt) const;
 
@@ -160,6 +172,12 @@ struct FaultCounters {
   std::uint64_t replications = 0;  ///< buddy replication passes completed
   std::uint64_t replica_bytes = 0; ///< bytes mirrored to buddies
   std::uint64_t promoted_bytes = 0;///< mirror bytes promoted at a shrink
+  std::uint64_t mem_flips = 0;     ///< at-rest bits flipped by the injector
+  std::uint64_t scrub_passes = 0;  ///< Runtime::scrub collectives completed
+  std::uint64_t scrub_detected = 0;///< partitions caught with bad checksums
+  std::uint64_t scrub_heals = 0;   ///< partitions healed from buddy mirrors
+  std::uint64_t scrub_events = 0;  ///< scrub recovery events (rollback
+                                   ///< triggers for checkpointing loops)
 };
 
 /// What one fault pass over an exchange plan produced: the retryable lost
@@ -222,10 +240,29 @@ class FaultInjector {
   std::uint64_t loss_events() const {
     return c_loss_events_.load(std::memory_order_acquire);
   }
-  /// Rollback triggers for checkpointing loops: outage windows that ended
-  /// plus shrink events.
+  /// Rollback triggers for checkpointing loops: outage windows that ended,
+  /// shrink events, and scrub heals (a heal restores checkpoint-time bytes,
+  /// so the loop must rewind to that checkpoint for consistency).
   std::uint64_t recovery_events() const {
-    return outage_events() + loss_events();
+    return outage_events() + loss_events() + scrub_events();
+  }
+
+  // --- at-rest memory corruption ----------------------------------------
+  /// Seeded draw for the k-th memory bit flip of `epoch`; `salt`
+  /// distinguishes independent sub-draws (victim pick vs. bit pick).  The
+  /// runtime maps the value onto a (site, thread, byte, bit) target.
+  std::uint64_t mem_flip_word(std::uint64_t epoch, int k, int salt) const;
+  void count_mem_flips(std::uint64_t n);
+
+  // --- scrub protocol ---------------------------------------------------
+  void count_scrub_pass();
+  void count_scrub_detected(std::uint64_t n);
+  void count_scrub_heals(std::uint64_t n);
+  /// One per scrub pass that healed at least one partition; feeds
+  /// recovery_events() so checkpoint loops roll back after a heal.
+  void raise_scrub_event();
+  std::uint64_t scrub_events() const {
+    return c_scrub_events_.load(std::memory_order_acquire);
   }
 
   // --- stragglers -------------------------------------------------------
@@ -293,6 +330,11 @@ class FaultInjector {
   std::atomic<std::uint64_t> c_replications_{0};
   std::atomic<std::uint64_t> c_replica_bytes_{0};
   std::atomic<std::uint64_t> c_promoted_bytes_{0};
+  std::atomic<std::uint64_t> c_mem_flips_{0};
+  std::atomic<std::uint64_t> c_scrub_passes_{0};
+  std::atomic<std::uint64_t> c_scrub_detected_{0};
+  std::atomic<std::uint64_t> c_scrub_heals_{0};
+  std::atomic<std::uint64_t> c_scrub_events_{0};
 };
 
 }  // namespace pgraph::fault

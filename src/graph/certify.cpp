@@ -1,0 +1,228 @@
+#include "graph/certify.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "graph/rng.hpp"
+
+namespace pgraph::graph {
+
+namespace {
+
+std::string at_vertex(const char* what, std::uint64_t v) {
+  return std::string(what) + " at vertex " + std::to_string(v);
+}
+
+std::string at_edge(const char* what, std::uint64_t id) {
+  return std::string(what) + " at edge " + std::to_string(id);
+}
+
+/// Plain union-find with path halving (host-side checker, not modeled).
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Returns false if x and y were already in the same set.
+  bool unite(std::size_t x, std::size_t y) {
+    x = find(x);
+    y = find(y);
+    if (x == y) return false;
+    parent_[std::max(x, y)] = std::min(x, y);
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+CertifyReport certify_cc(const EdgeList& el,
+                         std::span<const std::uint64_t> labels,
+                         std::uint64_t num_components, std::uint64_t seed,
+                         std::size_t edge_samples) {
+  CertifyReport rep;
+  const std::size_t n = el.n;
+
+  ++rep.checks;
+  if (labels.size() != n) {
+    rep.fail("label vector size " + std::to_string(labels.size()) +
+             " != n " + std::to_string(n));
+    return rep;  // nothing below is meaningful
+  }
+
+  // Rooted forest shape: in-range, monotone, converged to stars.
+  std::uint64_t roots = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    ++rep.checks;
+    const std::uint64_t l = labels[v];
+    if (l >= n) {
+      rep.fail(at_vertex("label out of range", v));
+      continue;
+    }
+    if (l > v) {
+      rep.fail(at_vertex("label exceeds vertex id (monotone hooking)", v));
+      continue;
+    }
+    if (labels[l] != l) {
+      rep.fail(at_vertex("label is not a root (not a rooted star)", v));
+      continue;
+    }
+    if (l == v) ++roots;
+  }
+
+  ++rep.checks;
+  if (rep.failures == 0 && roots != num_components)
+    rep.fail("root count " + std::to_string(roots) +
+             " != reported num_components " +
+             std::to_string(num_components));
+
+  // Edge consistency on a deterministic sample (0 = exhaustive).
+  const std::size_t m = el.m();
+  if (m > 0 && rep.failures == 0) {
+    Xoshiro256 rng(seed ^ 0x63657274ULL /* "cert" */);
+    const std::size_t trials =
+        edge_samples == 0 ? m : std::min(edge_samples, m);
+    for (std::size_t t = 0; t < trials; ++t) {
+      const std::size_t k = edge_samples == 0 ? t : rng.next_below(m);
+      const Edge& e = el.edges[k];
+      ++rep.checks;
+      if (e.u >= n || e.v >= n) {
+        rep.fail(at_edge("endpoint out of range", k));
+        continue;
+      }
+      if (labels[e.u] != labels[e.v])
+        rep.fail(at_edge("endpoints carry different labels", k));
+    }
+  }
+  return rep;
+}
+
+CertifyReport certify_mst(const WEdgeList& el,
+                          std::span<const std::uint64_t> mst_edge_ids,
+                          std::uint64_t total_weight, std::uint64_t seed,
+                          std::size_t cycle_samples) {
+  CertifyReport rep;
+  const std::size_t n = el.n;
+  const std::size_t m = el.m();
+
+  // Shape: ids in range and unique.
+  std::vector<unsigned char> in_tree(m, 0);
+  for (std::uint64_t id : mst_edge_ids) {
+    ++rep.checks;
+    if (id >= m) {
+      rep.fail(at_edge("tree edge id out of range", id));
+      return rep;
+    }
+    if (in_tree[id]) {
+      rep.fail(at_edge("duplicate tree edge", id));
+      return rep;
+    }
+    in_tree[id] = 1;
+  }
+
+  // Acyclic + weight cross-sum in one pass.
+  UnionFind uf(n);
+  std::uint64_t weight_sum = 0;
+  for (std::uint64_t id : mst_edge_ids) {
+    const WEdge& e = el.edges[id];
+    ++rep.checks;
+    if (e.u >= n || e.v >= n) {
+      rep.fail(at_edge("tree edge endpoint out of range", id));
+      return rep;
+    }
+    if (!uf.unite(e.u, e.v)) {
+      rep.fail(at_edge("tree edge closes a cycle", id));
+      return rep;
+    }
+    weight_sum += e.w;
+  }
+  ++rep.checks;
+  if (weight_sum != total_weight)
+    rep.fail("tree weight cross-sum " + std::to_string(weight_sum) +
+             " != reported total " + std::to_string(total_weight));
+
+  // Spanning / maximal: no graph edge may cross between two trees.
+  for (std::size_t k = 0; k < m; ++k) {
+    const WEdge& e = el.edges[k];
+    ++rep.checks;
+    if (e.u >= n || e.v >= n) {
+      rep.fail(at_edge("endpoint out of range", k));
+      return rep;
+    }
+    if (uf.find(e.u) != uf.find(e.v)) {
+      rep.fail(at_edge("forest is not maximal: edge crosses trees", k));
+      return rep;
+    }
+  }
+
+  // Cycle-property spot check on sampled non-tree edges: in mst_pgas's
+  // deterministic tie order (key = weight << 32 | id), a non-tree edge must
+  // be the strict maximum on the tree cycle it closes.
+  if (cycle_samples > 0 && n > 0 && rep.failures == 0) {
+    // Forest adjacency: vertex -> (neighbour, key).
+    std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> adj(n);
+    for (std::uint64_t id : mst_edge_ids) {
+      const WEdge& e = el.edges[id];
+      const std::uint64_t key = (e.w << 32) | id;
+      adj[e.u].push_back({e.v, key});
+      adj[e.v].push_back({e.u, key});
+    }
+    std::vector<std::uint64_t> prev_key(n, 0);
+    std::vector<std::uint64_t> prev_vertex(n, 0);
+    std::vector<unsigned char> seen(n, 0);
+    std::vector<std::uint64_t> stack;
+    Xoshiro256 rng(seed ^ 0x6d737463ULL /* "mstc" */);
+    for (std::size_t t = 0; t < cycle_samples && m > 0; ++t) {
+      const std::size_t k = rng.next_below(m);
+      if (in_tree[k]) continue;  // sample is over non-tree edges only
+      const WEdge& e = el.edges[k];
+      if (e.u == e.v) continue;  // self loop closes no real cycle
+      // DFS from u to v through the forest, tracking the max key by
+      // back-walking the parent chain once v is reached.
+      std::fill(seen.begin(), seen.end(), 0);
+      stack.clear();
+      stack.push_back(e.u);
+      seen[e.u] = 1;
+      while (!stack.empty()) {
+        const std::uint64_t x = stack.back();
+        stack.pop_back();
+        if (x == e.v) break;
+        for (const auto& [y, key] : adj[x]) {
+          if (seen[y]) continue;
+          seen[y] = 1;
+          prev_vertex[y] = x;
+          prev_key[y] = key;
+          stack.push_back(y);
+        }
+      }
+      ++rep.checks;
+      if (!seen[e.v]) {
+        rep.fail(at_edge("no tree path between endpoints", k));
+        continue;
+      }
+      std::uint64_t path_max = 0;
+      for (std::uint64_t x = e.v; x != e.u; x = prev_vertex[x])
+        path_max = std::max(path_max, prev_key[x]);
+      const std::uint64_t ekey = (e.w << 32) | k;
+      if (ekey <= path_max)
+        rep.fail(at_edge("cycle property violated: non-tree edge is not "
+                         "the max of its cycle",
+                         k));
+    }
+  }
+  return rep;
+}
+
+}  // namespace pgraph::graph

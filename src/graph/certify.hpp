@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace pgraph::graph {
+
+/// Outcome of one certifying output verifier (docs/ROBUSTNESS.md,
+/// "At-rest integrity").  Certifiers are host-side sequential code run
+/// *after* a parallel kernel: they cross-check the published answer against
+/// the input with independent logic, so silent data corruption that slipped
+/// past the scrubber still cannot reach a consumer unflagged.
+struct CertifyReport {
+  bool ok = true;
+  std::uint64_t checks = 0;    ///< individual assertions evaluated
+  std::uint64_t failures = 0;  ///< assertions that failed
+  std::string detail;          ///< first failure, human-readable
+
+  void fail(std::string why) {
+    ok = false;
+    ++failures;
+    if (detail.empty()) detail = std::move(why);
+  }
+};
+
+/// Certify a connected-components labelling.  Checks, in order:
+///  - shape: one label per vertex, every label in range;
+///  - rooted forest: labels converged to rooted stars
+///    (labels[labels[v]] == labels[v]) with monotone roots
+///    (labels[v] <= v, the CC hooking invariant);
+///  - component count: #{v : labels[v] == v} == num_components;
+///  - edge consistency: every edge in a deterministic sample of
+///    `edge_samples` edges (seed-driven) has both endpoints under the same
+///    label.  edge_samples == 0 checks ALL edges.
+CertifyReport certify_cc(const EdgeList& el,
+                         std::span<const std::uint64_t> labels,
+                         std::uint64_t num_components, std::uint64_t seed,
+                         std::size_t edge_samples);
+
+/// Certify a spanning-forest / MST answer (edge ids into `el`).  Checks:
+///  - shape: ids in range, no duplicates;
+///  - acyclic: union-find over the tree edges never closes a cycle;
+///  - spanning: after the union pass, every graph edge connects vertices
+///    of the same tree (the forest is maximal — no cut is left uncrossed);
+///  - weight cross-sum: the tree edges' weights sum to total_weight;
+///  - cycle property spot check: for a deterministic sample of
+///    `cycle_samples` non-tree edges, the edge's packed key
+///    (weight << 32 | id) strictly exceeds every key on the tree path
+///    between its endpoints (ties broken by id, matching mst_pgas).
+CertifyReport certify_mst(const WEdgeList& el,
+                          std::span<const std::uint64_t> mst_edge_ids,
+                          std::uint64_t total_weight, std::uint64_t seed,
+                          std::size_t cycle_samples);
+
+}  // namespace pgraph::graph

@@ -22,6 +22,9 @@ std::string BenchArgs::try_parse(int argc, char** argv, BenchArgs& out,
   bool saw_deadline = false;
   bool saw_retry_budget = false;
   bool saw_brownout = false;
+  bool saw_scrub_interval = false;
+  bool saw_certify = false;
+  bool saw_mem_flips = false;
   std::string err;
   for (int i = 1; i < argc && err.empty(); ++i) {
     const auto is = [&](const char* flag) {
@@ -89,16 +92,27 @@ std::string BenchArgs::try_parse(int argc, char** argv, BenchArgs& out,
     } else if (is("--brownout")) {
       a.brownout = std::atoi(next());
       saw_brownout = true;
+    } else if (is("--scrub-interval")) {
+      a.scrub_interval = std::atoi(next());
+      saw_scrub_interval = true;
+    } else if (is("--certify")) {
+      a.certify = std::atoi(next());
+      saw_certify = true;
+    } else if (is("--mem-flips")) {
+      a.mem_flips = std::atoi(next());
+      saw_mem_flips = true;
     } else if (is("--help") || is("-h")) {
       std::printf(
           "flags: --n N --m M --nodes P --threads T --tprime T' "
           "--seed S --scale F --csv --json PATH --trace PATH "
-          "--faults SPEC --fault-seed S --digest%s%s\n",
+          "--faults SPEC --fault-seed S --digest%s%s%s\n",
           caps.stream ? " --stream --batch-size OPS --query-mix F" : "",
           caps.serve ? " --sessions K --arrival-rate RPS --skew S"
                        " --batch-window-ns NS --deadline-ns NS"
                        " --retry-budget TOK --brownout 0|1"
-                     : "");
+                     : "",
+          caps.robust ? " --scrub-interval K --certify 0|1 --mem-flips N"
+                      : "");
       std::exit(0);
     } else {
       err = std::string("unknown flag ") + argv[i] + " (try --help)";
@@ -156,6 +170,21 @@ std::string BenchArgs::try_parse(int argc, char** argv, BenchArgs& out,
     return "--retry-budget must be finite and >= 0 (0 = never retry)";
   if (saw_brownout && a.brownout != 0 && a.brownout != 1)
     return "--brownout must be 0 or 1";
+
+  // Robustness flags: same policy again — reject on non-robust benches,
+  // validate ranges eagerly.
+  if (!caps.robust) {
+    if (saw_scrub_interval)
+      return "--scrub-interval is not supported by this bench";
+    if (saw_certify) return "--certify is not supported by this bench";
+    if (saw_mem_flips) return "--mem-flips is not supported by this bench";
+  }
+  if (saw_scrub_interval && a.scrub_interval < 0)
+    return "--scrub-interval must be >= 0 (0 = off)";
+  if (saw_certify && a.certify != 0 && a.certify != 1)
+    return "--certify must be 0 or 1";
+  if (saw_mem_flips && a.mem_flips < 0)
+    return "--mem-flips must be >= 0 (0 = no injection)";
 
   // Fail fast on a bad fault plan: parse the spec now, and when the node
   // count is known at the command line, reject plans that the topology

@@ -12,6 +12,8 @@ struct BenchCaps {
   bool stream = false;  ///< bench understands --stream / --batch-size / --query-mix
   bool serve = false;   ///< bench understands --sessions / --arrival-rate /
                         ///< --skew / --batch-window-ns
+  bool robust = false;  ///< bench understands --scrub-interval / --certify /
+                        ///< --mem-flips (at-rest integrity knobs)
 };
 
 /// Common CLI flags for bench binaries, so every figure can be re-run at
@@ -52,6 +54,14 @@ struct BenchCaps {
 ///                            must be finite and >= 0; 0 = never retry)
 ///   --brownout <0|1>        (serve stale answers from the previous epoch
 ///                            under breaker/queue pressure)
+///
+/// Robustness benches (BenchCaps::robust) additionally accept:
+///   --scrub-interval <k>  (scrub resident partitions every k loop trips;
+///                          must be >= 0; 0 = off)
+///   --certify <0|1>       (run certifying output verifiers / epoch
+///                          re-digests after the kernel)
+///   --mem-flips <n>       (bit flips injected by the bench's fault plan;
+///                          must be >= 0; 0 = no injection)
 struct BenchArgs {
   std::uint64_t n = 0;  ///< 0 = bench default
   std::uint64_t m = 0;
@@ -76,6 +86,9 @@ struct BenchArgs {
   double deadline_ns = 0.0;     ///< 0 = bench default (flag must be > 0)
   double retry_budget = -1.0;   ///< < 0 = bench default (flag must be >= 0)
   int brownout = -1;            ///< -1 = bench default (flag must be 0 or 1)
+  int scrub_interval = -1;      ///< -1 = bench default (flag must be >= 0)
+  int certify = -1;             ///< -1 = bench default (flag must be 0 or 1)
+  int mem_flips = -1;           ///< -1 = bench default (flag must be >= 0)
 
   /// Parse into `out`.  Returns an empty string on success and the error
   /// message (flag included) on failure; `out` is unspecified on failure.

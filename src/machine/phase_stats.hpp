@@ -15,12 +15,23 @@ namespace pgraph::machine {
 ///   Irregular - reordering retrieved elements to the request order
 ///   Setup     - building the SMatrix/PMatrix communication matrices
 ///   Work      - allocation, initialization, target-thread-id computation
-enum class Cat : std::uint8_t { Comm = 0, Sort, Copy, Irregular, Setup, Work };
+/// plus one category the paper does not have:
+///   Scrub     - integrity scrubbing of resident partitions (re-walking
+///               chunks, verifying checksums, healing from mirrors)
+enum class Cat : std::uint8_t {
+  Comm = 0,
+  Sort,
+  Copy,
+  Irregular,
+  Setup,
+  Work,
+  Scrub
+};
 
-inline constexpr std::size_t kNumCats = 6;
+inline constexpr std::size_t kNumCats = 7;
 
 inline constexpr std::array<std::string_view, kNumCats> kCatNames = {
-    "Comm", "Sort", "Copy", "Irregular", "Setup", "Work"};
+    "Comm", "Sort", "Copy", "Irregular", "Setup", "Work", "Scrub"};
 
 constexpr std::string_view cat_name(Cat c) {
   return kCatNames[static_cast<std::size_t>(c)];

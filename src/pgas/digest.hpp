@@ -34,4 +34,32 @@ inline std::uint64_t element_digest(std::uint64_t index, const void* p,
   return acc;
 }
 
+/// Additive chunk checksum: the plain sum of per-element digests over a
+/// contiguous run of `count` elements starting at global index `first`.
+/// Because the combiner is + (commutative, invertible), the sum supports
+/// O(1) incremental maintenance at write-commit points:
+///
+///   sum += element_digest(i, new) - element_digest(i, old)
+///
+/// and is order-independent: any permutation of the same final writes
+/// yields the same sum.  The scrubber re-walks the chunk with this exact
+/// function and compares — a mismatch means bytes changed outside any
+/// tracked commit point, i.e. silent corruption.
+inline std::uint64_t chunk_digest(std::uint64_t first, const void* p,
+                                  std::size_t elem_bytes, std::size_t count) {
+  std::uint64_t sum = 0;
+  const auto* b = static_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < count; ++i)
+    sum += element_digest(first + i, b + i * elem_bytes, elem_bytes);
+  return sum;
+}
+
+/// Delta to apply to a chunk checksum when element `index` transitions
+/// from `old_bytes` to `new_bytes` (both `bytes` long).
+inline std::uint64_t digest_delta(std::uint64_t index, const void* old_bytes,
+                                  const void* new_bytes, std::size_t bytes) {
+  return element_digest(index, new_bytes, bytes) -
+         element_digest(index, old_bytes, bytes);
+}
+
 }  // namespace pgraph::pgas

@@ -20,13 +20,16 @@ namespace pgraph::pgas {
 /// as an exchange message to the buddy's leader thread, both on the
 /// modeled clock.
 ///
-/// No-op unless a fault plan with loss_at > 0 is attached, so zero-loss
-/// runs stay bit-identical to fault-free ones (the invariance rule of
-/// docs/ROBUSTNESS.md).
+/// No-op unless a fault plan with loss_at > 0 or a memory-flip plan is
+/// attached (mirrors are the scrubber's heal source, so bit-flip plans
+/// keep them fresh too), so zero-loss runs stay bit-identical to
+/// fault-free ones (the invariance rule of docs/ROBUSTNESS.md).
 inline void replicate_to_buddy(ThreadCtx& ctx) {
   Runtime& rt = ctx.runtime();
   fault::FaultInjector* finj = rt.fault_injector();
-  if (finj == nullptr || finj->config().loss_at == 0) return;
+  if (finj == nullptr || !(finj->config().loss_enabled() ||
+                           finj->config().mem_flips_enabled()))
+    return;
   const Topology& topo = ctx.topo();
   if (topo.live_node_count() < 2) return;
   // Both early-outs above depend only on process-global state, so they are
@@ -44,7 +47,10 @@ inline void replicate_to_buddy(ThreadCtx& ctx) {
   const int me = ctx.id();
   std::size_t bytes = 0;
   for (ReplicaSite* site : rt.replica_sites()) {
-    site->replica_snapshot_thread(me);
+    // A refused seal means corruption landed since the scrub compare: the
+    // old mirror stays authoritative, and the flag below turns into a
+    // detection + recovery event at the next barrier completion.
+    if (!site->replica_snapshot_thread(me)) rt.note_corruption();
     bytes += site->replica_thread_bytes(me);
   }
   // Local half: stream the blocks out of DRAM and into the mirror.

@@ -193,6 +193,13 @@ void ThreadCtx::exchange_barrier() {
   // of this barrier observes it and throws together (collective failure;
   // Runtime::run unwinds without deadlock).
   if (rt_->fault_failed_.load(std::memory_order_relaxed)) {
+    if (rt_->mirror_poisoned_.load(std::memory_order_relaxed)) {
+      throw fault::FaultError(
+          fault::FaultKind::MemoryCorrupt,
+          "buddy mirror failed checksum validation at promotion; refusing "
+          "to resume on poisoned replica bytes (epoch " +
+              std::to_string(rt_->epoch_) + ")");
+    }
     throw fault::FaultError(
         fault::FaultKind::RetryExhausted,
         "exchange retransmission retries exhausted (epoch " +
@@ -237,6 +244,8 @@ Runtime::~Runtime() {
 void Runtime::run(const std::function<void(ThreadCtx&)>& f) {
   const int s = topo_.total_threads();
   fault_failed_.store(false, std::memory_order_relaxed);
+  mirror_poisoned_.store(false, std::memory_order_relaxed);
+  corrupt_index_.store(false, std::memory_order_relaxed);
 #ifdef PGRAPH_CHECK_ACCESS
   // Re-baseline the conformance verifier on this runtime's saved stats
   // (what each ThreadCtx starts from) and clear stale fingerprints, so
@@ -338,6 +347,8 @@ void Runtime::set_fault_injector(fault::FaultInjector* inj) {
   }
   fault_ = inj;
   fault_failed_.store(false, std::memory_order_relaxed);
+  mirror_poisoned_.store(false, std::memory_order_relaxed);
+  corrupt_index_.store(false, std::memory_order_relaxed);
   trace_prev_faults_ =
       inj != nullptr ? inj->counters() : fault::FaultCounters{};
 }
@@ -383,6 +394,8 @@ void Runtime::reset_costs() {
   trace_prev_faults_ =
       fault_ != nullptr ? fault_->counters() : fault::FaultCounters{};
   fault_failed_.store(false, std::memory_order_relaxed);
+  mirror_poisoned_.store(false, std::memory_order_relaxed);
+  corrupt_index_.store(false, std::memory_order_relaxed);
   // An attached sink baselines its deltas on cumulative stats; tell it the
   // clocks restarted so it can re-baseline (and rebase its timeline).
   if (sink_ != nullptr) sink_->on_reset();
@@ -435,6 +448,25 @@ bool Runtime::try_shrink_after_exhaustion(
     if (!replica_sites_.empty() &&
         !replicas_valid_.load(std::memory_order_acquire))
       return false;
+    // Validate every mirror checksum before touching anything: a mirror
+    // that rotted since its snapshot must never be promoted (the bytes
+    // would silently poison the survivors).  The re-walk is charged below
+    // as a streamed read of the candidate bytes; failure surfaces as a
+    // collective FaultError{MemoryCorrupt} instead of RetryExhausted.
+    std::size_t verify_bytes = 0;
+    bool poisoned = false;
+    for (int t = 0; t < topo_.total_threads(); ++t) {
+      if (topo_.node_of(t) != lost) continue;
+      for (ReplicaSite* site : replica_sites_) {
+        verify_bytes += site->replica_thread_bytes(t);
+        if (!site->mirror_checksum_ok(t)) poisoned = true;
+      }
+    }
+    exch_dur += mem_model_.seq_ns(verify_bytes);
+    if (poisoned) {
+      mirror_poisoned_.store(true, std::memory_order_relaxed);
+      return false;
+    }
     // Promote the buddy's mirrors: the dead node's partitions reappear as
     // the checkpoint-time copies the buddy holds.  Threads are parked in
     // the barrier, so the restore is ordered against all of them.
@@ -464,6 +496,140 @@ bool Runtime::try_shrink_after_exhaustion(
   fault_->raise_loss_event();
   loss_throw_epoch_ = epoch_;
   return true;
+}
+
+bool Runtime::mem_guard_active() const {
+  return fault_ != nullptr && fault_->armed() &&
+         fault_->config().mem_flips_enabled();
+}
+
+void Runtime::apply_mem_flips() {
+  const fault::FaultConfig& cfg = fault_->config();
+  // Enumerate the flippable byte ranges: scrub-tracked partitions, or the
+  // buddy mirrors when the plan targets them.  Completion step: threads
+  // are parked, so plain writes are ordered against all of them.
+  struct Target {
+    unsigned char* p;
+    std::size_t len;
+  };
+  std::vector<Target> targets;
+  std::size_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(replica_mu_);
+    for (ReplicaSite* site : replica_sites_) {
+      for (int t = 0; t < topo_.total_threads(); ++t) {
+        const std::span<unsigned char> sp = cfg.mem_flip_mirror
+                                                ? site->mirror_bytes(t)
+                                                : site->partition_bytes(t);
+        if (sp.empty()) continue;
+        targets.push_back({sp.data(), sp.size()});
+        total += sp.size();
+      }
+    }
+  }
+  if (total == 0) return;
+  std::uint64_t flipped = 0;
+  for (int k = 0; k < cfg.mem_flips; ++k) {
+    // Two independent sub-draws per flip: the victim byte (uniform over
+    // every resident byte) and the bit within it.
+    std::uint64_t off = fault_->mem_flip_word(epoch_, k, 0) % total;
+    const int bit = static_cast<int>(fault_->mem_flip_word(epoch_, k, 1) & 7);
+    for (const Target& tg : targets) {
+      if (off < tg.len) {
+        tg.p[off] ^= static_cast<unsigned char>(1u << bit);
+        ++flipped;
+        break;
+      }
+      off -= tg.len;
+    }
+  }
+  if (flipped > 0) fault_->count_mem_flips(flipped);
+}
+
+void Runtime::scrub(ThreadCtx& ctx) {
+  const int me = ctx.id();
+  const std::vector<ReplicaSite*> sites = replica_sites();
+  // Snapshot the unhealable counter BEFORE the entry barrier: between the
+  // previous pass's visibility barrier and this one nobody mutates it, so
+  // every thread reads the same value.  Reading it after the entry barrier
+  // would race with fast threads already in their walk phase -- a slow
+  // thread could observe their fetch_adds, conclude bad_total == bad0, and
+  // skip the collective throw the rest of the pass takes (deadlock at the
+  // next barrier).
+  const std::uint64_t bad0 =
+      scrub_unhealable_.load(std::memory_order_acquire);
+  ctx.barrier();  // entry: prior-pass contributions quiescent
+  std::size_t walked = 0;
+  std::uint64_t det = 0;
+  std::uint64_t heal = 0;
+  std::uint64_t bad = 0;
+  for (ReplicaSite* site : sites) {
+    const std::size_t bytes = site->replica_thread_bytes(me);
+    if (bytes == 0 || !(site->integrity_tracking_thread(me) ||
+                        !site->partition_bytes(me).empty()))
+      continue;
+    walked += bytes;
+    if (site->scrub_thread(me) == ReplicaSite::ScrubState::Corrupt) {
+      ++det;
+      if (site->heal_thread(me)) {
+        // Heal: one streamed read of the mirror plus a write of the block.
+        ctx.mem_seq(2 * bytes, machine::Cat::Scrub);
+        ++heal;
+      } else {
+        // No validated mirror: drop the baseline so the next pass records
+        // a fresh one, and leave the repair to the checkpoint-rollback
+        // path (the scrub event below triggers it).
+        site->integrity_invalidate_thread(me);
+        ++bad;
+      }
+    }
+  }
+  // The re-walk itself: a sequential stream over every scrubbed byte.
+  if (walked > 0) ctx.mem_seq(walked, machine::Cat::Scrub);
+  if (det > 0) scrub_detected_.fetch_add(det, std::memory_order_acq_rel);
+  if (heal > 0) scrub_healed_.fetch_add(heal, std::memory_order_acq_rel);
+  if (bad > 0) scrub_unhealable_.fetch_add(bad, std::memory_order_acq_rel);
+  ctx.barrier();  // every thread's contribution is visible
+  const std::uint64_t bad_total =
+      scrub_unhealable_.load(std::memory_order_acquire);
+  if (me == 0) {
+    const std::uint64_t d = scrub_detected_.load(std::memory_order_acquire);
+    const std::uint64_t h = scrub_healed_.load(std::memory_order_acquire);
+    if (fault_ != nullptr) {
+      fault_->count_scrub_pass();
+      if (d > scrub_seen_detected_)
+        fault_->count_scrub_detected(d - scrub_seen_detected_);
+      if (h > scrub_seen_healed_)
+        fault_->count_scrub_heals(h - scrub_seen_healed_);
+      // One recovery event per pass that found anything: healed bytes are
+      // checkpoint-time bytes and unhealable ones need the checkpoint
+      // restore, so either way the loop must roll back.
+      if (d > scrub_seen_detected_) fault_->raise_scrub_event();
+    }
+    scrub_seen_detected_ = d;
+    scrub_seen_healed_ = h;
+    scrub_seen_unhealable_ = bad_total;
+  }
+  // The scrub event is visible to every loop-top recovery poll after this.
+  ctx.barrier();
+  if (bad_total > bad0) {
+    throw fault::FaultError(
+        fault::FaultKind::MemoryCorrupt,
+        "scrub detected partition corruption with no validated mirror "
+        "(epoch " +
+            std::to_string(epoch_) + ")");
+  }
+}
+
+void Runtime::rebaseline_integrity(ThreadCtx& ctx) {
+  const int me = ctx.id();
+  std::size_t walked = 0;
+  for (ReplicaSite* site : replica_sites()) {
+    if (!site->integrity_tracking_thread(me)) continue;
+    site->rebaseline_thread(me);
+    walked += site->replica_thread_bytes(me);
+  }
+  if (walked > 0) ctx.mem_seq(walked, machine::Cat::Scrub);
 }
 
 void Runtime::on_barrier() {
@@ -666,6 +832,24 @@ void Runtime::on_barrier() {
     cv.end_epoch(epoch_, s);
   }
 #endif
+  // Seeded at-rest bit flips land here, after every thread's writes of the
+  // epoch committed and before the digest observes the state.  Silent and
+  // free by construction — the modeled clock only moves when the scrubber
+  // detects and heals.  Gated on the plan so zero-flip configurations are
+  // byte-identical to uninjected runs.
+  if (fault_ != nullptr && fault_->armed() &&
+      fault_->config().mem_flips_enabled() &&
+      epoch_ == fault_->config().mem_flip_at)
+    apply_mem_flips();
+  // A serve loop clamped an out-of-range request index this epoch: that
+  // can only come from a flipped label escaping into a gather before the
+  // scrubber ran.  Count it as a detection and raise a recovery event so
+  // the checkpoint loop rolls back past the clamped (garbage) superstep.
+  if (corrupt_index_.exchange(false, std::memory_order_relaxed) &&
+      fault_ != nullptr && fault_->armed()) {
+    fault_->count_scrub_detected(1);
+    fault_->raise_scrub_event();
+  }
   // Determinism digest of the committed GlobalArray state at this barrier
   // (observation only: never touches the modeled clocks).
   if (digest_enabled_) last_digest_ = compute_state_digest();

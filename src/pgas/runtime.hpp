@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "analysis/conformance.hpp"
@@ -33,8 +34,11 @@ class ReplicaSite {
   virtual ~ReplicaSite() = default;
   /// Bytes of thread `thr`'s partition (what a snapshot/restore moves).
   virtual std::size_t replica_thread_bytes(int thr) const = 0;
-  /// Copy thread `thr`'s partition into the mirror.
-  virtual void replica_snapshot_thread(int thr) = 0;
+  /// Copy thread `thr`'s partition into the mirror and seal its checksum.
+  /// Returns false WITHOUT touching the old mirror when the partition no
+  /// longer matches its maintained scrub checksum — a fault that landed
+  /// after the scrub compare must never be sealed into the repair source.
+  virtual bool replica_snapshot_thread(int thr) = 0;
   /// Restore thread `thr`'s partition from the mirror (no-op if no
   /// snapshot was ever taken).
   virtual void replica_restore_thread(int thr) = 0;
@@ -44,6 +48,62 @@ class ReplicaSite {
   /// of the data are safe.  The default keeps sites without meaningful
   /// state out of the digest.
   virtual std::uint64_t state_digest() const { return 0; }
+
+  /// --- at-rest integrity (scrub protocol, docs/ROBUSTNESS.md) -----------
+  /// The defaults opt a site out of the whole protocol: no bytes to flip,
+  /// nothing to scrub, mirrors trusted as before.  GlobalArray implements
+  /// the real thing for arrays opted in with set_scrubbed(true).
+
+  enum class ScrubState : std::uint8_t {
+    Clean,      ///< checksum matched (or the site has nothing to verify)
+    Baselined,  ///< first pass: checksum recorded, nothing to compare yet
+    Corrupt,    ///< bytes changed outside any tracked commit point
+  };
+
+  /// Raw bytes of thread `thr`'s resident partition — the memory-fault
+  /// injector's bit-flip target.  Empty when the site is not scrub-tracked
+  /// (flips into undefended memory would be silently undetectable, which
+  /// is outside the threat model the test matrix certifies).
+  virtual std::span<unsigned char> partition_bytes(int thr) {
+    (void)thr;
+    return {};
+  }
+  /// Raw bytes of thread `thr`'s mirror slice (empty until snapshotted).
+  virtual std::span<unsigned char> mirror_bytes(int thr) {
+    (void)thr;
+    return {};
+  }
+  /// Verify thread `thr`'s mirror bytes against the checksum recorded at
+  /// the last snapshot.  Sites without mirror checksums report true (they
+  /// are trusted exactly as before the scrub protocol existed).
+  virtual bool mirror_checksum_ok(int thr) const {
+    (void)thr;
+    return true;
+  }
+  /// One scrub step over thread `thr`'s partition: the first call records
+  /// the baseline checksum, later calls re-walk the bytes and compare.
+  virtual ScrubState scrub_thread(int thr) {
+    (void)thr;
+    return ScrubState::Clean;
+  }
+  /// Heal thread `thr`'s partition from its mirror: validates the mirror
+  /// checksum, copies the block back, re-baselines.  False when no
+  /// validated mirror is available (the caller falls back to rollback).
+  virtual bool heal_thread(int thr) {
+    (void)thr;
+    return false;
+  }
+  /// True iff thread `thr`'s partition has a live baseline checksum.
+  virtual bool integrity_tracking_thread(int thr) const {
+    (void)thr;
+    return false;
+  }
+  /// Recompute the baseline from current bytes (after an untracked bulk
+  /// restore, e.g. a checkpoint rollback).  No-op without a baseline.
+  virtual void rebaseline_thread(int thr) { (void)thr; }
+  /// Drop thread `thr`'s baseline so the next scrub records a fresh one
+  /// instead of comparing against state that is about to be restored.
+  virtual void integrity_invalidate_thread(int thr) { (void)thr; }
 };
 
 /// Per-thread execution context handed to every SPMD function.
@@ -261,6 +321,39 @@ class Runtime {
     replicas_valid_.store(true, std::memory_order_release);
   }
 
+  /// --- at-rest integrity (scrub protocol, docs/ROBUSTNESS.md) ----------
+  /// Collective chunked scrubber: every thread re-walks its partitions of
+  /// the scrub-tracked ReplicaSites at streamed-memory cost (Cat::Scrub)
+  /// and compares against the incrementally maintained checksums.  The
+  /// first pass baselines; later passes detect.  A corrupt partition heals
+  /// from its buddy mirror when the mirror checksum validates (charged as
+  /// a read of the mirror plus a write of the block) — otherwise its
+  /// baseline is dropped so the checkpoint-rollback path can restore it.
+  /// Either outcome raises one scrub recovery event (feeding
+  /// recovery_events(), so checkpointing loops roll back), and an
+  /// unhealable detection additionally throws FaultError{MemoryCorrupt}
+  /// collectively.  Costs three barriers per pass.
+  void scrub(ThreadCtx& ctx);
+  /// Re-baseline partition checksums from current bytes after an untracked
+  /// bulk restore (checkpoint rollback), charging the re-walk to
+  /// Cat::Scrub.  Free when no partition of the calling thread has a live
+  /// baseline — runs without scrubbing are byte-identical.
+  void rebaseline_integrity(ThreadCtx& ctx);
+  /// True while an armed mem-flip plan is attached: collectives then
+  /// bounds-check corruption-derived request indices instead of asserting
+  /// (a flipped high bit in a label becomes a wild gather index before the
+  /// next scrub pass can catch it).  Off this path behavior is unchanged.
+  bool mem_guard_active() const;
+  /// Called when corruption is caught outside a scrub pass — a serve loop
+  /// clamped an out-of-range request index under mem_guard_active(), or a
+  /// seal-time verify refused a mismatching snapshot.  The next barrier
+  /// completion converts the flag into a detection plus scrub recovery
+  /// event, so checkpointing loops roll back past the corrupted epoch
+  /// instead of crashing on (or re-sealing) it.
+  void note_corruption() {
+    corrupt_index_.store(true, std::memory_order_relaxed);
+  }
+
   /// --- determinism digests (docs/ANALYSIS.md) --------------------------
   /// When enabled, the barrier completion step hashes the committed state
   /// of every registered ReplicaSite into an order-independent digest per
@@ -317,6 +410,11 @@ class Runtime {
   /// Hash every registered ReplicaSite's committed state (completion step
   /// only; threads parked).
   std::uint64_t compute_state_digest() const;
+  /// Apply the fault plan's seeded memory bit flips to resident partitions
+  /// or mirrors (completion step of epoch mem_flip_at; threads parked).
+  /// Silent by construction: no cost, no checksum update — detection is
+  /// the scrubber's job.
+  void apply_mem_flips();
   void accrue_bus(int node, double ns);
   /// Drain per-node DRAM-bus accumulators; when `out` is non-null, writes
   /// each node's busy time into out[0..nodes).
@@ -355,6 +453,26 @@ class Runtime {
   /// throw FaultError{PermanentLoss} so checkpointing algorithms roll
   /// back.  ~0 means "no shrink pending".
   std::uint64_t loss_throw_epoch_ = ~0ull;
+  /// Set when a shrink was refused because a buddy mirror failed its
+  /// checksum validation; the collective failure throw is then
+  /// FaultError{MemoryCorrupt} instead of RetryExhausted, so the operator
+  /// can tell a poisoned mirror from a flaky network.
+  std::atomic<bool> mirror_poisoned_{false};
+
+  // --- at-rest integrity (scrub protocol) -------------------------------
+  /// Monotone pass-outcome counters (never reset; threads snapshot them
+  /// across the scrub barriers to compute per-pass deltas collectively).
+  std::atomic<std::uint64_t> scrub_detected_{0};
+  std::atomic<std::uint64_t> scrub_healed_{0};
+  std::atomic<std::uint64_t> scrub_unhealable_{0};
+  /// Thread 0's running totals (only touched between scrub barriers).
+  std::uint64_t scrub_seen_detected_ = 0;
+  std::uint64_t scrub_seen_healed_ = 0;
+  std::uint64_t scrub_seen_unhealable_ = 0;
+  /// Set by serve loops that clamp an out-of-range (corruption-derived)
+  /// request index under an armed mem-flip plan; drained by the barrier
+  /// completion step into a scrub recovery event.
+  std::atomic<bool> corrupt_index_{false};
 
   // --- determinism digests ----------------------------------------------
   bool digest_enabled_ = false;

@@ -42,8 +42,12 @@ struct VBlocks {
 
   /// Physical owner thread of element i.
   int owner(std::uint64_t i) const {
-    const auto t = static_cast<int>(i / blk);
-    return t >= nthreads ? nthreads - 1 : t;
+    // Clamp before narrowing: a corruption-derived index can make the
+    // quotient overflow int (negative owner, wild vkey) if cast first.
+    const std::uint64_t t = i / blk;
+    return t >= static_cast<std::uint64_t>(nthreads)
+               ? nthreads - 1
+               : static_cast<int>(t);
   }
 
   /// Virtual bucket of element i: owner * t' + sub-block within the block.

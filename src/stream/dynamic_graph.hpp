@@ -31,6 +31,8 @@ struct BatchStats {
                                      ///< (per-owner distinct, summed)
   bool rebuilt = false;  ///< maintenance fell back to a full recompute
   int iterations = 0;    ///< graft+jump rounds (or cc_coalesced iterations)
+  std::uint64_t certify_checks = 0;    ///< publish re-digest comparisons
+  std::uint64_t certify_failures = 0;  ///< re-digest mismatches (pre-throw)
   core::RunCosts ingest;    ///< routing updates to their owner threads
   core::RunCosts maintain;  ///< incremental pass or rebuild + label adopt
   core::RunCosts publish;   ///< snapshotting labels into the epoch ring
@@ -70,6 +72,11 @@ struct DynamicGraphOptions {
   /// Fresh-insert volume (fraction of the live edge count) past which an
   /// incremental pass is predicted slower than a rebuild.
   double rebuild_frac = 0.25;
+  /// Certify epochs before they become queryable (docs/ROBUSTNESS.md,
+  /// "At-rest integrity"): after the publish copy, every ring-slot block
+  /// is re-digested against the live labels on the modeled clock (Scrub
+  /// attribution), and a mismatch throws before the epoch is published.
+  bool certify = false;
 };
 
 class DynamicGraph {

@@ -283,3 +283,64 @@ TEST(BenchArgsResilience, NanAndInfRejectedEverywhere) {
   EXPECT_NE(tparse(s5, a, {.serve = true}).find("--retry-budget"),
             std::string::npos);
 }
+
+TEST(BenchArgsRobust, AcceptedWithCapability) {
+  const char* argv[] = {"prog",      "--scrub-interval", "4",
+                        "--certify", "1",                "--mem-flips",
+                        "3"};
+  h::BenchArgs a;
+  ASSERT_EQ(tparse(argv, a, {.robust = true}), "");
+  EXPECT_EQ(a.scrub_interval, 4);
+  EXPECT_EQ(a.certify, 1);
+  EXPECT_EQ(a.mem_flips, 3);
+}
+
+TEST(BenchArgsRobust, DefaultsMeanBenchChooses) {
+  const char* argv[] = {"prog", "--n", "64"};
+  h::BenchArgs a;
+  ASSERT_EQ(tparse(argv, a, {.robust = true}), "");
+  EXPECT_EQ(a.scrub_interval, -1);
+  EXPECT_EQ(a.certify, -1);
+  EXPECT_EQ(a.mem_flips, -1);
+}
+
+TEST(BenchArgsRobust, RejectedOnNonRobustBenches) {
+  // Same policy as the streaming/serving flags: refuse loudly, with the
+  // offending flag in the message, instead of silently ignoring it.
+  const char* s1[] = {"prog", "--scrub-interval", "2"};
+  const char* s2[] = {"prog", "--certify", "1"};
+  const char* s3[] = {"prog", "--mem-flips", "1"};
+  h::BenchArgs a;
+  EXPECT_NE(tparse(s1, a).find("--scrub-interval"), std::string::npos);
+  EXPECT_NE(tparse(s2, a).find("--certify"), std::string::npos);
+  EXPECT_NE(tparse(s3, a).find("--mem-flips"), std::string::npos);
+}
+
+TEST(BenchArgsRobust, OutOfRangeValuesRejected) {
+  const char* s1[] = {"prog", "--scrub-interval", "-1"};
+  const char* s2[] = {"prog", "--certify", "2"};
+  const char* s3[] = {"prog", "--certify", "-1"};
+  const char* s4[] = {"prog", "--mem-flips", "-5"};
+  h::BenchArgs a;
+  EXPECT_NE(tparse(s1, a, {.robust = true}).find("--scrub-interval"),
+            std::string::npos);
+  EXPECT_NE(tparse(s2, a, {.robust = true}).find("--certify"),
+            std::string::npos);
+  EXPECT_NE(tparse(s3, a, {.robust = true}).find("--certify"),
+            std::string::npos);
+  EXPECT_NE(tparse(s4, a, {.robust = true}).find("--mem-flips"),
+            std::string::npos);
+}
+
+TEST(BenchArgsRobust, ZeroMeansOffAndIsAccepted) {
+  // 0 is the documented "off" value for all three knobs, distinct from
+  // the -1 bench-default sentinel.
+  const char* argv[] = {"prog",      "--scrub-interval", "0",
+                        "--certify", "0",                "--mem-flips",
+                        "0"};
+  h::BenchArgs a;
+  ASSERT_EQ(tparse(argv, a, {.robust = true}), "");
+  EXPECT_EQ(a.scrub_interval, 0);
+  EXPECT_EQ(a.certify, 0);
+  EXPECT_EQ(a.mem_flips, 0);
+}
