@@ -11,9 +11,11 @@
 #include "core/par_common.hpp"
 #include "fault/fault.hpp"
 #include "graph/generators.hpp"
+#include "graph/stats.hpp"
 #include "harness/args.hpp"
 #include "harness/table.hpp"
 #include "machine/cost_params.hpp"
+#include "partition/partitioning.hpp"
 #include "pgas/runtime.hpp"
 #include "trace/bench_json.hpp"
 #include "trace/tracer.hpp"
@@ -77,6 +79,23 @@ inline std::vector<std::string> breakdown_cells(
 
 inline std::string ratio(double num, double den) {
   return den > 0 ? Table::num(num / den, 2) + "x" : "-";
+}
+
+/// Install the --partition policy on a freshly constructed runtime.  No-op
+/// without the flag, so default runs stay on the block fast path (and byte-
+/// identical to the committed baselines).  The degree-aware scheme needs
+/// the edge list whose degree histogram drives the cut; callers without one
+/// pass nullptr and Partitioning::make falls back to block (the spec's
+/// n_hint gating, see docs/PARTITIONING.md).
+inline void apply_partition(pgas::Runtime& rt, const BenchArgs& a,
+                            const graph::EdgeList* el = nullptr) {
+  if (a.partition.empty()) return;
+  partition::PartitionSpec spec;
+  if (!partition::PartitionSpec::parse(a.partition, spec).empty())
+    return;  // unreachable: the spelling was validated at arg-parse time
+  if (spec.kind == partition::PartitionKind::Degree && el != nullptr)
+    spec = spec.with_degrees(graph::degree_histogram(*el));
+  rt.set_partition_spec(spec);
 }
 
 /// Machine-readable reporting for a bench run: collects one BenchRow per

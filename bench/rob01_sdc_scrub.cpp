@@ -50,7 +50,7 @@ constexpr std::uint64_t kFlipEpochs[] = {8, 12, 16, 24, 40};
 }  // namespace
 
 int main(int argc, char** argv) {
-  const BenchArgs a = BenchArgs::parse(argc, argv, {.robust = true});
+  const BenchArgs a = BenchArgs::parse(argc, argv, {.robust = true, .partition = true});
   const int nodes = a.nodes > 0 ? a.nodes : 4;
   const int threads = a.threads > 0 ? a.threads : 2;
   // Default matches the epoch-probed configuration (see kFlipEpochs); the
@@ -86,6 +86,7 @@ int main(int argc, char** argv) {
   core::ParCCResult clean;
   {
     pgas::Runtime rt(topo, params_for(n));
+    apply_partition(rt, a, &el);
     rep.attach(rt);
     clean = core::cc_coalesced(rt, el, {});
     rep.row("cc scrub-off clean", clean.costs);
@@ -97,6 +98,7 @@ int main(int argc, char** argv) {
     fault::FaultInjector inj(
         fault::FaultConfig::parse("mem_flip_at=0", a.fault_seed));
     pgas::Runtime rt(topo, params_for(n));
+    apply_partition(rt, a, &el);
     rep.attach(rt);
     rt.set_fault_injector(&inj);
     const auto r = core::cc_coalesced(rt, el, {});
@@ -124,6 +126,7 @@ int main(int argc, char** argv) {
     double tk = 0.0;
     {
       pgas::Runtime rt(topo, params_for(n));
+      apply_partition(rt, a, &el);
       rep.attach(rt);
       const auto r = core::cc_coalesced(rt, el, sopt);
       tk = r.costs.modeled_ns;
@@ -153,6 +156,7 @@ int main(int argc, char** argv) {
               ",mem_flips=" + std::to_string(mem_flips),
           a.fault_seed));
       pgas::Runtime rt(topo, params_for(n));
+      apply_partition(rt, a, &el);
       rep.attach(rt);
       rt.set_fault_injector(&inj);
       bool survived = true;

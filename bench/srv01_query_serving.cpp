@@ -41,7 +41,7 @@ struct RowResult {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const BenchArgs a = BenchArgs::parse(argc, argv, {.serve = true});
+  const BenchArgs a = BenchArgs::parse(argc, argv, {.serve = true, .partition = true});
   const int nodes = a.nodes > 0 ? a.nodes : 4;
   const int threads = a.threads > 0 ? a.threads : 2;
   const std::uint64_t n = a.n ? a.n : a.scaled(3000);
@@ -80,6 +80,7 @@ int main(int argc, char** argv) {
   double flush_ns = 0.0;
   {
     pgas::Runtime rt(topo, params_for(n));
+    apply_partition(rt, a, &ts.base);
     rep.attach(rt);
     stream::DynamicGraph dg(rt, ts.base);
     stream::QueryBatch probe;
@@ -129,6 +130,7 @@ int main(int argc, char** argv) {
     const auto reqs = serve::generate_workload(n, a.seed, wp);
 
     pgas::Runtime rt(topo, params_for(n));
+    apply_partition(rt, a, &ts.base);
     rep.attach(rt);
     stream::DynamicGraph dg(rt, ts.base);
     serve::ServerOptions so;

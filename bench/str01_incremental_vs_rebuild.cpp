@@ -25,22 +25,25 @@ namespace {
 /// Fresh canonical labeling in a throwaway runtime: the bit-identity
 /// reference and the rebuild-cost yardstick.
 core::ParCCResult reference_cc(const pgas::Topology& topo,
-                               const graph::EdgeList& el, Report& rep) {
+                               const graph::EdgeList& el, Report& rep,
+                               const BenchArgs& a) {
   pgas::Runtime rt(topo, params_for(el.n));
+  apply_partition(rt, a, &el);
   rep.attach(rt);
   return core::cc_coalesced(rt, el, {});
 }
 
 bool labels_match(stream::DynamicGraph& dg,
                   const std::vector<std::uint64_t>& want) {
-  const auto got = dg.labels().raw_all();
+  std::vector<std::uint64_t> got;
+  dg.labels().read_all(got);  // global order under any --partition layout
   return std::equal(got.begin(), got.end(), want.begin(), want.end());
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const BenchArgs a = BenchArgs::parse(argc, argv, {.stream = true});
+  const BenchArgs a = BenchArgs::parse(argc, argv, {.stream = true, .partition = true});
   const int nodes = a.nodes > 0 ? a.nodes : 4;
   const int threads = a.threads > 0 ? a.threads : 2;
   const std::uint64_t n = a.n ? a.n : a.scaled(6000);
@@ -91,6 +94,7 @@ int main(int argc, char** argv) {
           graph::temporal_stream(n, kBatches * batch, a.seed, p);
 
       pgas::Runtime rt(topo, params_for(n));
+      apply_partition(rt, a, &ts.base);
       rep.attach(rt);
       stream::DynamicGraph dg(rt, ts.base);
 
@@ -101,7 +105,7 @@ int main(int argc, char** argv) {
                 .subspan(b * batch, batch)));
 
       // Rebuild yardstick + bit-identity reference on the final edge set.
-      const auto ref = reference_cc(topo, dg.materialize(), rep);
+      const auto ref = reference_cc(topo, dg.materialize(), rep, a);
       check_identity(dg, ref.labels,
                      "f=" + Table::num(100 * f, 1) + "% final batch");
 
@@ -173,6 +177,7 @@ int main(int argc, char** argv) {
     const auto ts = graph::temporal_stream(n, kBatches * batch, a.seed, p);
 
     pgas::Runtime rt(topo, params_for(n));
+    apply_partition(rt, a, &ts.base);
     rep.attach(rt);
     stream::DynamicGraph dg(rt, ts.base);
     graph::Xoshiro256 qrng(a.seed ^ 0x9e3779b97f4a7c15ULL);
@@ -220,7 +225,7 @@ int main(int argc, char** argv) {
                  Table::eng(st.publish.modeled_ns), std::to_string(nq),
                  nq > 0 ? Table::eng(qcosts.modeled_ns) : "-"});
     }
-    const auto ref = reference_cc(topo, dg.materialize(), rep);
+    const auto ref = reference_cc(topo, dg.materialize(), rep, a);
     check_identity(dg, ref.labels, "end of stream");
   }
 

@@ -2,7 +2,7 @@
 """Static SPMD-discipline lint — the compile-time companion of the runtime
 conformance verifier (src/analysis/conformance).
 
-Two checks over src/, bench/ and tests/:
+Three checks over src/, bench/ and tests/:
 
   affinity    A raw `.local_span(` on a GlobalArray outside src/pgas/ and
               src/collectives/.  Private-pointer block access is the
@@ -22,10 +22,23 @@ Two checks over src/, bench/ and tests/:
               runtime verifier catches the dynamic case; this catches it
               before the code ever runs.)
 
+  ownerarith  Raw block-owner arithmetic outside src/pgas/ and
+              src/collectives/: a `.block_begin(` / `.block_end(` call
+              (storage offsets — they equal global indices only on the
+              block fast path) or an owner-by-division `/ blk`.  Since the
+              partitioning subsystem landed (src/partition/,
+              docs/PARTITIONING.md), global<->local mapping goes through
+              Partitioning::owner_of/local_of/global_of or
+              GlobalArray::global_index/read_all; code that does the block
+              arithmetic by hand silently breaks under --partition.
+              Deliberate block-only fast paths go on the allowlist with a
+              reason.
+
 Allowlist: scripts/lint_spmd_allow.txt.  Each non-comment line is
   <glob>[:<check>]   [# reason]
-matching repo-relative paths (fnmatch); a bare glob suppresses both
-checks for matching files, `:affinity` / `:uniformity` suppresses one.
+matching repo-relative paths (fnmatch); a bare glob suppresses all
+checks for matching files, `:affinity` / `:uniformity` / `:ownerarith`
+suppresses one.
 
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 `--self-test` runs the built-in fixture snippets instead of the tree.
@@ -42,6 +55,8 @@ EXEMPT_PREFIXES = ("src/pgas/", "src/collectives/")
 ALLOWLIST = os.path.join("scripts", "lint_spmd_allow.txt")
 
 AFFINITY_RE = re.compile(r"[.\->]\s*local_span\s*\(")
+OWNERARITH_RE = re.compile(
+    r"(?:\.|->)\s*(?:block_begin|block_end)\s*\(|/\s*blk\b")
 THREAD_ID_RE = re.compile(r"\b\w+\s*(?:\.|->)\s*(?:id|tid)\s*\(\s*\)")
 COLLECTIVE_RE = re.compile(
     r"(?:\b(?:getd|setd|setd_min|setd_add|setd_combine|replicate_to_buddy)"
@@ -131,6 +146,18 @@ def check_affinity(path, clean):
     return out
 
 
+def check_ownerarith(path, clean):
+    out = []
+    for m in OWNERARITH_RE.finditer(clean):
+        out.append(
+            (path, line_of(clean, m.start()), "ownerarith",
+             "raw block-owner arithmetic (block_begin/block_end or owner "
+             "division) — valid only on the block layout; route through "
+             "Partitioning / GlobalArray::global_index / read_all or "
+             "allowlist the block-only fast path with a reason"))
+    return out
+
+
 IF_RE = re.compile(r"\bif\s*\(")
 
 
@@ -174,7 +201,7 @@ def load_allowlist(repo):
                 continue
             if ":" in line:
                 glob, check = line.rsplit(":", 1)
-                if check not in ("affinity", "uniformity"):
+                if check not in ("affinity", "uniformity", "ownerarith"):
                     glob, check = line, None
             else:
                 glob, check = line, None
@@ -192,7 +219,8 @@ def scan_file(relpath, text):
     if any(relpath.startswith(p) for p in EXEMPT_PREFIXES):
         return []
     clean = strip_comments_and_strings(text)
-    return check_affinity(relpath, clean) + check_uniformity(relpath, clean)
+    return (check_affinity(relpath, clean) + check_uniformity(relpath, clean)
+            + check_ownerarith(relpath, clean))
 
 
 def run_tree(repo):
@@ -245,6 +273,18 @@ SELF_TESTS = [
      "if (ctx.id() == 0) {\n  // ctx.barrier();\n  int x = 0;\n}", []),
     ("local_span in a string literal is ignored", "src/core/u.cpp",
      'const char* s = "d.local_span(me)";', []),
+    ("block_begin arithmetic outside runtime layers", "src/core/oa.cpp",
+     "const std::uint64_t g = d.block_begin(me) + k;", ["ownerarith"]),
+    ("block_end in the storage layer is the implementation",
+     "src/pgas/oa.hpp", "for (auto i = block_begin(t); i < block_end(t);)",
+     []),
+    ("owner by division", "src/core/ob.cpp",
+     "const int owner = static_cast<int>(g / blk);", ["ownerarith"]),
+    ("policy-routed owner lookup is fine", "src/core/oc.cpp",
+     "const int owner = P.owner_of(g); const auto s = d.global_index(me, k);",
+     []),
+    ("commented-out block arithmetic is ignored", "src/core/od.cpp",
+     "// const std::uint64_t base = d.block_begin(me);\nint x = 0;", []),
 ]
 
 

@@ -42,6 +42,15 @@
 #            presets, plus the zero-fault bench-invariance gate: a bench run
 #            with an attached all-zero fault plan must match the committed
 #            baseline bit-for-bit (--threshold 0)
+#   partition  partitioning-policy suite (tests/test_partition.cpp: the
+#            owner/local/global bijection property, spec parsing/gating,
+#            post-shrink owner stability, and the loss-chaos bit-identity
+#            matrix under cyclic/degree) plus the BenchArgsPartition flag
+#            tests, in the default and check presets and one asan pass,
+#            then the part01 skew sweep at a fixed small configuration
+#            gated against scripts/baselines/BENCH_part_smoke.json (the
+#            bench itself self-checks label identity across schemes and
+#            that degree-aware beats block on the skewed input)
 #   scrub-chaos  silent-data-corruption defense (tests/test_scrub.cpp plus
 #            the mem-flip config/flag tests) across fault seeds 1..3 in the
 #            default and check presets plus one asan run, then the rob01
@@ -57,7 +66,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(default check tsan asan ubsan lint perf stream serve serve-chaos chaos scrub-chaos)
+  STAGES=(default check tsan asan ubsan lint perf stream serve serve-chaos chaos scrub-chaos partition)
 fi
 
 run_preset() {
@@ -270,6 +279,38 @@ EOF
         echo "---- [chaos] python3 not found; skipping invariance gate ----"
       fi
       ;;
+    partition)
+      echo "==== [partition] partitioning-policy suite + skew gate ===="
+      for preset in default check; do
+        cmake --preset "$preset"
+        cmake --build --preset "$preset" -j "$JOBS" \
+          --target test_partition --target test_harness
+        ctest --preset "$preset" -R '^Partition|^BenchArgsPartition' \
+          --output-on-failure -j "$JOBS"
+      done
+      # One asan pass: the permuted-layout slot routing indexes the backing
+      # buffer through slot_of on every getd/setd destination — exactly
+      # where an off-by-one in a non-identity layout would hide.
+      echo "---- [partition] partition suite under asan ----"
+      cmake --preset asan
+      cmake --build --preset asan -j "$JOBS" --target test_partition
+      ctest --preset asan -R '^Partition' --output-on-failure -j "$JOBS"
+      if command -v python3 > /dev/null 2>&1; then
+        cmake --build --preset default -j "$JOBS" \
+          --target part01_skew_scaling
+        out=build/BENCH_part_smoke.json
+        # Fixed configuration of the committed skew baseline; the bench
+        # self-checks bit-identical labels across the four schemes and
+        # that degree-aware beats block on owner skew and modeled time,
+        # and bench_diff gates the skew_*/nic_* extras on top.
+        build/bench/part01_skew_scaling \
+          --nodes 4 --threads 2 --seed 1 --json "$out" > /dev/null
+        python3 scripts/bench_diff.py \
+          scripts/baselines/BENCH_part_smoke.json "$out"
+      else
+        echo "---- [partition] python3 not found; skipping bench gate ----"
+      fi
+      ;;
     scrub-chaos)
       echo "==== [scrub-chaos] SDC defense suite, seeds 1..3 ===="
       # ScrubDigest/ScrubChaos/ScrubRuntime carry the bit-flip matrix
@@ -322,7 +363,7 @@ EOF
       fi
       ;;
     *)
-      echo "unknown stage: $stage (want: default check tsan asan ubsan lint perf stream serve serve-chaos chaos scrub-chaos)" >&2
+      echo "unknown stage: $stage (want: default check tsan asan ubsan lint perf stream serve serve-chaos chaos scrub-chaos partition)" >&2
       exit 2
       ;;
   esac

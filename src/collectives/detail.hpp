@@ -15,15 +15,18 @@ namespace pgraph::coll::detail {
 using machine::Cat;
 
 /// Resolve the virtual-thread factor: explicit value, or (for tprime <= 0)
-/// the smallest t' whose sub-block fits the modeled cache.
+/// the smallest t' whose sub-block fits the modeled cache.  The caller
+/// passes the LARGEST per-thread partition (Partitioning::max_local_size,
+/// which is ceil(n/s) under the block layout) so skewed degree-aware cuts
+/// still size their sub-blocks for the fattest owner.
 inline int resolve_tprime(const pgas::ThreadCtx& ctx,
                           const CollectiveOptions& opt,
-                          std::size_t array_elems, std::size_t elem_bytes) {
+                          std::size_t max_part_elems,
+                          std::size_t elem_bytes) {
   if (opt.tprime > 0) return opt.tprime;
-  const std::size_t s = static_cast<std::size_t>(ctx.nthreads());
-  const std::size_t blk = (array_elems + s - 1) / s;
   const std::size_t cache = ctx.mem().params().cache_bytes;
-  const std::size_t blk_bytes = std::max<std::size_t>(1, blk * elem_bytes);
+  const std::size_t blk_bytes =
+      std::max<std::size_t>(1, max_part_elems * elem_bytes);
   return static_cast<int>((blk_bytes + cache - 1) / cache);
 }
 

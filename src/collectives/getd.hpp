@@ -46,8 +46,9 @@ void getd(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
   const int s = ctx.nthreads();
   const int me = ctx.id();
   const std::size_t m = indices.size();
-  const int tprime = detail::resolve_tprime(ctx, opt, D.size(), sizeof(T));
-  const sched::VBlocks vb(D.size(), s, tprime);
+  const int tprime =
+      detail::resolve_tprime(ctx, opt, D.part().max_local_size(), sizeof(T));
+  const sched::VBlocks vb(D.part(), tprime);
   const std::size_t w = vb.nbuckets();
   const bool offload = opt.offload && known.has_value();
 #ifdef PGRAPH_CHECK_ACCESS
@@ -121,6 +122,11 @@ void getd(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
   ctx.mem_seq(2 * static_cast<std::size_t>(s) * sizeof(std::uint64_t),
               Cat::Setup);
   const auto myblock = D.local_span(me);
+  // Global -> local mapping of this owner's partition: subtracting the
+  // span base IS the map for identity layouts (block, degree-aware); the
+  // policy computes it otherwise.  `base` is only meaningful when `ident`.
+  const auto& P = D.part();
+  const bool ident = P.is_identity();
   const std::uint64_t base = D.block_begin(me);
   // Under an armed mem-flip plan a flipped label bit can escape into a
   // request index before the scrubber runs; bounds-guard the serve loop so
@@ -158,19 +164,25 @@ void getd(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
     std::size_t first_touches = 0;
     for (std::size_t k = 0; k < cnt; ++k) {
       std::uint64_t ri = ridx[k];
-      if (guard && (ri < base || ri - base >= myblock.size())) [[unlikely]] {
+      // A wild ri underflows li past the size check on the identity path
+      // (unsigned wrap); non-identity layouts also need the owner check —
+      // a foreign index can map to an in-range local slot.
+      std::uint64_t li = ident ? ri - base : P.local_of(ri);
+      if (guard && (li >= myblock.size() ||
+                    (!ident && P.owner_of(ri) != me))) [[unlikely]] {
         // Serve a dummy element and flag the corruption; the reply is
         // garbage either way and this epoch is about to be rolled back.
         ctx.runtime().note_corruption();
-        ri = base;
+        ri = P.global_of(me, 0);
+        li = 0;
       }
-      assert(ri >= base && ri - base < myblock.size());
-      const std::size_t l = (ri - base) / line_elems;
+      assert(li < myblock.size() && (ident || P.owner_of(ri) == me));
+      const std::size_t l = li / line_elems;
       if (!(ws.touched[l >> 6] & (1ull << (l & 63)))) {
         ws.touched[l >> 6] |= 1ull << (l & 63);
         ++first_touches;
       }
-      rbuf[k] = myblock[ri - base];
+      rbuf[k] = myblock[li];
       // Owner-side read through the raw block pointer: make it visible to
       // the race detector (a stray same-epoch write would corrupt replies).
       D.note_read(ctx, ri);

@@ -61,8 +61,9 @@ void setd_combine(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
   const int s = ctx.nthreads();
   const int me = ctx.id();
   const std::size_t m = indices.size();
-  const int tprime = detail::resolve_tprime(ctx, opt, D.size(), sizeof(T));
-  const sched::VBlocks vb(D.size(), s, tprime);
+  const int tprime =
+      detail::resolve_tprime(ctx, opt, D.part().max_local_size(), sizeof(T));
+  const sched::VBlocks vb(D.part(), tprime);
   const std::size_t w = vb.nbuckets();
 #ifdef PGRAPH_CHECK_ACCESS
   conformance_note(ctx, crcw_coll_op(Combine::kMode), opt.site,
@@ -147,6 +148,10 @@ void setd_combine(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
   ctx.mem_seq(2 * static_cast<std::size_t>(s) * sizeof(std::uint64_t),
               Cat::Setup);
   const auto myblock = D.local_span(me);
+  // Global -> local mapping of this owner's partition (see getd.serve):
+  // `base` subtraction is the map for identity layouts only.
+  const auto& P = D.part();
+  const bool ident = P.is_identity();
   const std::uint64_t base = D.block_begin(me);
   // At-rest integrity: this loop is D's tracked commit point.  Once a
   // scrub pass baselined this partition, every applied element folds an
@@ -214,28 +219,33 @@ void setd_combine(pgas::ThreadCtx& ctx, pgas::GlobalArray<T>& D,
     }
     std::size_t first_touches = 0;
     for (std::size_t k = 0; k < cnt; ++k) {
-      if (guard &&
-          (ridx[k] < base || ridx[k] - base >= myblock.size())) [[unlikely]] {
+      const std::uint64_t ri = ridx[k];
+      // Wild indices wrap li past the size check on the identity path;
+      // non-identity layouts also need the owner check (a foreign index
+      // can map to an in-range local slot).
+      const std::uint64_t li = ident ? ri - base : P.local_of(ri);
+      if (guard && (li >= myblock.size() ||
+                    (!ident && P.owner_of(ri) != me))) [[unlikely]] {
         // Never apply a corruption-derived write: flag it and skip — the
         // epoch rolls back at the next loop-top recovery poll anyway.
         ctx.runtime().note_corruption();
         continue;
       }
-      assert(ridx[k] >= base && ridx[k] - base < myblock.size());
-      const std::size_t l = (ridx[k] - base) / line_elems;
+      assert(li < myblock.size() && (ident || P.owner_of(ri) == me));
+      const std::size_t l = li / line_elems;
       if (!(ws.touched[l >> 6] & (1ull << (l & 63)))) {
         ws.touched[l >> 6] |= 1ull << (l & 63);
         ++first_touches;
       }
-      T& dst = myblock[ridx[k] - base];
+      T& dst = myblock[li];
       if (track) {
         const T oldv = dst;
         combine(dst, rval[k]);
-        D.integrity_note(me, ridx[k], oldv, dst);
+        D.integrity_note(me, ri, oldv, dst);
       } else {
         combine(dst, rval[k]);
       }
-      crcw.note(ctx, ridx[k]);
+      crcw.note(ctx, ri);
     }
     distinct_lines += first_touches;
     ctx.mem_seq(cnt * (sizeof(std::uint64_t) + sizeof(T)), Cat::Copy);

@@ -26,7 +26,11 @@ struct CcRun {
   std::atomic<int> iterations{0};
   std::atomic<bool> overran{false};
 
-  CcRun(pgas::Runtime& rt, std::size_t n) : d(rt, n), cc(rt) {}
+  // The label array adopts the runtime's configured distribution policy
+  // (--partition): under skewed inputs a degree-aware layout spreads the
+  // hot vertex range across owners (docs/PARTITIONING.md).
+  CcRun(pgas::Runtime& rt, std::size_t n)
+      : d(rt, n, rt.make_partitioning(n)), cc(rt) {}
 };
 
 }  // namespace
@@ -273,7 +277,7 @@ ParCCResult cc_coalesced(pgas::Runtime& rt, const graph::EdgeList& el,
     throw std::runtime_error("cc_coalesced: exceeded iteration bound");
 
   ParCCResult r;
-  r.labels.assign(run.d.raw_all().begin(), run.d.raw_all().end());
+  run.d.read_all(r.labels);  // global order under any storage layout
   for (std::size_t i = 0; i < n; ++i)
     if (r.labels[i] == i) ++r.num_components;
   r.iterations = run.iterations.load();
@@ -294,7 +298,9 @@ ParCCResult sv_coalesced(pgas::Runtime& rt, const graph::EdgeList& el,
                             ? opt.max_iters
                             : 8 * (n < 2 ? 1 : std::bit_width(n)) + 128;
   CcRun run(rt, n);
-  pgas::GlobalArray<std::uint64_t> st(rt, n);  // star flags
+  // Star flags MUST share D's layout: compute_stars walks stb[k]/blk[k]
+  // in parallel assuming slot k of both slices is the same vertex.
+  pgas::GlobalArray<std::uint64_t> st(rt, n, rt.make_partitioning(n));
   const coll::CollectiveOptions& copt = opt.coll;
   // NOTE: no offload -- SV's star hooking (step 2) can hook root 0 under a
   // larger root, so D[0] is not constant.
@@ -476,7 +482,7 @@ ParCCResult sv_coalesced(pgas::Runtime& rt, const graph::EdgeList& el,
     throw std::runtime_error("sv_coalesced: exceeded iteration bound");
 
   ParCCResult r;
-  r.labels.assign(run.d.raw_all().begin(), run.d.raw_all().end());
+  run.d.read_all(r.labels);  // global order under any storage layout
   for (std::size_t i = 0; i < n; ++i)
     if (r.labels[i] == i) ++r.num_components;
   r.iterations = run.iterations.load();

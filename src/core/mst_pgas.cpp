@@ -54,8 +54,11 @@ ParMstResult mst_pgas(pgas::Runtime& rt, const graph::WEdgeList& el,
                             ? opt.max_iters
                             : 4 * (n < 2 ? 1 : std::bit_width(n)) + 64;
 
-  pgas::GlobalArray<std::uint64_t> d(rt, n);
-  pgas::GlobalArray<CandRec> cand(rt, n);
+  // Labels and candidates MUST share one layout: step 3 walks cb[k]/db[k]
+  // in parallel assuming slot k of both slices is the same supervertex.
+  const partition::Partitioning part = rt.make_partitioning(n);
+  pgas::GlobalArray<std::uint64_t> d(rt, n, part);
+  pgas::GlobalArray<CandRec> cand(rt, n, part);
   coll::CollectiveContext cc(rt);
   const coll::CollectiveOptions& copt = opt.coll;
   // NOTE: no offload KnownElement here -- Boruvka hooks along minimum
@@ -100,7 +103,8 @@ ParMstResult mst_pgas(pgas::Runtime& rt, const graph::WEdgeList& el,
 
     coll::CollWorkspace<std::uint64_t> ws_u, ws_v, ws_jump, ws_misc;
     coll::CollWorkspace<CandRec> ws_cand;
-    std::vector<std::uint64_t> du, dv, gi, par, grand, roots, rpar, rkey;
+    std::vector<std::uint64_t> du, dv, gi, par, grand, roots, rloc, rpar,
+        rkey;
     std::vector<CandRec> gval;
 
     auto& my_mst = mst_edges[static_cast<std::size_t>(me)];
@@ -251,18 +255,21 @@ ParMstResult mst_pgas(pgas::Runtime& rt, const graph::WEdgeList& el,
         {
           auto cb = cand.local_span(me);
           auto db = d.local_span(me);
-          const std::uint64_t base = d.block_begin(me);
           // Direct local writes to D are checksum commit points.
           const bool track = d.integrity_tracking_thread(me);
           roots.clear();
+          rloc.clear();
           rpar.clear();
           rkey.clear();
           for (std::size_t k = 0; k < cb.size(); ++k) {
             if (cb[k].key == kInfKey) continue;
-            // Targets of SetDMin are star roots, so base+k is a root.
-            if (track) d.integrity_note(me, base + k, db[k], cb[k].parent);
+            // Targets of SetDMin are star roots, so the k-th local vertex
+            // (global index via the distribution policy) is a root.
+            const std::uint64_t g = d.global_index(me, k);
+            if (track) d.integrity_note(me, g, db[k], cb[k].parent);
             db[k] = cb[k].parent;
-            roots.push_back(base + k);
+            roots.push_back(g);
+            rloc.push_back(k);
             rpar.push_back(cb[k].parent);
             rkey.push_back(cb[k].key);
           }
@@ -280,9 +287,8 @@ ParMstResult mst_pgas(pgas::Runtime& rt, const graph::WEdgeList& el,
             const bool two_cycle = grand[k] == roots[k];
             if (two_cycle && roots[k] < rpar[k]) {
               if (track)
-                d.integrity_note(me, roots[k], db[roots[k] - base],
-                                 roots[k]);
-              db[roots[k] - base] = roots[k];  // stay root, unmark
+                d.integrity_note(me, roots[k], db[rloc[k]], roots[k]);
+              db[rloc[k]] = roots[k];  // stay root, unmark
               continue;
             }
             my_mst.push_back(rkey[k] & 0xffffffffULL);

@@ -16,8 +16,10 @@ namespace pgraph::core {
 inline void init_labels(pgas::ThreadCtx& ctx,
                         pgas::GlobalArray<std::uint64_t>& d) {
   auto blk = d.local_span(ctx.id());
-  const std::uint64_t base = d.block_begin(ctx.id());
-  for (std::size_t k = 0; k < blk.size(); ++k) blk[k] = base + k;
+  // blk[k] holds the k-th element the caller OWNS; its global index comes
+  // from the distribution policy (== block_begin + k under block layouts).
+  for (std::size_t k = 0; k < blk.size(); ++k)
+    blk[k] = d.global_index(ctx.id(), k);
   ctx.mem_seq(blk.size() * sizeof(std::uint64_t), machine::Cat::Work);
   ctx.barrier();
 }
@@ -48,11 +50,12 @@ inline bool jump_round(pgas::ThreadCtx& ctx,
              known);
   // Direct local writes are a checksum commit point for scrubbed arrays.
   const bool track = d.integrity_tracking_thread(ctx.id());
-  const std::uint64_t base = d.block_begin(ctx.id());
   bool changed = false;
   for (std::size_t k = 0; k < par.size(); ++k) {
     if (grand[k] != par[k]) {
-      if (track) d.integrity_note(ctx.id(), base + k, par[k], grand[k]);
+      if (track)
+        d.integrity_note(ctx.id(), d.global_index(ctx.id(), k), par[k],
+                         grand[k]);
       blk[k] = grand[k];
       changed = true;
     }

@@ -79,4 +79,38 @@ EdgeHygiene edge_hygiene(const EdgeList& el) {
   return h;
 }
 
+std::vector<std::uint32_t> degree_histogram(const EdgeList& el) {
+  std::vector<std::uint32_t> deg(el.n, 0);
+  for (const Edge& e : el.edges) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  return deg;
+}
+
+OwnerLoadStats owner_load_stats(const EdgeList& el,
+                                const partition::Partitioning& part) {
+  OwnerLoadStats s;
+  s.owners = static_cast<std::size_t>(part.num_threads());
+  if (s.owners == 0 || el.n == 0) return s;
+  std::vector<std::size_t> load(s.owners, 0);
+  for (const Edge& e : el.edges) {
+    ++load[static_cast<std::size_t>(part.owner_of(e.u))];
+    ++load[static_cast<std::size_t>(part.owner_of(e.v))];
+  }
+  std::size_t total = 0;
+  for (const std::size_t l : load) {
+    s.max_edge_load = std::max(s.max_edge_load, l);
+    total += l;
+  }
+  s.mean_edge_load =
+      static_cast<double>(total) / static_cast<double>(s.owners);
+  if (s.mean_edge_load > 0.0)
+    s.max_over_mean = static_cast<double>(s.max_edge_load) / s.mean_edge_load;
+  if (total > 0)
+    s.hot_share =
+        static_cast<double>(s.max_edge_load) / static_cast<double>(total);
+  return s;
+}
+
 }  // namespace pgraph::graph

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/edge_list.hpp"
+#include "partition/partitioning.hpp"
 
 namespace pgraph::graph {
 
@@ -37,5 +38,24 @@ struct EdgeHygiene {
   std::size_t self_loops = 0;
 };
 EdgeHygiene edge_hygiene(const EdgeList& el);
+
+/// One-pass per-vertex degree histogram (the weights the degree-aware
+/// partitioning cuts on; 32-bit is plenty for the modeled graph sizes).
+std::vector<std::uint32_t> degree_histogram(const EdgeList& el);
+
+/// How evenly a distribution policy spreads edge-endpoint load over owner
+/// threads.  "Load" of owner t = number of edge endpoints whose vertex t
+/// owns — the requests t serves in the getd/setd collectives, i.e. its NIC
+/// share under the paper's coalesced exchange.  Reported as schema-v1 bench
+/// JSON extras (skew_*) and gated by bench_diff like every other extra.
+struct OwnerLoadStats {
+  std::size_t owners = 0;           ///< thread count of the policy
+  std::size_t max_edge_load = 0;    ///< hottest owner's endpoint count
+  double mean_edge_load = 0.0;      ///< 2m / s
+  double max_over_mean = 0.0;       ///< hot-owner skew factor (1.0 = even)
+  double hot_share = 0.0;           ///< hottest owner's fraction of 2m
+};
+OwnerLoadStats owner_load_stats(const EdgeList& el,
+                                const partition::Partitioning& part);
 
 }  // namespace pgraph::graph

@@ -7,6 +7,7 @@
 #include <exception>
 
 #include "fault/fault.hpp"
+#include "partition/partitioning.hpp"
 
 namespace pgraph::harness {
 
@@ -25,6 +26,7 @@ std::string BenchArgs::try_parse(int argc, char** argv, BenchArgs& out,
   bool saw_scrub_interval = false;
   bool saw_certify = false;
   bool saw_mem_flips = false;
+  bool saw_partition = false;
   std::string err;
   for (int i = 1; i < argc && err.empty(); ++i) {
     const auto is = [&](const char* flag) {
@@ -101,18 +103,24 @@ std::string BenchArgs::try_parse(int argc, char** argv, BenchArgs& out,
     } else if (is("--mem-flips")) {
       a.mem_flips = std::atoi(next());
       saw_mem_flips = true;
+    } else if (is("--partition")) {
+      a.partition = next();
+      saw_partition = true;
     } else if (is("--help") || is("-h")) {
       std::printf(
           "flags: --n N --m M --nodes P --threads T --tprime T' "
           "--seed S --scale F --csv --json PATH --trace PATH "
-          "--faults SPEC --fault-seed S --digest%s%s%s\n",
+          "--faults SPEC --fault-seed S --digest%s%s%s%s\n",
           caps.stream ? " --stream --batch-size OPS --query-mix F" : "",
           caps.serve ? " --sessions K --arrival-rate RPS --skew S"
                        " --batch-window-ns NS --deadline-ns NS"
                        " --retry-budget TOK --brownout 0|1"
                      : "",
           caps.robust ? " --scrub-interval K --certify 0|1 --mem-flips N"
-                      : "");
+                      : "",
+          caps.partition
+              ? " --partition block|cyclic|block_cyclic:K|degree"
+              : "");
       std::exit(0);
     } else {
       err = std::string("unknown flag ") + argv[i] + " (try --help)";
@@ -185,6 +193,17 @@ std::string BenchArgs::try_parse(int argc, char** argv, BenchArgs& out,
     return "--certify must be 0 or 1";
   if (saw_mem_flips && a.mem_flips < 0)
     return "--mem-flips must be >= 0 (0 = no injection)";
+
+  // Partition flag: reject on benches whose arrays are hard-wired to the
+  // block layout, and validate the scheme spelling eagerly (unknown
+  // schemes, zero/fractional/NaN chunks all fail here, not mid-run).
+  if (saw_partition && !caps.partition)
+    return "--partition is not supported by this bench";
+  if (saw_partition) {
+    partition::PartitionSpec spec;
+    const std::string perr = partition::PartitionSpec::parse(a.partition, spec);
+    if (!perr.empty()) return "invalid --partition: " + perr;
+  }
 
   // Fail fast on a bad fault plan: parse the spec now, and when the node
   // count is known at the command line, reject plans that the topology

@@ -14,6 +14,8 @@ struct BenchCaps {
                         ///< --skew / --batch-window-ns
   bool robust = false;  ///< bench understands --scrub-interval / --certify /
                         ///< --mem-flips (at-rest integrity knobs)
+  bool partition = false;  ///< bench routes its shared arrays through the
+                           ///< runtime distribution policy (--partition)
 };
 
 /// Common CLI flags for bench binaries, so every figure can be re-run at
@@ -62,6 +64,12 @@ struct BenchCaps {
 ///                          re-digests after the kernel)
 ///   --mem-flips <n>       (bit flips injected by the bench's fault plan;
 ///                          must be >= 0; 0 = no injection)
+///
+/// Partition-aware benches (BenchCaps::partition) additionally accept:
+///   --partition <scheme>  (vertex distribution policy for the kernel's
+///                          shared arrays: block | cyclic |
+///                          block_cyclic:<chunk> | degree;
+///                          see docs/PARTITIONING.md)
 struct BenchArgs {
   std::uint64_t n = 0;  ///< 0 = bench default
   std::uint64_t m = 0;
@@ -89,6 +97,7 @@ struct BenchArgs {
   int scrub_interval = -1;      ///< -1 = bench default (flag must be >= 0)
   int certify = -1;             ///< -1 = bench default (flag must be 0 or 1)
   int mem_flips = -1;           ///< -1 = bench default (flag must be >= 0)
+  std::string partition;        ///< empty = block (validated at parse time)
 
   /// Parse into `out`.  Returns an empty string on success and the error
   /// message (flag included) on failure; `out` is unspecified on failure.

@@ -12,17 +12,27 @@
 
 #include "analysis/access_checker.hpp"
 #include "machine/phase_stats.hpp"
+#include "partition/partitioning.hpp"
 #include "pgas/digest.hpp"
 #include "pgas/runtime.hpp"
 
 namespace pgraph::pgas {
 
-/// Block-distributed shared array — the UPC `shared [blk] T A[n]` analogue.
+/// Distributed shared array — the UPC `shared [blk] T A[n]` analogue, with
+/// a pluggable distribution policy (docs/PARTITIONING.md).
 ///
-/// Element i has affinity to thread i / ceil(n/s) (block distribution, the
-/// layout the paper's partition phase assumes).  Storage is one contiguous
-/// buffer (we are simulating the cluster in one address space), so a
-/// thread's block is the slice [block_begin(t), block_end(t)).
+/// By default element i has affinity to thread i / ceil(n/s) (block
+/// distribution, the layout the paper's partition phase assumes); a
+/// partition::Partitioning handed to the constructor swaps the owner map
+/// (cyclic, block-cyclic, degree-aware).  Storage is one contiguous buffer
+/// (we are simulating the cluster in one address space) laid out
+/// PARTITION-MAJOR: thread t's elements occupy the slice
+/// [block_begin(t), block_end(t)), in increasing global-index order.  For
+/// identity layouts (block, degree-aware — contiguous owner ranges) the
+/// storage slot of element i is i itself, bit-identical to the historical
+/// block layout; otherwise slot_of(i) permutes through the policy.
+/// Replica mirrors, scrub checksums and digests all walk storage order, so
+/// they are partition-agnostic by construction.
 ///
 /// Access paths and their costs:
 ///  - get/put: fine-grained single-element access.  Charged as a remote
@@ -41,12 +51,19 @@ class GlobalArray final : public ReplicaSite {
 
  public:
   GlobalArray(Runtime& rt, std::size_t n)
+      : GlobalArray(rt, n,
+                    partition::Partitioning::block(
+                        n, rt.topo().total_threads())) {}
+
+  GlobalArray(Runtime& rt, std::size_t n, partition::Partitioning part)
       : rt_(&rt),
         uid_(rt.new_array_uid()),
         n_(n),
         nthreads_(static_cast<std::size_t>(rt.topo().total_threads())),
-        blk_((n + nthreads_ - 1) / nthreads_),
+        part_(std::move(part)),
         data_(n) {
+    assert(part_.size() == n_ &&
+           part_.num_threads() == static_cast<int>(nthreads_));
 #ifdef PGRAPH_CHECK_ACCESS
     shadow_ = analysis::AccessChecker::instance().register_array(n, sizeof(T));
 #endif
@@ -59,7 +76,10 @@ class GlobalArray final : public ReplicaSite {
   GlobalArray& operator=(const GlobalArray&) = delete;
 
   std::size_t size() const { return n_; }
-  std::size_t block_size() const { return blk_; }
+  /// Largest per-thread partition (ceil(n/s) under the block layout).
+  std::size_t block_size() const { return part_.max_local_size(); }
+  /// The distribution policy of this array (owner map + storage layout).
+  const partition::Partitioning& part() const { return part_; }
   /// Per-runtime sequential id (host-side construction order, so stable
   /// across runs of the same program).  The conformance verifier folds it
   /// into collective argument signatures.
@@ -67,20 +87,23 @@ class GlobalArray final : public ReplicaSite {
 
   int owner(std::size_t i) const {
     assert(i < n_);
-    return static_cast<int>(i / blk_);
+    return part_.owner_of(i);
   }
 
-  std::size_t block_begin(int thr) const {
-    const std::size_t b = static_cast<std::size_t>(thr) * blk_;
-    return b > n_ ? n_ : b;
+  /// Global index of thread `thr`'s k-th local element — what owner-local
+  /// loops iterate instead of `block_begin(thr) + k` (which is a STORAGE
+  /// offset and only equals the global index under identity layouts).
+  std::uint64_t global_index(int thr, std::uint64_t k) const {
+    return part_.global_of(thr, k);
   }
+
+  /// STORAGE offsets of thread `thr`'s partition slice (equal to the
+  /// global-index range under identity layouts — block, degree-aware).
+  std::size_t block_begin(int thr) const { return part_.part_begin(thr); }
   std::size_t block_end(int thr) const {
-    const std::size_t e = (static_cast<std::size_t>(thr) + 1) * blk_;
-    return e > n_ ? n_ : e;
+    return part_.part_begin(thr) + part_.local_size(thr);
   }
-  std::size_t local_size(int thr) const {
-    return block_end(thr) - block_begin(thr);
-  }
+  std::size_t local_size(int thr) const { return part_.local_size(thr); }
 
   /// Fine-grained read of element i (relaxed atomic; benign races allowed).
   /// Node-local accesses (own block or a same-node peer's) are random
@@ -126,7 +149,15 @@ class GlobalArray final : public ReplicaSite {
     assert(owner(start + count - 1) == own && "memget must not span blocks");
     ctx.bulk_get_cost(own, count * sizeof(T), c);
     chk_range(ctx, start, count, analysis::AccessKind::Read);
-    std::memcpy(dst, data_.data() + start, count * sizeof(T));
+    if (part_.is_identity()) {
+      std::memcpy(dst, data_.data() + start, count * sizeof(T));
+    } else {
+      // Permuted storage: the owner's elements for a contiguous global
+      // range need not be contiguous slots; gather element-wise (the bulk
+      // cost above is unchanged — one coalesced message either way).
+      for (std::size_t j = 0; j < count; ++j)
+        dst[j] = data_[part_.slot_of(start + j)];
+    }
   }
 
   /// Coalesced bulk write (upc_memput); same single-block restriction.
@@ -137,7 +168,12 @@ class GlobalArray final : public ReplicaSite {
     assert(owner(start + count - 1) == own && "memput must not span blocks");
     ctx.bulk_put_cost(own, count * sizeof(T), c);
     chk_range(ctx, start, count, analysis::AccessKind::Write);
-    std::memcpy(data_.data() + start, src, count * sizeof(T));
+    if (part_.is_identity()) {
+      std::memcpy(data_.data() + start, src, count * sizeof(T));
+    } else {
+      for (std::size_t j = 0; j < count; ++j)
+        data_[part_.slot_of(start + j)] = src[j];
+    }
   }
 
   /// The calling thread's own block (or a same-node peer's, for owner-side
@@ -158,21 +194,41 @@ class GlobalArray final : public ReplicaSite {
 
   /// Uninstrumented whole-array view for single-threaded verification.
   /// Inside an SPMD region these are affinity-checked like local_span.
+  /// raw(i) is GLOBAL-index addressed under every layout; raw_all() is a
+  /// storage-order view and therefore only meaningful for identity
+  /// layouts — permuted arrays must gather through read_all()/raw(i).
   T& raw(std::size_t i) {
     chk_raw(i);
-    return data_[i];
+    return data_[part_.slot_of(i)];
   }
   const T& raw(std::size_t i) const {
     chk_raw(i);
-    return data_[i];
+    return data_[part_.slot_of(i)];
   }
   std::span<T> raw_all() {
+    assert(part_.is_identity() &&
+           "raw_all is storage order; gather permuted arrays via read_all");
     chk_raw_all();
     return std::span<T>(data_);
   }
   std::span<const T> raw_all() const {
+    assert(part_.is_identity() &&
+           "raw_all is storage order; gather permuted arrays via read_all");
     chk_raw_all();
     return std::span<const T>(data_);
+  }
+
+  /// Gather the whole array in GLOBAL index order into `out`, regardless
+  /// of the storage layout (uninstrumented, like raw_all; host-side result
+  /// extraction).
+  void read_all(std::vector<T>& out) const {
+    chk_raw_all();
+    out.resize(n_);
+    if (part_.is_identity()) {
+      std::memcpy(out.data(), data_.data(), n_ * sizeof(T));
+    } else {
+      for (std::size_t i = 0; i < n_; ++i) out[i] = data_[part_.slot_of(i)];
+    }
   }
 
   /// Relaxed element access without cost charging (used inside collectives
@@ -233,7 +289,8 @@ class GlobalArray final : public ReplicaSite {
   /// working set of node-local irregular access).
   std::size_t node_slice_bytes() const {
     const int tpn = rt_->topo().threads_per_node;
-    return blk_ * static_cast<std::size_t>(tpn) * sizeof(T);
+    return part_.max_local_size() * static_cast<std::size_t>(tpn) *
+           sizeof(T);
   }
 
   /// --- ReplicaSite (buddy replication, docs/ROBUSTNESS.md) --------------
@@ -302,11 +359,13 @@ class GlobalArray final : public ReplicaSite {
   /// O(1) checksum maintenance at a tracked commit point: element `i`
   /// (global index, owned by thread `thr`) transitioned oldv -> newv.
   /// No-op until a scrub pass baselined the partition.  Owner-thread only,
-  /// like the apply loops that call it.
+  /// like the apply loops that call it.  Deltas are keyed by STORAGE slot
+  /// so they cancel against the chunk_digest re-walks, which run in
+  /// storage order (identical to the global index under identity layouts).
   void integrity_note(int thr, std::size_t i, const T& oldv, const T& newv) {
     if (psum_valid_[static_cast<std::size_t>(thr)] == 0) return;
     psum_[static_cast<std::size_t>(thr)] +=
-        digest_delta(i, &oldv, &newv, sizeof(T));
+        digest_delta(part_.slot_of(i), &oldv, &newv, sizeof(T));
   }
 
   /// True when thread `thr`'s partition bytes still match the maintained
@@ -398,28 +457,29 @@ class GlobalArray final : public ReplicaSite {
     }
   }
 
-  /// --- uninstrumented element primitives --------------------------------
+  /// --- uninstrumented element primitives (global-index addressed) -------
   T load_raw(std::size_t i) const {
     if constexpr (sizeof(T) <= 8) {
       // atomic_ref<const T> is not available in C++20; the cast is safe
       // because the underlying storage is always mutable.
-      return std::atomic_ref<T>(const_cast<T&>(data_[i]))
+      return std::atomic_ref<T>(const_cast<T&>(data_[part_.slot_of(i)]))
           .load(std::memory_order_relaxed);
     } else {
-      return data_[i];
+      return data_[part_.slot_of(i)];
     }
   }
   void store_raw(std::size_t i, T v) {
     if constexpr (sizeof(T) <= 8) {
-      std::atomic_ref<T>(data_[i]).store(v, std::memory_order_relaxed);
+      std::atomic_ref<T>(data_[part_.slot_of(i)])
+          .store(v, std::memory_order_relaxed);
     } else {
-      data_[i] = v;
+      data_[part_.slot_of(i)] = v;
     }
   }
   void fetch_min_raw(std::size_t i, T v)
     requires(sizeof(T) <= 8)
   {
-    std::atomic_ref<T> ref(data_[i]);
+    std::atomic_ref<T> ref(data_[part_.slot_of(i)]);
     T cur = ref.load(std::memory_order_relaxed);
     while (v < cur &&
            !ref.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
@@ -519,7 +579,7 @@ class GlobalArray final : public ReplicaSite {
   std::uint64_t uid_;
   std::size_t n_;
   std::size_t nthreads_;
-  std::size_t blk_;
+  partition::Partitioning part_;
   std::vector<T> data_;
   std::vector<T> mirror_;  ///< buddy-replication mirror (lazy)
   std::mutex mirror_mu_;

@@ -17,6 +17,7 @@
 #include "machine/memory_model.hpp"
 #include "machine/network_model.hpp"
 #include "machine/phase_stats.hpp"
+#include "partition/partitioning.hpp"
 #include "pgas/topology.hpp"
 #include "pgas/trace_hook.hpp"
 
@@ -367,6 +368,27 @@ class Runtime {
   /// with digests enabled).
   std::uint64_t last_state_digest() const { return last_digest_; }
 
+  /// --- partitioning policy (docs/PARTITIONING.md) ----------------------
+  /// The distribution scheme kernels apply to their vertex-shaped data
+  /// arrays.  Host-side only (arrays are constructed host-side); default
+  /// Block, which every committed baseline was generated under.  Arrays
+  /// opt in explicitly via `GlobalArray(rt, n, rt.make_partitioning(n))`;
+  /// infrastructure arrays (the collective count/offset matrices) keep the
+  /// plain Block constructor so their local_span layout stays put.
+  void set_partition_spec(partition::PartitionSpec spec) {
+    part_spec_ = std::move(spec);
+  }
+  const partition::PartitionSpec& partition_spec() const {
+    return part_spec_;
+  }
+  /// Instantiate the active spec for an n-element array.  Degree specs
+  /// bind only to arrays of exactly n_hint elements (one slot per vertex);
+  /// any other size falls back to Block.
+  partition::Partitioning make_partitioning(std::size_t n) const {
+    return partition::Partitioning::make(part_spec_, n,
+                                         topo_.total_threads());
+  }
+
   /// Per-runtime sequential id for GlobalArrays (host-side construction
   /// order, so ids are deterministic across runs).  The conformance
   /// verifier folds it into collective argument signatures to catch
@@ -473,6 +495,9 @@ class Runtime {
   /// request index under an armed mem-flip plan; drained by the barrier
   /// completion step into a scrub recovery event.
   std::atomic<bool> corrupt_index_{false};
+
+  // --- partitioning policy ----------------------------------------------
+  partition::PartitionSpec part_spec_;
 
   // --- determinism digests ----------------------------------------------
   bool digest_enabled_ = false;

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "partition/partitioning.hpp"
+
 namespace pgraph::sched {
 
 /// Virtual-thread block decomposition (Section IV): each of the s physical
@@ -15,12 +17,21 @@ namespace pgraph::sched {
 /// Used as the counting-sort key inside the GetD/SetD/SetDMin collectives:
 /// sorting requests by virtual key gives the owner temporal locality within
 /// each sub-block during its gather/apply phase.
+///
+/// The legacy (n, s, t') constructor assumes the block layout; the
+/// Partitioning constructor routes the owner map through the array's
+/// policy instead (docs/PARTITIONING.md), keeping the raw block arithmetic
+/// below as the zero-overhead fast path (`part == nullptr`).
 struct VBlocks {
   std::size_t n = 0;        ///< total elements in the shared array
-  std::size_t blk = 1;      ///< per-thread block size (ceil(n / s))
+  std::size_t blk = 1;      ///< largest per-thread partition (ceil(n/s)
+                            ///< under the block layout)
   std::size_t sub_blk = 1;  ///< per-virtual-thread sub-block size
   int nthreads = 1;
   int tprime = 1;
+  /// Non-null for non-block policies; must outlive this VBlocks (the
+  /// GlobalArray owning the Partitioning outlives every collective call).
+  const partition::Partitioning* part = nullptr;
 
   VBlocks() = default;
 
@@ -35,6 +46,17 @@ struct VBlocks {
     if (sub_blk == 0) sub_blk = 1;
   }
 
+  VBlocks(const partition::Partitioning& p, int tprime_)
+      : n(p.size()), nthreads(p.num_threads()),
+        tprime(tprime_ < 1 ? 1 : tprime_),
+        part(p.is_block() ? nullptr : &p) {
+    blk = p.max_local_size();
+    if (blk == 0) blk = 1;
+    sub_blk = (blk + static_cast<std::size_t>(tprime) - 1) /
+              static_cast<std::size_t>(tprime);
+    if (sub_blk == 0) sub_blk = 1;
+  }
+
   std::size_t nbuckets() const {
     return static_cast<std::size_t>(nthreads) *
            static_cast<std::size_t>(tprime);
@@ -42,8 +64,10 @@ struct VBlocks {
 
   /// Physical owner thread of element i.
   int owner(std::uint64_t i) const {
-    // Clamp before narrowing: a corruption-derived index can make the
-    // quotient overflow int (negative owner, wild vkey) if cast first.
+    if (part != nullptr) return part->owner_of(i);
+    // BLOCK fast path.  Clamp before narrowing: a corruption-derived index
+    // can make the quotient overflow int (negative owner, wild vkey) if
+    // cast first.
     const std::uint64_t t = i / blk;
     return t >= static_cast<std::uint64_t>(nthreads)
                ? nthreads - 1
@@ -53,7 +77,9 @@ struct VBlocks {
   /// Virtual bucket of element i: owner * t' + sub-block within the block.
   std::size_t vkey(std::uint64_t i) const {
     const int t = owner(i);
-    const std::uint64_t within = i - static_cast<std::uint64_t>(t) * blk;
+    const std::uint64_t within =
+        part != nullptr ? part->local_of(i)
+                        : i - static_cast<std::uint64_t>(t) * blk;
     std::size_t sub = static_cast<std::size_t>(within / sub_blk);
     if (sub >= static_cast<std::size_t>(tprime))
       sub = static_cast<std::size_t>(tprime) - 1;

@@ -41,7 +41,8 @@ DynamicGraph::DynamicGraph(pgas::Runtime& rt, const graph::EdgeList& base,
     : rt_(rt),
       n_(base.n),
       opt_(opt),
-      d_(rt, base.n == 0 ? 1 : base.n),
+      d_(rt, base.n == 0 ? 1 : base.n,
+         rt.make_partitioning(base.n == 0 ? 1 : base.n)),
       cc_(rt),
       edges_(static_cast<std::size_t>(rt.topo().total_threads())),
       pos_(static_cast<std::size_t>(rt.topo().total_threads())),
@@ -49,9 +50,13 @@ DynamicGraph::DynamicGraph(pgas::Runtime& rt, const graph::EdgeList& base,
   if (n_ == 0) throw std::invalid_argument("DynamicGraph: need n >= 1");
   if (n_ > (1ULL << 32))
     throw std::invalid_argument("DynamicGraph: vertex ids must fit 32 bits");
+  // The snapshot ring and size arrays MUST share the live array's layout:
+  // publish/compute_sizes copy slot-parallel local slices between them.
   for (std::size_t i = 0; i < kEpochRing; ++i) {
-    snap_[i] = std::make_unique<pgas::GlobalArray<std::uint64_t>>(rt_, n_);
-    sizes_[i] = std::make_unique<pgas::GlobalArray<std::uint64_t>>(rt_, n_);
+    snap_[i] = std::make_unique<pgas::GlobalArray<std::uint64_t>>(
+        rt_, n_, rt_.make_partitioning(n_));
+    sizes_[i] = std::make_unique<pgas::GlobalArray<std::uint64_t>>(
+        rt_, n_, rt_.make_partitioning(n_));
   }
 
   initial_.ops = base.edges.size();
@@ -96,7 +101,8 @@ std::uint64_t DynamicGraph::num_components() const {
   for (std::size_t i = 0; i < kEpochRing; ++i)
     if (snap_valid_[i] && snap_epoch_[i] == epoch_) slot = i;
   assert(slot < kEpochRing && "latest epoch must be published");
-  const auto labels = snap_[slot]->raw_all();
+  std::vector<std::uint64_t> labels;
+  snap_[slot]->read_all(labels);  // global order under any layout
   std::uint64_t c = 0;
   for (std::size_t i = 0; i < labels.size(); ++i)
     if (labels[i] == i) ++c;
@@ -128,7 +134,7 @@ void DynamicGraph::ingest(std::span<const graph::EdgeUpdate> ops,
     // One bucket per owner thread: the same count-sort scheduling as SetD
     // (Algorithm 1 at the cluster level; no cache-level recursion needed,
     // owners apply to hash stores rather than array blocks).
-    const sched::VBlocks vb(n_, s, 1);
+    const sched::VBlocks vb(d_.part(), 1);
 
     // --- group: stable count-sort of this chunk's updates by owner(u).
     // Records are (u, v<<1 | kind) word pairs; stability keeps timestamp
@@ -304,11 +310,17 @@ void DynamicGraph::rebuild(BatchStats& st) {
     pgas::TraceScope ts(ctx, "stream.adopt");
     const int me = ctx.id();
     auto dst = d_.local_span(me);
-    const std::size_t b = d_.block_begin(me);
-    std::copy(res.labels.begin() + static_cast<std::ptrdiff_t>(b),
-              res.labels.begin() + static_cast<std::ptrdiff_t>(b) +
-                  static_cast<std::ptrdiff_t>(dst.size()),
-              dst.begin());
+    if (d_.part().is_identity()) {
+      const std::size_t b = d_.block_begin(me);
+      std::copy(res.labels.begin() + static_cast<std::ptrdiff_t>(b),
+                res.labels.begin() + static_cast<std::ptrdiff_t>(b) +
+                    static_cast<std::ptrdiff_t>(dst.size()),
+                dst.begin());
+    } else {
+      // Permuted storage: res.labels is global order, the slice is not.
+      for (std::size_t k = 0; k < dst.size(); ++k)
+        dst[k] = res.labels[d_.global_index(me, k)];
+    }
     ctx.mem_seq(2 * dst.size() * sizeof(std::uint64_t), Cat::Copy);
     ctx.barrier();
   });

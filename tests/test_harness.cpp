@@ -344,3 +344,49 @@ TEST(BenchArgsRobust, ZeroMeansOffAndIsAccepted) {
   EXPECT_EQ(a.certify, 0);
   EXPECT_EQ(a.mem_flips, 0);
 }
+
+TEST(BenchArgsPartition, AcceptedWithCapability) {
+  for (const char* scheme :
+       {"block", "cyclic", "block_cyclic:16", "degree"}) {
+    const char* argv[] = {"prog", "--partition", scheme};
+    h::BenchArgs a;
+    ASSERT_EQ(tparse(argv, a, {.partition = true}), "") << scheme;
+    EXPECT_EQ(a.partition, scheme);
+  }
+}
+
+TEST(BenchArgsPartition, DefaultMeansBlock) {
+  const char* argv[] = {"prog", "--n", "64"};
+  h::BenchArgs a;
+  ASSERT_EQ(tparse(argv, a, {.partition = true}), "");
+  EXPECT_TRUE(a.partition.empty());
+}
+
+TEST(BenchArgsPartition, RejectedOnBlockOnlyBenches) {
+  // Benches whose arrays are hard-wired to the block layout refuse the
+  // flag loudly instead of silently running under the wrong assumption.
+  const char* s1[] = {"prog", "--partition", "cyclic"};
+  h::BenchArgs a;
+  EXPECT_NE(tparse(s1, a).find("--partition"), std::string::npos);
+  // Other capabilities do not grant it.
+  EXPECT_NE(tparse(s1, a, {.stream = true}).find("--partition"),
+            std::string::npos);
+  EXPECT_NE(tparse(s1, a, {.robust = true}).find("--partition"),
+            std::string::npos);
+}
+
+TEST(BenchArgsPartition, BadSchemesRejectedAtParseTime) {
+  // Unknown schemes and zero / negative / fractional / NaN chunks fail in
+  // try_parse, not mid-run; NaN must not slip through a comparison (the
+  // accept condition is phrased positively).
+  for (const char* bad :
+       {"zigzag", "block_cyclic", "block_cyclic:", "block_cyclic:0",
+        "block_cyclic:-4", "block_cyclic:1.5", "block_cyclic:nan",
+        "block_cyclic:inf"}) {
+    const char* argv[] = {"prog", "--partition", bad};
+    h::BenchArgs a;
+    EXPECT_NE(tparse(argv, a, {.partition = true}).find("--partition"),
+              std::string::npos)
+        << "'" << bad << "' was accepted";
+  }
+}
